@@ -1,0 +1,232 @@
+//! Agent-local CPD learning.
+//!
+//! A monitoring agent holds a *local* dataset whose columns are its node's
+//! parents (ascending) followed by the node itself — exactly what
+//! `kert_sim::monitor::MonitoringAgent::report` produces. This module fits
+//! the node's CPD from that local view and re-expresses it in network-node
+//! indices, so the management server can drop it straight into the
+//! assembled Bayesian network.
+
+use kert_bayes::cpd::Cpd;
+use kert_bayes::learn::mle::{self, ParamOptions};
+use kert_bayes::{Dataset, LinearGaussianCpd, TabularCpd, Variable, VariableKind};
+
+use crate::{AgentError, Result};
+
+/// An agent's local view: the node it learns and its local dataset with
+/// columns `[parents…, node]`.
+#[derive(Debug, Clone)]
+pub struct LocalDataset {
+    /// The network node this agent learns.
+    pub node: usize,
+    /// The node's parents in the network DAG, ascending.
+    pub parents: Vec<usize>,
+    /// Local data: `parents.len() + 1` columns, parents first, own last.
+    pub data: Dataset,
+}
+
+impl LocalDataset {
+    /// Validate column count against the parent list.
+    pub fn validate(&self) -> Result<()> {
+        let want = self.parents.len() + 1;
+        if self.data.columns() != want {
+            return Err(AgentError::BadLocalData(format!(
+                "node {}: {} columns for {} parents",
+                self.node,
+                self.data.columns(),
+                want - 1
+            )));
+        }
+        if self.parents.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(AgentError::BadLocalData(format!(
+                "node {}: parents not strictly ascending",
+                self.node
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Fit the CPD of `local.node` from its local dataset.
+///
+/// `variables` is the full network schema (needed for kinds and
+/// cardinalities). The returned CPD carries *network* indices.
+pub fn fit_node_from_local(
+    variables: &[Variable],
+    local: &LocalDataset,
+    options: ParamOptions,
+) -> Result<Cpd> {
+    local.validate()?;
+    let node = local.node;
+    let n_local = local.parents.len() + 1;
+    let own_col = n_local - 1;
+    let local_parents: Vec<usize> = (0..own_col).collect();
+
+    // Local cardinalities: parents' then own.
+    let mut local_cards = Vec::with_capacity(n_local);
+    for &p in &local.parents {
+        local_cards.push(
+            variables
+                .get(p)
+                .ok_or_else(|| AgentError::BadLocalData(format!("unknown parent {p}")))?
+                .cardinality()
+                .unwrap_or(0),
+        );
+    }
+    let own_var = variables
+        .get(node)
+        .ok_or_else(|| AgentError::BadLocalData(format!("unknown node {node}")))?;
+    local_cards.push(own_var.cardinality().unwrap_or(0));
+
+    let map_err = |e: kert_bayes::BayesError| AgentError::LearnFailed {
+        node,
+        cause: e.to_string(),
+    };
+
+    match own_var.kind {
+        VariableKind::Discrete { .. } => {
+            let fitted =
+                mle::fit_tabular(own_col, &local_parents, &local.data, &local_cards, options)
+                    .map_err(map_err)?;
+            // Re-express with network indices (table layout is unchanged:
+            // parent order is preserved).
+            TabularCpd::new(
+                node,
+                local.parents.clone(),
+                fitted.cardinality(),
+                fitted.parent_cards().to_vec(),
+                fitted.table().to_vec(),
+            )
+            .map(Cpd::Tabular)
+            .map_err(map_err)
+        }
+        VariableKind::Continuous => {
+            let fitted = mle::fit_linear_gaussian(own_col, &local_parents, &local.data)
+                .map_err(map_err)?;
+            LinearGaussianCpd::new(
+                node,
+                local.parents.clone(),
+                fitted.intercept(),
+                fitted.coeffs().to_vec(),
+                fitted.variance(),
+            )
+            .map(Cpd::LinearGaussian)
+            .map_err(map_err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn continuous_vars(n: usize) -> Vec<Variable> {
+        (0..n).map(|i| Variable::continuous(format!("X{i}"))).collect()
+    }
+
+    #[test]
+    fn local_gaussian_fit_carries_network_indices() {
+        // Node 5 with parents {2, 3}: local columns [X2, X3, X5].
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = (i as f64 * 0.31).sin();
+                let b = (i as f64 * 0.17).cos();
+                vec![a, b, 1.0 + 2.0 * a - 0.5 * b]
+            })
+            .collect();
+        let data = Dataset::from_rows(
+            vec!["X3".into(), "X4".into(), "X6".into()],
+            rows,
+        )
+        .unwrap();
+        let local = LocalDataset {
+            node: 5,
+            parents: vec![2, 3],
+            data,
+        };
+        let cpd = fit_node_from_local(&continuous_vars(6), &local, ParamOptions::default())
+            .unwrap();
+        assert_eq!(cpd.child(), 5);
+        assert_eq!(cpd.parents(), &[2, 3]);
+        match cpd {
+            Cpd::LinearGaussian(lg) => {
+                assert!((lg.intercept() - 1.0).abs() < 1e-6);
+                assert!((lg.coeffs()[0] - 2.0).abs() < 1e-6);
+                assert!((lg.coeffs()[1] + 0.5).abs() < 1e-6);
+            }
+            other => panic!("expected linear-Gaussian, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_tabular_fit_matches_frequencies() {
+        let vars = vec![Variable::discrete("a", 2), Variable::discrete("b", 2)];
+        // Node 1 with parent 0: local columns [X0, X1].
+        let data = Dataset::from_rows(
+            vec!["X1".into(), "X2".into()],
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let local = LocalDataset {
+            node: 1,
+            parents: vec![0],
+            data,
+        };
+        let cpd = fit_node_from_local(
+            &vars,
+            &local,
+            ParamOptions { dirichlet_alpha: 0.0 },
+        )
+        .unwrap();
+        match cpd {
+            Cpd::Tabular(t) => {
+                assert_eq!(t.child(), 1);
+                assert_eq!(t.parents(), &[0]);
+                assert!((t.prob(0, &[0]) - 2.0 / 3.0).abs() < 1e-12);
+                assert!((t.prob(1, &[1]) - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected tabular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_node_needs_single_column() {
+        let vars = continuous_vars(2);
+        let data = Dataset::from_rows(vec!["X1".into()], vec![vec![4.0], vec![6.0]]).unwrap();
+        let local = LocalDataset {
+            node: 0,
+            parents: vec![],
+            data,
+        };
+        let cpd = fit_node_from_local(&vars, &local, ParamOptions::default()).unwrap();
+        assert!(cpd.parents().is_empty());
+        match cpd {
+            Cpd::LinearGaussian(lg) => assert!((lg.intercept() - 5.0).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let vars = continuous_vars(3);
+        let data = Dataset::new(vec!["only".into()]);
+        let bad_cols = LocalDataset {
+            node: 2,
+            parents: vec![0, 1],
+            data: data.clone(),
+        };
+        assert!(fit_node_from_local(&vars, &bad_cols, ParamOptions::default()).is_err());
+
+        let bad_parents = LocalDataset {
+            node: 2,
+            parents: vec![1, 0],
+            data: Dataset::new(vec!["a".into(), "b".into(), "c".into()]),
+        };
+        assert!(bad_parents.validate().is_err());
+    }
+}

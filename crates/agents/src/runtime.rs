@@ -1,0 +1,269 @@
+//! Concurrent (decentralized) vs. sequential (centralized) learning.
+//!
+//! The decentralized path plays the agent fleet on a crossbeam-scoped
+//! worker pool: each node's CPD is one task, tasks are pulled from a shared
+//! queue, and every task's learning time is measured individually. Because
+//! real deployments run each agent on its own machine, the *reported*
+//! decentralized latency is `max(per-node times)` (plus nothing for
+//! assembly — the server just plugs CPDs in), while the centralized
+//! reference pays `Σ per-node times` on one machine. Both numbers are
+//! returned so Figure 5 can plot them from a single run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use kert_bayes::cpd::Cpd;
+use kert_bayes::learn::mle::ParamOptions;
+use kert_bayes::{Dag, Dataset, Variable};
+use parking_lot::Mutex;
+
+use crate::local::{fit_node_from_local, LocalDataset};
+use crate::{AgentError, Result};
+
+/// Per-task result cell: the learned CPD and how long the fit took.
+type TaskCell = Mutex<Option<Result<(Cpd, Duration)>>>;
+
+/// Options for both learning paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LearnOptions {
+    /// Parameter-learning options forwarded to the per-node fits.
+    pub params: ParamOptions,
+    /// Worker threads for the decentralized pool (`None` = available
+    /// parallelism).
+    pub workers: Option<usize>,
+}
+
+/// Outcome of decentralized learning.
+#[derive(Debug)]
+pub struct DecentralizedResult {
+    /// One learned CPD per node, node-ordered.
+    pub cpds: Vec<Cpd>,
+    /// Per-node learning durations.
+    pub node_times: Vec<Duration>,
+    /// `max(node_times)` — the latency of the fleet (each agent on its own
+    /// machine).
+    pub decentralized_time: Duration,
+    /// Wall-clock time of the pooled run on *this* machine (≥ the fleet
+    /// latency when workers < nodes).
+    pub wall_time: Duration,
+}
+
+/// Outcome of centralized learning.
+#[derive(Debug)]
+pub struct CentralizedResult {
+    /// One learned CPD per node, node-ordered.
+    pub cpds: Vec<Cpd>,
+    /// Per-node learning durations.
+    pub node_times: Vec<Duration>,
+    /// `Σ node_times` ≈ wall time of the sequential pass.
+    pub centralized_time: Duration,
+}
+
+/// Slice the management-server dataset into per-node local views
+/// (columns `[parents…, node]`), as the monitoring agents would hold them.
+pub fn slice_local_datasets(dag: &Dag, data: &Dataset) -> Result<Vec<LocalDataset>> {
+    if data.columns() != dag.len() {
+        return Err(AgentError::BadLocalData(format!(
+            "dataset has {} columns for a {}-node DAG",
+            data.columns(),
+            dag.len()
+        )));
+    }
+    (0..dag.len())
+        .map(|node| {
+            let parents = dag.parents(node).to_vec();
+            let mut cols = parents.clone();
+            cols.push(node);
+            let local = data
+                .project(&cols)
+                .map_err(|e| AgentError::BadLocalData(e.to_string()))?;
+            Ok(LocalDataset {
+                node,
+                parents,
+                data: local,
+            })
+        })
+        .collect()
+}
+
+/// Learn all CPDs concurrently from per-agent local datasets.
+pub fn decentralized_learn(
+    variables: &[Variable],
+    locals: &[LocalDataset],
+    options: LearnOptions,
+) -> Result<DecentralizedResult> {
+    let n = locals.len();
+    let workers = options
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .max(1)
+        .min(n.max(1));
+
+    let next_task = AtomicUsize::new(0);
+    let results: Vec<TaskCell> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let wall_start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let task = next_task.fetch_add(1, Ordering::Relaxed);
+                if task >= n {
+                    break;
+                }
+                let started = Instant::now();
+                let outcome = fit_node_from_local(variables, &locals[task], options.params)
+                    .map(|cpd| (cpd, started.elapsed()));
+                *results[task].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("learning workers do not panic");
+    let wall_time = wall_start.elapsed();
+
+    let mut cpds = Vec::with_capacity(n);
+    let mut node_times = Vec::with_capacity(n);
+    for cell in results {
+        let (cpd, t) = cell
+            .into_inner()
+            .expect("every task index below n is processed")?;
+        cpds.push(cpd);
+        node_times.push(t);
+    }
+    let decentralized_time = node_times.iter().copied().max().unwrap_or_default();
+    Ok(DecentralizedResult {
+        cpds,
+        node_times,
+        decentralized_time,
+        wall_time,
+    })
+}
+
+/// Learn all CPDs sequentially on one machine (the centralized reference).
+pub fn centralized_learn(
+    variables: &[Variable],
+    locals: &[LocalDataset],
+    options: LearnOptions,
+) -> Result<CentralizedResult> {
+    let mut cpds = Vec::with_capacity(locals.len());
+    let mut node_times = Vec::with_capacity(locals.len());
+    for local in locals {
+        let started = Instant::now();
+        let cpd = fit_node_from_local(variables, local, options.params)?;
+        node_times.push(started.elapsed());
+        cpds.push(cpd);
+    }
+    let centralized_time = node_times.iter().sum();
+    Ok(CentralizedResult {
+        cpds,
+        node_times,
+        centralized_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kert_bayes::cpd::LinearGaussianCpd;
+    use kert_bayes::BayesianNetwork;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 5-node continuous chain network and a sampled dataset.
+    fn chain_setup(rows: usize) -> (Vec<Variable>, Dag, Dataset) {
+        let n = 5;
+        let vars: Vec<Variable> = (0..n)
+            .map(|i| Variable::continuous(format!("X{i}")))
+            .collect();
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).unwrap();
+        }
+        let mut cpds = vec![Cpd::LinearGaussian(LinearGaussianCpd::root(0, 5.0, 1.0))];
+        for i in 1..n {
+            cpds.push(Cpd::LinearGaussian(
+                LinearGaussianCpd::new(i, vec![i - 1], 0.5, vec![0.8], 0.5).unwrap(),
+            ));
+        }
+        let bn = BayesianNetwork::new(vars.clone(), dag.clone(), cpds).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = bn.sample_dataset(&mut rng, rows);
+        (vars, dag, data)
+    }
+
+    #[test]
+    fn decentralized_and_centralized_learn_identical_parameters() {
+        let (vars, dag, data) = chain_setup(500);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        let dec = decentralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        let cen = centralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        assert_eq!(dec.cpds.len(), 5);
+        for (d, c) in dec.cpds.iter().zip(cen.cpds.iter()) {
+            let (Cpd::LinearGaussian(d), Cpd::LinearGaussian(c)) = (d, c) else {
+                panic!("expected Gaussian CPDs");
+            };
+            assert_eq!(d.child(), c.child());
+            assert_eq!(d.parents(), c.parents());
+            assert!((d.intercept() - c.intercept()).abs() < 1e-12);
+            assert!((d.variance() - c.variance()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decentralized_time_is_max_centralized_is_sum() {
+        let (vars, dag, data) = chain_setup(2_000);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        let dec = decentralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        let cen = centralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        assert_eq!(
+            dec.decentralized_time,
+            dec.node_times.iter().copied().max().unwrap()
+        );
+        let sum: Duration = cen.node_times.iter().sum();
+        assert_eq!(cen.centralized_time, sum);
+        // Emulated fleet latency can never exceed the sequential total.
+        assert!(dec.decentralized_time <= cen.centralized_time);
+    }
+
+    #[test]
+    fn learned_cpds_assemble_into_a_valid_network() {
+        let (vars, dag, data) = chain_setup(500);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        let dec = decentralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        let bn = BayesianNetwork::new(vars, dag, dec.cpds).unwrap();
+        // The assembled model should fit held-out data sensibly.
+        let ll = bn.log_likelihood(&data).unwrap();
+        assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes() {
+        let (vars, dag, data) = chain_setup(100);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        let opts = LearnOptions {
+            workers: Some(1),
+            ..Default::default()
+        };
+        let dec = decentralized_learn(&vars, &locals, opts).unwrap();
+        assert_eq!(dec.cpds.len(), 5);
+    }
+
+    #[test]
+    fn slice_rejects_mismatched_data() {
+        let (_, dag, _) = chain_setup(10);
+        let narrow = Dataset::new(vec!["a".into()]);
+        assert!(slice_local_datasets(&dag, &narrow).is_err());
+    }
+
+    #[test]
+    fn empty_local_data_surfaces_as_learn_failure() {
+        let (vars, dag, _) = chain_setup(10);
+        let empty = Dataset::new((0..5).map(|i| format!("X{i}")).collect());
+        let locals = slice_local_datasets(&dag, &empty).unwrap();
+        let err = decentralized_learn(&vars, &locals, LearnOptions::default());
+        assert!(matches!(err, Err(AgentError::LearnFailed { .. })));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the decentralized learning runtime and the
+//! reconstruction scheduler.
+
+use kert_agents::runtime::{
+    centralized_learn, decentralized_learn, slice_local_datasets, LearnOptions,
+};
+use kert_agents::{CumulativeUpdater, ModelSchedule, ReconstructionWindow};
+use kert_bayes::cpd::Cpd;
+use kert_bayes::{Dag, Dataset, Variable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random continuous dataset + random DAG over `n` nodes.
+fn random_setup(n: usize, rows: usize, seed: u64) -> (Vec<Variable>, Dag, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let variables: Vec<Variable> = (0..n)
+        .map(|i| Variable::continuous(format!("X{i}")))
+        .collect();
+    let mut dag = Dag::new(n);
+    for to in 1..n {
+        // Each node gets 0–2 random earlier parents.
+        for _ in 0..rng.gen_range(0..=2usize.min(to)) {
+            let from = rng.gen_range(0..to);
+            let _ = dag.add_edge(from, to);
+        }
+    }
+    let mut data = Dataset::new(variables.iter().map(|v| v.name.clone()).collect());
+    for _ in 0..rows {
+        let row: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        data.push_row(row).unwrap();
+    }
+    (variables, dag, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's core decentralization soundness claim: learning each
+    /// CPD on its own agent from local data produces *exactly* the model
+    /// centralized learning produces, for any structure and any data.
+    #[test]
+    fn decentralized_equals_centralized_for_any_structure(
+        n in 2usize..12,
+        rows in 10usize..80,
+        seed in 0u64..500,
+    ) {
+        let (vars, dag, data) = random_setup(n, rows, seed);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        let dec = decentralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        let cen = centralized_learn(&vars, &locals, LearnOptions::default()).unwrap();
+        for (d, c) in dec.cpds.iter().zip(cen.cpds.iter()) {
+            let (Cpd::LinearGaussian(d), Cpd::LinearGaussian(c)) = (d, c) else {
+                prop_assert!(false, "continuous nodes fit Gaussian CPDs");
+                unreachable!();
+            };
+            prop_assert_eq!(d.child(), c.child());
+            prop_assert_eq!(d.parents(), c.parents());
+            prop_assert_eq!(d.intercept(), c.intercept());
+            prop_assert_eq!(d.coeffs(), c.coeffs());
+            prop_assert_eq!(d.variance(), c.variance());
+        }
+        // Latency accounting: within one run's measurements, the fleet
+        // latency (max over nodes) never exceeds the sequential total of
+        // the same node times. (Cross-run comparisons are timing-noisy for
+        // sub-microsecond fits and are exercised by the fig5 harness on
+        // realistic workloads instead.)
+        let dec_sum: std::time::Duration = dec.node_times.iter().sum();
+        prop_assert!(dec.decentralized_time <= dec_sum);
+        let cen_max = cen.node_times.iter().copied().max().unwrap_or_default();
+        prop_assert!(cen_max <= cen.centralized_time);
+    }
+
+    /// Local dataset slicing is faithful: each agent's columns are its
+    /// parents (ascending) plus itself, row-aligned with the server data.
+    #[test]
+    fn local_slices_are_faithful(
+        n in 2usize..10,
+        rows in 1usize..30,
+        seed in 0u64..300,
+    ) {
+        let (_, dag, data) = random_setup(n, rows, seed);
+        let locals = slice_local_datasets(&dag, &data).unwrap();
+        prop_assert_eq!(locals.len(), n);
+        for local in &locals {
+            prop_assert_eq!(local.parents.as_slice(), dag.parents(local.node));
+            prop_assert_eq!(local.data.rows(), rows);
+            for r in 0..rows {
+                let row = local.data.row(r);
+                for (k, &p) in local.parents.iter().enumerate() {
+                    prop_assert_eq!(row[k], data.get(r, p));
+                }
+                prop_assert_eq!(row[local.parents.len()], data.get(r, local.node));
+            }
+        }
+    }
+
+    /// Window bookkeeping: after any interval stream, the reconstruction
+    /// window never holds more than `K·α` rows and triggers exactly
+    /// `intervals / α` rebuilds; the cumulative updater holds everything.
+    #[test]
+    fn window_and_cumulative_bookkeeping(
+        alpha in 1usize..10,
+        k in 1usize..5,
+        intervals in 1usize..60,
+    ) {
+        let schedule = ModelSchedule { t_data: 1.0, alpha_model: alpha, k };
+        let mut window = ReconstructionWindow::new(schedule, vec!["x".into()]).unwrap();
+        let mut cumulative = CumulativeUpdater::new(alpha, vec!["x".into()]).unwrap();
+        let mut last_window_rows = 0usize;
+        for i in 0..intervals {
+            let batch =
+                Dataset::from_rows(vec!["x".into()], vec![vec![i as f64]]).unwrap();
+            if let Some(train) = window.push_interval(&batch).unwrap() {
+                prop_assert!(train.rows() <= schedule.points_per_window());
+                last_window_rows = train.rows();
+            }
+            cumulative.push_interval(&batch).unwrap();
+        }
+        prop_assert_eq!(window.rebuilds(), intervals / alpha);
+        prop_assert_eq!(cumulative.rebuilds(), intervals / alpha);
+        prop_assert_eq!(cumulative.accumulated_rows(), intervals);
+        if intervals >= alpha * k {
+            // Once warm, the window is exactly full at each rebuild.
+            prop_assert!(last_window_rows <= alpha * k);
+        }
+    }
+}

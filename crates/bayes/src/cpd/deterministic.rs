@@ -1,0 +1,350 @@
+//! Deterministic CPDs with leak — the paper's Eq. 4.
+//!
+//! ```text
+//! P(D = f(𝕏) | 𝕏) = 1 − l
+//! P(D ≠ f(𝕏) | 𝕏) = l
+//! ```
+//!
+//! The function `f` comes from the workflow (never from data), which is the
+//! core cost saving of KERT-BN: the one CPD whose learning cost is
+//! exponential in the number of parents is generated instead of learned.
+//!
+//! Two noise models realize the "leak":
+//! * **Discrete** child: the predicted state receives mass `1 − l`; the
+//!   remaining `l` is spread uniformly over the other states. Parent state
+//!   indices are mapped to representative values (bin midpoints) before
+//!   evaluating `f`, and `f(X)` is discretized back through the child's bin
+//!   edges.
+//! * **Continuous** child: Gaussian measurement noise around `f(X)` —
+//!   `D ~ N(f(X), σ²)`. The paper's §4 experiments set `l = 0`, which here
+//!   corresponds to σ at the numeric floor.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cpd::linear_gaussian::{standard_normal, VARIANCE_FLOOR};
+use crate::expr::Expr;
+use crate::{BayesError, Result};
+
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// Noise model attached to the deterministic function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DetNoise {
+    /// Continuous child with Gaussian measurement noise of std-dev `sigma`.
+    Gaussian {
+        /// Noise standard deviation (floored at √[`VARIANCE_FLOOR`]).
+        sigma: f64,
+    },
+    /// Discrete child over `card` states with leak probability `leak`.
+    Discrete {
+        /// Leak probability `l ∈ [0, 1)`.
+        leak: f64,
+        /// Child cardinality.
+        card: usize,
+        /// Interior bin edges of the child (length `card − 1`, ascending):
+        /// `f(X)` falls in bin `#edges below it`.
+        child_edges: Vec<f64>,
+        /// Representative value (bin midpoint) per state per parent,
+        /// aligned with the CPD's parent list.
+        parent_mids: Vec<Vec<f64>>,
+    },
+}
+
+/// A deterministic-with-leak CPD (Eq. 4 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeterministicCpd {
+    child: usize,
+    parents: Vec<usize>,
+    /// `f`, re-indexed so `Var(k)` refers to `parents[k]`.
+    local_expr: Expr,
+    noise: DetNoise,
+}
+
+impl DeterministicCpd {
+    /// Build from an expression over *network* node indices.
+    ///
+    /// The parent set is inferred from the expression's variables; the
+    /// expression is re-indexed to parent-local positions internally.
+    pub fn from_network_expr(child: usize, expr: &Expr, noise: DetNoise) -> Result<Self> {
+        let parents = expr.variables();
+        if parents.contains(&child) {
+            return Err(BayesError::InvalidCpd(format!(
+                "deterministic CPD for node {child} reads its own value"
+            )));
+        }
+        if let DetNoise::Discrete {
+            leak,
+            card,
+            child_edges,
+            parent_mids,
+        } = &noise
+        {
+            if !(0.0..1.0).contains(leak) {
+                return Err(BayesError::InvalidCpd(format!("leak {leak} out of [0,1)")));
+            }
+            if *card < 2 {
+                return Err(BayesError::InvalidCpd("discrete child needs ≥ 2 states".into()));
+            }
+            if child_edges.len() + 1 != *card {
+                return Err(BayesError::InvalidCpd(format!(
+                    "{} edges for cardinality {card}",
+                    child_edges.len()
+                )));
+            }
+            if parent_mids.len() != parents.len() {
+                return Err(BayesError::InvalidCpd(format!(
+                    "{} parent midpoint vectors for {} parents",
+                    parent_mids.len(),
+                    parents.len()
+                )));
+            }
+        }
+        // Re-index Var(network idx) → Var(position in parent list).
+        let local_expr = expr.remap(&|i| {
+            parents
+                .binary_search(&i)
+                .expect("expression variable missing from its own parent list")
+        });
+        Ok(DeterministicCpd {
+            child,
+            parents,
+            local_expr,
+            noise,
+        })
+    }
+
+    /// Node index of the child.
+    pub fn child(&self) -> usize {
+        self.child
+    }
+
+    /// Sorted parent node indices.
+    pub fn parents(&self) -> &[usize] {
+        &self.parents
+    }
+
+    /// The deterministic function, indexed over parent positions.
+    pub fn local_expr(&self) -> &Expr {
+        &self.local_expr
+    }
+
+    /// The noise model.
+    pub fn noise(&self) -> &DetNoise {
+        &self.noise
+    }
+
+    /// Evaluate `f` on parent values (continuous) or state indices
+    /// (discrete; mapped through bin midpoints first).
+    pub fn predict(&self, parent_values: &[f64]) -> f64 {
+        match &self.noise {
+            DetNoise::Gaussian { .. } => self.local_expr.eval(parent_values),
+            DetNoise::Discrete { parent_mids, .. } => {
+                let mids: Vec<f64> = parent_values
+                    .iter()
+                    .zip(parent_mids.iter())
+                    .map(|(&s, mids)| {
+                        let idx = (s as usize).min(mids.len().saturating_sub(1));
+                        mids[idx]
+                    })
+                    .collect();
+                self.local_expr.eval(&mids)
+            }
+        }
+    }
+
+    /// For a discrete child: the state `f(X)` lands in.
+    pub fn predicted_state(&self, parent_values: &[f64]) -> Option<usize> {
+        match &self.noise {
+            DetNoise::Gaussian { .. } => None,
+            DetNoise::Discrete { child_edges, .. } => {
+                let v = self.predict(parent_values);
+                Some(child_edges.iter().take_while(|&&e| v >= e).count())
+            }
+        }
+    }
+
+    /// Log probability / density of `child_value` given parent values.
+    pub fn log_prob(&self, child_value: f64, parent_values: &[f64]) -> f64 {
+        match &self.noise {
+            DetNoise::Gaussian { sigma } => {
+                let var = (sigma * sigma).max(VARIANCE_FLOOR);
+                let d = child_value - self.predict(parent_values);
+                -0.5 * (LN_2PI + var.ln() + d * d / var)
+            }
+            DetNoise::Discrete { leak, card, .. } => {
+                let predicted = self
+                    .predicted_state(parent_values)
+                    .expect("discrete noise always predicts a state");
+                let state = child_value as usize;
+                let p = if state == predicted {
+                    1.0 - leak
+                } else {
+                    // Leak mass spread uniformly over the other states.
+                    (leak / (*card as f64 - 1.0)).max(1e-12)
+                };
+                p.max(1e-12).ln()
+            }
+        }
+    }
+
+    /// Sample a child value: `f(X)` plus noise (continuous), or the
+    /// predicted state with probability `1 − l` and a uniform other state
+    /// otherwise (discrete).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, parent_values: &[f64]) -> f64 {
+        match &self.noise {
+            DetNoise::Gaussian { sigma } => {
+                self.predict(parent_values) + sigma.max(0.0) * standard_normal(rng)
+            }
+            DetNoise::Discrete { leak, card, .. } => {
+                let predicted = self
+                    .predicted_state(parent_values)
+                    .expect("discrete noise always predicts a state");
+                if rng.gen::<f64>() < *leak {
+                    // Uniform over the other card−1 states.
+                    let mut s = rng.gen_range(0..card - 1);
+                    if s >= predicted {
+                        s += 1;
+                    }
+                    s as f64
+                } else {
+                    predicted as f64
+                }
+            }
+        }
+    }
+
+    /// Free parameters: none are learned from data — that is the point.
+    /// (σ may be *estimated* from residuals as a convenience, counted as 1.)
+    pub fn parameter_count(&self) -> usize {
+        match self.noise {
+            DetNoise::Gaussian { .. } => 1,
+            DetNoise::Discrete { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// D = X0 + max(X1, X2) over network nodes 0,1,2; child is node 3.
+    fn cont_cpd(sigma: f64) -> DeterministicCpd {
+        let expr = Expr::Add(vec![
+            Expr::Var(0),
+            Expr::Max(vec![Expr::Var(1), Expr::Var(2)]),
+        ]);
+        DeterministicCpd::from_network_expr(3, &expr, DetNoise::Gaussian { sigma }).unwrap()
+    }
+
+    #[test]
+    fn parents_inferred_from_expression() {
+        let cpd = cont_cpd(0.1);
+        assert_eq!(cpd.parents(), &[0, 1, 2]);
+        assert_eq!(cpd.child(), 3);
+    }
+
+    #[test]
+    fn predict_evaluates_f() {
+        let cpd = cont_cpd(0.1);
+        assert_eq!(cpd.predict(&[1.0, 5.0, 3.0]), 6.0);
+        assert_eq!(cpd.predict(&[1.0, 2.0, 9.0]), 10.0);
+    }
+
+    #[test]
+    fn log_prob_peaks_at_prediction() {
+        let cpd = cont_cpd(0.5);
+        let at = cpd.log_prob(6.0, &[1.0, 5.0, 3.0]);
+        let off = cpd.log_prob(7.0, &[1.0, 5.0, 3.0]);
+        assert!(at > off);
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let expr = Expr::Var(3);
+        assert!(DeterministicCpd::from_network_expr(3, &expr, DetNoise::Gaussian { sigma: 0.1 })
+            .is_err());
+    }
+
+    fn disc_cpd(leak: f64) -> DeterministicCpd {
+        // D = X0 + X1, both parents with 2 states and midpoints {1, 3};
+        // child has 3 states with edges at 3.0 and 5.0:
+        // sums: 1+1=2→state0, 1+3=4→state1, 3+3=6→state2.
+        let expr = Expr::Add(vec![Expr::Var(0), Expr::Var(1)]);
+        DeterministicCpd::from_network_expr(
+            2,
+            &expr,
+            DetNoise::Discrete {
+                leak,
+                card: 3,
+                child_edges: vec![3.0, 5.0],
+                parent_mids: vec![vec![1.0, 3.0], vec![1.0, 3.0]],
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discrete_prediction_bins_correctly() {
+        let cpd = disc_cpd(0.0);
+        assert_eq!(cpd.predicted_state(&[0.0, 0.0]), Some(0));
+        assert_eq!(cpd.predicted_state(&[0.0, 1.0]), Some(1));
+        assert_eq!(cpd.predicted_state(&[1.0, 1.0]), Some(2));
+    }
+
+    #[test]
+    fn discrete_leak_splits_probability() {
+        let cpd = disc_cpd(0.2);
+        // Predicted state 1 for (0, 1): P = 0.8; others 0.1 each.
+        let lp_pred = cpd.log_prob(1.0, &[0.0, 1.0]);
+        let lp_other = cpd.log_prob(0.0, &[0.0, 1.0]);
+        assert!((lp_pred - 0.8f64.ln()).abs() < 1e-9);
+        assert!((lp_other - 0.1f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_leak_log_prob_is_floored_not_infinite() {
+        let cpd = disc_cpd(0.0);
+        assert!(cpd.log_prob(0.0, &[0.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn discrete_sampling_respects_leak() {
+        let cpd = disc_cpd(0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 30_000;
+        let hits = (0..n)
+            .filter(|_| cpd.sample(&mut rng, &[0.0, 1.0]) == 1.0)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn continuous_sampling_centers_on_f() {
+        let cpd = cont_cpd(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(cpd.sample(&mut rng, &[1.0, 5.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn validation_of_discrete_noise() {
+        let expr = Expr::Var(0);
+        let bad_leak = DetNoise::Discrete {
+            leak: 1.5,
+            card: 2,
+            child_edges: vec![0.0],
+            parent_mids: vec![vec![0.0, 1.0]],
+        };
+        assert!(DeterministicCpd::from_network_expr(1, &expr, bad_leak).is_err());
+        let bad_edges = DetNoise::Discrete {
+            leak: 0.1,
+            card: 3,
+            child_edges: vec![0.0],
+            parent_mids: vec![vec![0.0, 1.0]],
+        };
+        assert!(DeterministicCpd::from_network_expr(1, &expr, bad_edges).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Discretization of continuous measurements.
+//!
+//! The paper's test-bed section (§5) uses *discrete* KERT-BNs: elapsed-time
+//! measurements are binned into a small number of states. This module
+//! provides equal-width and equal-frequency binning fitted on training
+//! data, plus the bin metadata (interior edges, representative midpoints)
+//! that the deterministic CPD needs to evaluate `f` on state indices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::{BayesError, Result};
+
+/// Binning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinStrategy {
+    /// Bins of equal value width between the observed min and max.
+    EqualWidth,
+    /// Bins holding (approximately) equal numbers of training points.
+    EqualFrequency,
+}
+
+/// Discretization of a single continuous column into `bins` states.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnBins {
+    /// Interior cut points, ascending, length `bins − 1`. Value `v` maps to
+    /// state `#{e ∈ edges : v ≥ e}`.
+    pub edges: Vec<f64>,
+    /// Representative value per state (bin centers; outer bins use the
+    /// training min/max as the outer boundary).
+    pub midpoints: Vec<f64>,
+}
+
+impl ColumnBins {
+    /// Fit bins on training values.
+    pub fn fit(values: &[f64], bins: usize, strategy: BinStrategy) -> Result<Self> {
+        if bins < 2 {
+            return Err(BayesError::InvalidData(format!(
+                "need at least 2 bins, got {bins}"
+            )));
+        }
+        if values.is_empty() {
+            return Err(BayesError::InvalidData("cannot fit bins on no data".into()));
+        }
+        let (lo, hi) = kert_linalg::stats::min_max(values);
+        let span = (hi - lo).max(1e-12);
+        let edges: Vec<f64> = match strategy {
+            BinStrategy::EqualWidth => (1..bins)
+                .map(|k| lo + span * k as f64 / bins as f64)
+                .collect(),
+            BinStrategy::EqualFrequency => {
+                let mut edges: Vec<f64> = (1..bins)
+                    .map(|k| kert_linalg::stats::quantile(values, k as f64 / bins as f64))
+                    .collect();
+                // Quantiles of heavily tied data may repeat; nudge to keep
+                // edges strictly increasing so every state is reachable.
+                for i in 1..edges.len() {
+                    if edges[i] <= edges[i - 1] {
+                        edges[i] = edges[i - 1].next_up();
+                    }
+                }
+                edges
+            }
+        };
+        // Midpoints: centers between consecutive boundaries, with the data
+        // min/max closing the outer bins.
+        let mut bounds = Vec::with_capacity(bins + 1);
+        bounds.push(lo);
+        bounds.extend_from_slice(&edges);
+        bounds.push(hi);
+        let midpoints = bounds.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        Ok(ColumnBins { edges, midpoints })
+    }
+
+    /// Number of states.
+    pub fn bins(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Map a value to its state index (values outside the training range
+    /// clamp to the outer bins).
+    pub fn state(&self, value: f64) -> usize {
+        self.edges.iter().take_while(|&&e| value >= e).count()
+    }
+
+    /// Representative value of a state.
+    pub fn midpoint(&self, state: usize) -> f64 {
+        self.midpoints[state.min(self.midpoints.len() - 1)]
+    }
+}
+
+/// A discretizer over all columns of a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Discretizer {
+    columns: Vec<ColumnBins>,
+}
+
+impl Discretizer {
+    /// Fit per-column bins on a training dataset (same bin count and
+    /// strategy for every column).
+    pub fn fit(data: &Dataset, bins: usize, strategy: BinStrategy) -> Result<Self> {
+        let columns = (0..data.columns())
+            .map(|c| ColumnBins::fit(&data.column(c), bins, strategy))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Discretizer { columns })
+    }
+
+    /// Number of columns the discretizer covers.
+    pub fn columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Bins for column `c`.
+    pub fn column(&self, c: usize) -> &ColumnBins {
+        &self.columns[c]
+    }
+
+    /// Transform a continuous dataset into a dataset of state indices
+    /// (stored as `f64`, per the [`Dataset`] convention).
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        if data.columns() != self.columns.len() {
+            return Err(BayesError::InvalidData(format!(
+                "discretizer covers {} columns, dataset has {}",
+                self.columns.len(),
+                data.columns()
+            )));
+        }
+        let mut out = Dataset::new(data.names().to_vec());
+        for r in 0..data.rows() {
+            let row: Vec<f64> = data
+                .row(r)
+                .iter()
+                .zip(self.columns.iter())
+                .map(|(&v, bins)| bins.state(v) as f64)
+                .collect();
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Cardinality of every column (uniform by construction, but exposed
+    /// per-column for generality).
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.columns.iter().map(ColumnBins::bins).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_bins_partition_the_range() {
+        let values: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let bins = ColumnBins::fit(&values, 5, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(bins.bins(), 5);
+        assert_eq!(bins.edges, vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(bins.state(0.0), 0);
+        assert_eq!(bins.state(1.99), 0);
+        assert_eq!(bins.state(2.0), 1);
+        assert_eq!(bins.state(10.0), 4);
+        // Out-of-range clamps.
+        assert_eq!(bins.state(-5.0), 0);
+        assert_eq!(bins.state(100.0), 4);
+    }
+
+    #[test]
+    fn midpoints_are_bin_centers() {
+        let values: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let bins = ColumnBins::fit(&values, 5, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(bins.midpoints, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(bins.midpoint(2), 5.0);
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        // Skewed data: equal-width would cram most points into bin 0.
+        let mut values: Vec<f64> = (0..90).map(|i| i as f64 * 0.01).collect();
+        values.extend((0..10).map(|i| 100.0 + i as f64));
+        let bins = ColumnBins::fit(&values, 4, BinStrategy::EqualFrequency).unwrap();
+        let mut counts = vec![0usize; 4];
+        for &v in &values {
+            counts[bins.state(v)] += 1;
+        }
+        for &c in &counts {
+            assert!(c >= 10, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn ties_do_not_collapse_edges() {
+        let values = vec![1.0; 50];
+        let bins = ColumnBins::fit(&values, 4, BinStrategy::EqualFrequency).unwrap();
+        for w in bins.edges.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(ColumnBins::fit(&[], 3, BinStrategy::EqualWidth).is_err());
+        assert!(ColumnBins::fit(&[1.0, 2.0], 1, BinStrategy::EqualWidth).is_err());
+    }
+
+    #[test]
+    fn discretizer_transform_roundtrip_shape() {
+        let data = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 300.0]],
+        )
+        .unwrap();
+        let disc = Discretizer::fit(&data, 2, BinStrategy::EqualWidth).unwrap();
+        let states = disc.transform(&data).unwrap();
+        assert_eq!(states.rows(), 3);
+        assert_eq!(states.get(0, 0), 0.0);
+        assert_eq!(states.get(2, 0), 1.0);
+        assert_eq!(states.get(0, 1), 0.0);
+        assert_eq!(states.get(2, 1), 1.0);
+        assert_eq!(disc.cardinalities(), vec![2, 2]);
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let data = Dataset::from_rows(vec!["a".into()], vec![vec![1.0], vec![2.0]]).unwrap();
+        let disc = Discretizer::fit(&data, 2, BinStrategy::EqualWidth).unwrap();
+        let other = Dataset::new(vec!["a".into(), "b".into()]);
+        assert!(disc.transform(&other).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! Directed acyclic graphs over node indices `0..n`.
+//!
+//! The DAG is the "structure" half of a Bayesian network. Structure learning
+//! (K2) adds edges incrementally, so cycle checking must be cheap; we keep
+//! both parent and child adjacency lists and check reachability on edge
+//! insertion with an iterative DFS over the child lists.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BayesError, Result};
+
+/// A DAG on nodes `0..n`, stored as sorted parent and child lists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// An edgeless DAG on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dag {
+            parents: vec![Vec::new(); n],
+            children: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+
+    /// Sorted parents of `node`.
+    pub fn parents(&self, node: usize) -> &[usize] {
+        &self.parents[node]
+    }
+
+    /// Sorted children of `node`.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// True if the edge `from → to` is present.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.parents
+            .get(to)
+            .is_some_and(|ps| ps.binary_search(&from).is_ok())
+    }
+
+    /// Add edge `from → to`, rejecting out-of-range nodes, self-loops,
+    /// duplicates (silently ignored), and cycles.
+    pub fn add_edge(&mut self, from: usize, to: usize) -> Result<()> {
+        let n = self.len();
+        if from >= n {
+            return Err(BayesError::InvalidNode(from));
+        }
+        if to >= n {
+            return Err(BayesError::InvalidNode(to));
+        }
+        if from == to {
+            return Err(BayesError::CycleDetected { from, to });
+        }
+        if self.has_edge(from, to) {
+            return Ok(());
+        }
+        // A new edge from→to creates a cycle iff `from` is reachable from `to`.
+        if self.reachable(to, from) {
+            return Err(BayesError::CycleDetected { from, to });
+        }
+        insert_sorted(&mut self.parents[to], from);
+        insert_sorted(&mut self.children[from], to);
+        Ok(())
+    }
+
+    /// Remove edge `from → to` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, from: usize, to: usize) -> bool {
+        let existed = self.has_edge(from, to);
+        if existed {
+            remove_sorted(&mut self.parents[to], from);
+            remove_sorted(&mut self.children[from], to);
+        }
+        existed
+    }
+
+    /// True if `dst` is reachable from `src` following directed edges.
+    pub fn reachable(&self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![src];
+        seen[src] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.children[u] {
+                if v == dst {
+                    return true;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order (parents before children). Kahn's algorithm;
+    /// the structure is acyclic by construction so this cannot fail.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut in_deg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        // Seed with all roots, lowest index first for determinism.
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| in_deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.children[u] {
+                in_deg[v] -= 1;
+                if in_deg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "DAG invariant violated");
+        order
+    }
+
+    /// All ancestors of `node` (excluding itself), ascending.
+    pub fn ancestors(&self, node: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.parents[node].to_vec();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            out.push(u);
+            stack.extend_from_slice(&self.parents[u]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The Markov blanket of `node`: parents, children, and the children's
+    /// other parents — the minimal set that renders the node conditionally
+    /// independent of the rest of the network. The unit of locality behind
+    /// decentralized *inference* (the paper's §7 future-work direction).
+    pub fn markov_blanket(&self, node: usize) -> Vec<usize> {
+        let mut blanket: Vec<usize> = self.parents[node].to_vec();
+        for &child in &self.children[node] {
+            blanket.push(child);
+            blanket.extend(self.parents[child].iter().filter(|&&p| p != node));
+        }
+        blanket.sort_unstable();
+        blanket.dedup();
+        blanket
+    }
+
+    /// d-separation: is `x ⊥ y | z` implied by the graph structure?
+    ///
+    /// Uses the reachability formulation (Koller & Friedman alg. 3.1):
+    /// `x` and `y` are d-separated given `z` iff no active trail connects
+    /// them. A trail through node `w` is blocked at a chain/fork if
+    /// `w ∈ z`, and at a collider unless `w` or one of its descendants is
+    /// in `z`. Lets tests state the independence semantics of derived
+    /// KERT-BN structures (e.g. parallel branches are independent given
+    /// their common upstream service).
+    pub fn d_separated(&self, x: usize, y: usize, z: &[usize]) -> bool {
+        if x == y {
+            return false;
+        }
+        let n = self.len();
+        let in_z = {
+            let mut v = vec![false; n];
+            for &i in z {
+                v[i] = true;
+            }
+            v
+        };
+        // Phase 1: ancestors of z (needed for collider activation).
+        let mut z_ancestor = in_z.clone();
+        {
+            let mut stack: Vec<usize> = z.to_vec();
+            while let Some(u) = stack.pop() {
+                for &p in self.parents(u) {
+                    if !z_ancestor[p] {
+                        z_ancestor[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        // Phase 2: BFS over (node, direction) — direction is how we
+        // *arrived*: `true` = trail came from a child (moving up),
+        // `false` = from a parent (moving down).
+        let mut visited_up = vec![false; n];
+        let mut visited_down = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((x, true)); // leaving x upward…
+        queue.push_back((x, false)); // …and downward
+        while let Some((u, up)) = queue.pop_front() {
+            let seen = if up { &mut visited_up } else { &mut visited_down };
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            if u == y && u != x {
+                return false; // active trail reached y
+            }
+            if up {
+                // Arrived from a child: continue up to parents and down to
+                // children, unless u ∈ z blocks (chain / fork).
+                if !in_z[u] {
+                    for &p in self.parents(u) {
+                        queue.push_back((p, true));
+                    }
+                    for &c in self.children(u) {
+                        queue.push_back((c, false));
+                    }
+                }
+            } else {
+                // Arrived from a parent (collider candidate).
+                if !in_z[u] {
+                    // Chain continues downward.
+                    for &c in self.children(u) {
+                        queue.push_back((c, false));
+                    }
+                }
+                if z_ancestor[u] {
+                    // Collider activated: trail can turn upward.
+                    for &p in self.parents(u) {
+                        queue.push_back((p, true));
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Nodes with no parents, ascending.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .collect()
+    }
+
+    /// Iterate over all edges as `(from, to)` pairs in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.parents
+            .iter()
+            .enumerate()
+            .flat_map(|(to, ps)| ps.iter().map(move |&from| (from, to)))
+    }
+
+    /// Structural Hamming-style distance to another DAG of the same size:
+    /// number of edges present in exactly one of the two graphs (useful for
+    /// comparing learned vs. true structures in tests and ablations).
+    pub fn edge_difference(&self, other: &Dag) -> usize {
+        assert_eq!(self.len(), other.len(), "DAG sizes differ");
+        let mine: std::collections::HashSet<(usize, usize)> = self.edges().collect();
+        let theirs: std::collections::HashSet<(usize, usize)> = other.edges().collect();
+        mine.symmetric_difference(&theirs).count()
+    }
+}
+
+fn insert_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Ok(pos) = v.binary_search(&x) {
+        v.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let g = diamond();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.parents(3), &[1, 2]);
+        assert_eq!(g.children(0), &[1, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = diamond();
+        assert!(matches!(
+            g.add_edge(3, 0),
+            Err(BayesError::CycleDetected { from: 3, to: 0 })
+        ));
+        assert!(matches!(g.add_edge(1, 1), Err(BayesError::CycleDetected { .. })));
+        // The failed insert must not corrupt the graph.
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = diamond();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected() {
+        let mut g = Dag::new(2);
+        assert!(matches!(g.add_edge(0, 5), Err(BayesError::InvalidNode(5))));
+        assert!(matches!(g.add_edge(7, 0), Err(BayesError::InvalidNode(7))));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for (from, to) in g.edges() {
+            assert!(pos[from] < pos[to], "{from} must precede {to}");
+        }
+    }
+
+    #[test]
+    fn ancestors_of_sink() {
+        let g = diamond();
+        assert_eq!(g.ancestors(3), vec![0, 1, 2]);
+        assert_eq!(g.ancestors(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let mut g = diamond();
+        assert!(g.remove_edge(1, 3));
+        assert!(!g.remove_edge(1, 3));
+        assert_eq!(g.parents(3), &[2]);
+        // Removing the blocking path allows a previously cyclic edge.
+        assert!(g.remove_edge(2, 3));
+        g.add_edge(3, 0).unwrap();
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn roots_listed() {
+        let g = diamond();
+        assert_eq!(g.roots(), vec![0]);
+    }
+
+    #[test]
+    fn edge_difference_counts_symmetric_diff() {
+        let g = diamond();
+        let mut h = Dag::new(4);
+        h.add_edge(0, 1).unwrap();
+        h.add_edge(1, 2).unwrap();
+        // g\h = {(0,2),(1,3),(2,3)}, h\g = {(1,2)} → 4
+        assert_eq!(g.edge_difference(&h), 4);
+        assert_eq!(g.edge_difference(&g), 0);
+    }
+
+    #[test]
+    fn d_separation_chain_fork_collider() {
+        // Chain 0 → 1 → 2.
+        let mut chain = Dag::new(3);
+        chain.add_edge(0, 1).unwrap();
+        chain.add_edge(1, 2).unwrap();
+        assert!(!chain.d_separated(0, 2, &[]));
+        assert!(chain.d_separated(0, 2, &[1]));
+
+        // Fork 1 ← 0 → 2.
+        let mut fork = Dag::new(3);
+        fork.add_edge(0, 1).unwrap();
+        fork.add_edge(0, 2).unwrap();
+        assert!(!fork.d_separated(1, 2, &[]));
+        assert!(fork.d_separated(1, 2, &[0]));
+
+        // Collider 0 → 2 ← 1.
+        let mut coll = Dag::new(3);
+        coll.add_edge(0, 2).unwrap();
+        coll.add_edge(1, 2).unwrap();
+        assert!(coll.d_separated(0, 1, &[]));
+        assert!(!coll.d_separated(0, 1, &[2])); // explaining away
+    }
+
+    #[test]
+    fn d_separation_collider_descendant_activates() {
+        // 0 → 2 ← 1, 2 → 3: conditioning on the collider's descendant
+        // also opens the trail.
+        let mut g = Dag::new(4);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(g.d_separated(0, 1, &[]));
+        assert!(!g.d_separated(0, 1, &[3]));
+    }
+
+    #[test]
+    fn d_separation_on_the_diamond() {
+        let g = diamond(); // 0→1, 0→2, 1→3, 2→3
+        // The two middle nodes are dependent via the fork at 0…
+        assert!(!g.d_separated(1, 2, &[]));
+        // …independent given 0 (the collider at 3 is unobserved)…
+        assert!(g.d_separated(1, 2, &[0]));
+        // …and dependent again when 3 joins the conditioning set.
+        assert!(!g.d_separated(1, 2, &[0, 3]));
+    }
+
+    #[test]
+    fn markov_blanket_contains_coparents() {
+        // 0 → 2 ← 1, 2 → 3: blanket of 0 = {1 (co-parent), 2 (child)}.
+        let mut g = Dag::new(4);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert_eq!(g.markov_blanket(0), vec![1, 2]);
+        assert_eq!(g.markov_blanket(2), vec![0, 1, 3]);
+        assert_eq!(g.markov_blanket(3), vec![2]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reachable(0, 3));
+        assert!(!g.reachable(3, 0));
+        assert!(g.reachable(2, 2));
+    }
+}

@@ -1,0 +1,362 @@
+//! Discrete factors: the working objects of variable elimination.
+//!
+//! A factor is a non-negative table over a sorted scope of discrete
+//! variables. CPDs are converted to factors (including the implicit
+//! deterministic CPD, enumerated over its parent configurations — feasible
+//! for test-bed-sized nets, which is precisely where the paper uses the
+//! discrete model), then multiplied and summed out.
+
+use crate::cpd::{config_count, decode_config, Cpd};
+use crate::{BayesError, Result};
+
+/// A factor over a sorted list of discrete variables.
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// Variable (node) indices in ascending order.
+    vars: Vec<usize>,
+    /// Cardinalities aligned with `vars`.
+    cards: Vec<usize>,
+    /// Values indexed by [`crate::cpd::config_index`] over `vars`.
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Build a factor; `values.len()` must equal the product of `cards` and
+    /// `vars` must be strictly ascending.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, values: Vec<f64>) -> Result<Self> {
+        if vars.len() != cards.len() {
+            return Err(BayesError::InvalidData(format!(
+                "factor: {} vars vs {} cards",
+                vars.len(),
+                cards.len()
+            )));
+        }
+        if vars.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(BayesError::InvalidData(
+                "factor scope must be strictly ascending".into(),
+            ));
+        }
+        if values.len() != config_count(&cards) {
+            return Err(BayesError::InvalidData(format!(
+                "factor: {} values for {} configurations",
+                values.len(),
+                config_count(&cards)
+            )));
+        }
+        Ok(Factor { vars, cards, values })
+    }
+
+    /// The trivial factor (empty scope, single value 1).
+    pub fn unit() -> Self {
+        Factor {
+            vars: Vec::new(),
+            cards: Vec::new(),
+            values: vec![1.0],
+        }
+    }
+
+    /// Scope (ascending node indices).
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Cardinalities aligned with the scope.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Convert a CPD into a factor over `{parents ∪ child}`.
+    ///
+    /// `cards[i]` must give the cardinality of node `i`. For tabular CPDs
+    /// this is a re-indexing; for deterministic CPDs the function is
+    /// *enumerated* over all parent configurations — exponential in the
+    /// parent count, so only sensible for small networks (documented
+    /// limitation; the continuous path avoids it entirely).
+    pub fn from_cpd(cpd: &Cpd, cards: &[usize]) -> Result<Self> {
+        let child = cpd.child();
+        let parents = cpd.parents();
+        // Scope = sorted(parents + child). Parents are already sorted.
+        let mut vars: Vec<usize> = parents.to_vec();
+        let child_pos = vars.binary_search(&child).unwrap_err();
+        vars.insert(child_pos, child);
+        let scope_cards: Vec<usize> = vars
+            .iter()
+            .map(|&v| {
+                cards
+                    .get(v)
+                    .copied()
+                    .filter(|&c| c > 0)
+                    .ok_or(BayesError::InvalidNode(v))
+            })
+            .collect::<Result<_>>()?;
+
+        let total = config_count(&scope_cards);
+        let mut values = vec![0.0; total];
+        let mut scope_states = vec![0usize; vars.len()];
+        let mut parent_vals = vec![0.0; parents.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &scope_cards, &mut scope_states);
+            // Split scope states into parent values and the child state.
+            let mut pi = 0;
+            let mut child_state = 0usize;
+            for (pos, &v) in vars.iter().enumerate() {
+                if v == child {
+                    child_state = scope_states[pos];
+                } else {
+                    parent_vals[pi] = scope_states[pos] as f64;
+                    pi += 1;
+                }
+            }
+            *value = cpd.log_prob(child_state as f64, &parent_vals).exp();
+        }
+        Factor::new(vars, scope_cards, values)
+    }
+
+    /// Product of two factors over the union of their scopes.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Merge scopes.
+        let mut vars: Vec<usize> = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards: Vec<usize> = Vec::new();
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < self.vars.len() || j < other.vars.len() {
+                let take_left = match (self.vars.get(i), other.vars.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a == b {
+                            vars.push(a);
+                            cards.push(self.cards[i]);
+                            i += 1;
+                            j += 1;
+                            continue;
+                        }
+                        a < b
+                    }
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_left {
+                    vars.push(self.vars[i]);
+                    cards.push(self.cards[i]);
+                    i += 1;
+                } else {
+                    vars.push(other.vars[j]);
+                    cards.push(other.cards[j]);
+                    j += 1;
+                }
+            }
+        }
+        // Map each scope position to positions in the operands.
+        let map_a: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| self.vars.binary_search(v).ok())
+            .collect();
+        let map_b: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| other.vars.binary_search(v).ok())
+            .collect();
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut sa = vec![0usize; self.vars.len()];
+        let mut sb = vec![0usize; other.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            for (pos, &m) in map_a.iter().enumerate() {
+                if let Some(p) = m {
+                    sa[p] = states[pos];
+                }
+            }
+            for (pos, &m) in map_b.iter().enumerate() {
+                if let Some(p) = m {
+                    sb[p] = states[pos];
+                }
+            }
+            *value = self.values[crate::cpd::config_index(&sa, &self.cards)]
+                * other.values[crate::cpd::config_index(&sb, &other.cards)];
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Sum out (marginalize away) a variable. No-op if it is not in scope.
+    pub fn sum_out(&self, var: usize) -> Factor {
+        let Some(pos) = self.vars.binary_search(&var).ok() else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        let removed_card = cards.remove(pos);
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut full = vec![0usize; self.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            // Rebuild the full configuration with `var` sweeping its states.
+            for s in 0..removed_card {
+                for (fpos, f) in full.iter_mut().enumerate() {
+                    *f = match fpos.cmp(&pos) {
+                        std::cmp::Ordering::Less => states[fpos],
+                        std::cmp::Ordering::Equal => s,
+                        std::cmp::Ordering::Greater => states[fpos - 1],
+                    };
+                }
+                *value += self.values[crate::cpd::config_index(&full, &self.cards)];
+            }
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Restrict (reduce) the factor to `var = state`, removing it from scope.
+    /// No-op if the variable is not in scope.
+    pub fn reduce(&self, var: usize, state: usize) -> Factor {
+        let Some(pos) = self.vars.binary_search(&var).ok() else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut full = vec![0usize; self.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            for (fpos, f) in full.iter_mut().enumerate() {
+                *f = match fpos.cmp(&pos) {
+                    std::cmp::Ordering::Less => states[fpos],
+                    std::cmp::Ordering::Equal => state,
+                    std::cmp::Ordering::Greater => states[fpos - 1],
+                };
+            }
+            *value = self.values[crate::cpd::config_index(&full, &self.cards)];
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Normalize to sum 1 (returns the normalization constant; a zero sum
+    /// leaves the factor unchanged and returns 0).
+    pub fn normalize(&mut self) -> f64 {
+        let z: f64 = self.values.iter().sum();
+        if z > 0.0 {
+            for v in &mut self.values {
+                *v /= z;
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::TabularCpd;
+
+    fn f_ab() -> Factor {
+        // φ(A, B) over binary A=0, B=1.
+        Factor::new(vec![0, 1], vec![2, 2], vec![0.1, 0.2, 0.3, 0.4]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Factor::new(vec![1, 0], vec![2, 2], vec![0.0; 4]).is_err());
+        assert!(Factor::new(vec![0], vec![2], vec![0.0; 3]).is_err());
+        assert!(Factor::new(vec![0], vec![2, 2], vec![0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn product_with_unit_is_identity() {
+        let f = f_ab();
+        let g = f.product(&Factor::unit());
+        assert_eq!(g.vars(), f.vars());
+        assert_eq!(g.values(), f.values());
+    }
+
+    #[test]
+    fn product_over_disjoint_scopes_is_outer_product() {
+        let fa = Factor::new(vec![0], vec![2], vec![0.6, 0.4]).unwrap();
+        let fb = Factor::new(vec![1], vec![2], vec![0.9, 0.1]).unwrap();
+        let p = fa.product(&fb);
+        assert_eq!(p.vars(), &[0, 1]);
+        assert!((p.values()[0] - 0.54).abs() < 1e-12); // A=0,B=0
+        assert!((p.values()[1] - 0.06).abs() < 1e-12); // A=0,B=1
+        assert!((p.values()[2] - 0.36).abs() < 1e-12);
+        assert!((p.values()[3] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_over_shared_scope_multiplies_pointwise() {
+        let f = f_ab();
+        let g = Factor::new(vec![1], vec![2], vec![2.0, 10.0]).unwrap();
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[0, 1]);
+        // (A=0,B=0): 0.1*2; (A=0,B=1): 0.2*10; …
+        assert_eq!(p.values(), &[0.2, 2.0, 0.6, 4.0]);
+    }
+
+    #[test]
+    fn sum_out_marginalizes() {
+        let f = f_ab();
+        let m = f.sum_out(0);
+        assert_eq!(m.vars(), &[1]);
+        assert!((m.values()[0] - 0.4).abs() < 1e-12); // B=0: 0.1+0.3
+        assert!((m.values()[1] - 0.6).abs() < 1e-12); // B=1: 0.2+0.4
+        // Summing out an absent variable is a no-op.
+        let same = f.sum_out(7);
+        assert_eq!(same.values(), f.values());
+    }
+
+    #[test]
+    fn reduce_fixes_evidence() {
+        let f = f_ab();
+        let r = f.reduce(1, 1);
+        assert_eq!(r.vars(), &[0]);
+        assert_eq!(r.values(), &[0.2, 0.4]);
+    }
+
+    #[test]
+    fn normalize_returns_partition_function() {
+        let mut f = f_ab();
+        let z = f.normalize();
+        assert!((z - 1.0).abs() < 1e-12);
+        let s: f64 = f.values().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_cpd_reproduces_the_table() {
+        let cpd = Cpd::Tabular(
+            TabularCpd::new(1, vec![0], 2, vec![2], vec![0.9, 0.1, 0.2, 0.8]).unwrap(),
+        );
+        let f = Factor::from_cpd(&cpd, &[2, 2]).unwrap();
+        assert_eq!(f.vars(), &[0, 1]);
+        // (A=0,B=0) = P(B=0|A=0) = 0.9, etc.
+        assert!((f.values()[0] - 0.9).abs() < 1e-9);
+        assert!((f.values()[1] - 0.1).abs() < 1e-9);
+        assert!((f.values()[2] - 0.2).abs() < 1e-9);
+        assert!((f.values()[3] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_cpd_handles_child_index_below_parents() {
+        // Child 0 with parent 1: scope must still be ascending (0, 1).
+        let cpd = Cpd::Tabular(
+            TabularCpd::new(0, vec![1], 2, vec![2], vec![0.7, 0.3, 0.4, 0.6]).unwrap(),
+        );
+        let f = Factor::from_cpd(&cpd, &[2, 2]).unwrap();
+        assert_eq!(f.vars(), &[0, 1]);
+        // Entry (child=0, parent=0) = 0.7; (child=0, parent=1) = 0.4.
+        assert!((f.values()[0] - 0.7).abs() < 1e-9);
+        assert!((f.values()[1] - 0.4).abs() < 1e-9);
+    }
+}

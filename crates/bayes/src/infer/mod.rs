@@ -1,0 +1,23 @@
+//! Inference: exact (discrete variable elimination) and Monte-Carlo
+//! (likelihood weighting for hybrid/nonlinear networks).
+//!
+//! The paper's two applications map directly:
+//! * **dComp** — posterior of an unobservable service's elapsed time given
+//!   the observable ones (+ response time): a conditional query.
+//! * **pAccel** — posterior of the end-to-end response time given an
+//!   intervention-style observation of one service: the same machinery.
+//!
+//! On discrete networks both are exact via [`ve`]; on continuous networks
+//! with `max` CPDs (which Matlab BNT could not express) they run through
+//! [`sampling`]; on linear continuous networks `crate::joint` conditioning
+//! is exact and cheaper.
+
+pub mod factor;
+pub mod gibbs;
+pub mod sampling;
+pub mod ve;
+
+pub use factor::Factor;
+pub use gibbs::{gibbs_posterior, GibbsOptions};
+pub use sampling::{likelihood_weighting, LwOptions, WeightedSamples};
+pub use ve::{posterior_marginal, posterior_marginal_pruned, Evidence};

@@ -1,0 +1,386 @@
+//! Variable elimination: exact posterior marginals on discrete networks.
+//!
+//! Standard sum-product elimination with a min-degree-style heuristic
+//! (eliminate the variable whose factor product has the smallest scope
+//! first). Exact and fast for the test-bed-scale discrete KERT-BNs of §5;
+//! the continuous experiments never touch this path.
+
+use std::collections::HashMap;
+
+use crate::infer::factor::Factor;
+use crate::network::BayesianNetwork;
+use crate::{BayesError, Result};
+
+/// Evidence: observed node → observed state.
+pub type Evidence = HashMap<usize, usize>;
+
+/// Posterior marginal `P(target | evidence)` as a probability vector over
+/// the target's states.
+pub fn posterior_marginal(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+) -> Result<Vec<f64>> {
+    let n = network.len();
+    if target >= n {
+        return Err(BayesError::InvalidNode(target));
+    }
+    if evidence.contains_key(&target) {
+        // Degenerate but well-defined: a point mass on the observed state.
+        let card = network.variables()[target]
+            .cardinality()
+            .ok_or_else(|| BayesError::InvalidData("target is not discrete".into()))?;
+        let state = evidence[&target];
+        if state >= card {
+            return Err(BayesError::InvalidData(format!(
+                "evidence state {state} out of range for node {target}"
+            )));
+        }
+        let mut v = vec![0.0; card];
+        v[state] = 1.0;
+        return Ok(v);
+    }
+    let cards: Vec<usize> = network
+        .variables()
+        .iter()
+        .map(|v| v.cardinality().unwrap_or(0))
+        .collect();
+    if cards.contains(&0) {
+        return Err(BayesError::InvalidData(
+            "variable elimination requires an all-discrete network".into(),
+        ));
+    }
+    for (&node, &state) in evidence {
+        if node >= n {
+            return Err(BayesError::InvalidNode(node));
+        }
+        if state >= cards[node] {
+            return Err(BayesError::InvalidData(format!(
+                "evidence state {state} out of range for node {node}"
+            )));
+        }
+    }
+
+    // CPDs → factors, with evidence folded in immediately.
+    let mut factors: Vec<Factor> = Vec::with_capacity(n);
+    for cpd in network.cpds() {
+        let mut f = Factor::from_cpd(cpd, &cards)?;
+        for (&node, &state) in evidence {
+            f = f.reduce(node, state);
+        }
+        factors.push(f);
+    }
+
+    // Eliminate every hidden variable except the target.
+    let to_eliminate: Vec<usize> = (0..n)
+        .filter(|i| *i != target && !evidence.contains_key(i))
+        .collect();
+    eliminate_and_normalize(factors, to_eliminate, target)
+}
+
+/// Like [`posterior_marginal`], but first prunes *barren* nodes — nodes
+/// that are neither the target, nor evidence, nor ancestors of either.
+/// Their CPD factors integrate to one and cannot influence the query, so
+/// skipping them shrinks the elimination problem, often drastically
+/// (querying one service's elapsed time given its upstream neighbours
+/// touches only that lineage, not the whole environment).
+///
+/// This realizes the paper's §7 direction of "employing domain knowledge
+/// and decentralization techniques to reduce the cost of probability
+/// assessment *after* the model is constructed": the pruned factor set for
+/// a service-node query is exactly the data its monitoring agent already
+/// holds.
+pub fn posterior_marginal_pruned(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+) -> Result<Vec<f64>> {
+    let n = network.len();
+    if target >= n {
+        return Err(BayesError::InvalidNode(target));
+    }
+    // Relevant set: target + evidence nodes + all their ancestors.
+    let mut relevant = vec![false; n];
+    let mut stack: Vec<usize> = Vec::with_capacity(evidence.len() + 1);
+    stack.push(target);
+    stack.extend(evidence.keys().copied());
+    while let Some(u) = stack.pop() {
+        if u >= n {
+            return Err(BayesError::InvalidNode(u));
+        }
+        if relevant[u] {
+            continue;
+        }
+        relevant[u] = true;
+        stack.extend_from_slice(network.dag().parents(u));
+    }
+
+    if evidence.contains_key(&target) {
+        return posterior_marginal(network, target, evidence);
+    }
+    let cards: Vec<usize> = network
+        .variables()
+        .iter()
+        .map(|v| v.cardinality().unwrap_or(0))
+        .collect();
+    if (0..n).filter(|&i| relevant[i]).any(|i| cards[i] == 0) {
+        return Err(BayesError::InvalidData(
+            "variable elimination requires an all-discrete network".into(),
+        ));
+    }
+    for (&node, &state) in evidence {
+        if state >= cards[node] {
+            return Err(BayesError::InvalidData(format!(
+                "evidence state {state} out of range for node {node}"
+            )));
+        }
+    }
+
+    // Factors only for relevant families (ancestor-closure guarantees every
+    // parent of a relevant node is relevant, so scopes stay inside the set).
+    let mut factors: Vec<Factor> = Vec::new();
+    for (i, cpd) in network.cpds().iter().enumerate() {
+        if !relevant[i] {
+            continue;
+        }
+        let mut f = Factor::from_cpd(cpd, &cards)?;
+        for (&node, &state) in evidence {
+            f = f.reduce(node, state);
+        }
+        factors.push(f);
+    }
+    let to_eliminate: Vec<usize> = (0..n)
+        .filter(|&i| relevant[i] && i != target && !evidence.contains_key(&i))
+        .collect();
+    eliminate_and_normalize(factors, to_eliminate, target)
+}
+
+/// Shared tail of the elimination algorithms: greedy min-scope ordering,
+/// multiply-and-sum-out, final normalization.
+fn eliminate_and_normalize(
+    mut factors: Vec<Factor>,
+    mut to_eliminate: Vec<usize>,
+    target: usize,
+) -> Result<Vec<f64>> {
+    while !to_eliminate.is_empty() {
+        let (pick_pos, _) = to_eliminate
+            .iter()
+            .enumerate()
+            .map(|(pos, &var)| {
+                let mut scope: Vec<usize> = Vec::new();
+                for f in factors.iter().filter(|f| f.vars().contains(&var)) {
+                    scope.extend_from_slice(f.vars());
+                }
+                scope.sort_unstable();
+                scope.dedup();
+                (pos, scope.len())
+            })
+            .min_by_key(|&(_, size)| size)
+            .expect("to_eliminate is non-empty");
+        let var = to_eliminate.swap_remove(pick_pos);
+
+        let (with_var, without_var): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars().contains(&var));
+        factors = without_var;
+        let mut combined = Factor::unit();
+        for f in with_var {
+            combined = combined.product(&f);
+        }
+        factors.push(combined.sum_out(var));
+    }
+
+    let mut result = Factor::unit();
+    for f in factors {
+        result = result.product(&f);
+    }
+    let z = result.normalize();
+    if z <= 0.0 {
+        return Err(BayesError::Numerical(
+            "evidence has zero probability under the model".into(),
+        ));
+    }
+    if result.vars() != [target] {
+        return Err(BayesError::Numerical(format!(
+            "elimination left scope {:?}, expected [{target}]",
+            result.vars()
+        )));
+    }
+    Ok(result.values().to_vec())
+}
+
+/// Posterior mean of a discrete node under a state-value map (e.g. bin
+/// midpoints) — convenience for dComp/pAccel style summaries.
+pub fn posterior_mean(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+    state_values: &[f64],
+) -> Result<f64> {
+    let probs = posterior_marginal(network, target, evidence)?;
+    if probs.len() != state_values.len() {
+        return Err(BayesError::InvalidData(format!(
+            "{} states but {} state values",
+            probs.len(),
+            state_values.len()
+        )));
+    }
+    Ok(probs
+        .iter()
+        .zip(state_values.iter())
+        .map(|(&p, &v)| p * v)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::{Cpd, TabularCpd};
+    use crate::graph::Dag;
+    use crate::variable::Variable;
+
+    /// The classic sprinkler network: Cloudy → Sprinkler, Cloudy → Rain,
+    /// (Sprinkler, Rain) → WetGrass. Known exact posteriors make it the
+    /// canonical correctness check.
+    fn sprinkler() -> BayesianNetwork {
+        let vars = vec![
+            Variable::discrete("cloudy", 2),
+            Variable::discrete("sprinkler", 2),
+            Variable::discrete("rain", 2),
+            Variable::discrete("wet", 2),
+        ];
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let cpds = vec![
+            Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap()),
+            // P(S|C): C=0 → (0.5, 0.5); C=1 → (0.9, 0.1)
+            Cpd::Tabular(
+                TabularCpd::new(1, vec![0], 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap(),
+            ),
+            // P(R|C): C=0 → (0.8, 0.2); C=1 → (0.2, 0.8)
+            Cpd::Tabular(
+                TabularCpd::new(2, vec![0], 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap(),
+            ),
+            // P(W|S,R): rows ordered (S,R) = (0,0),(0,1),(1,0),(1,1)
+            Cpd::Tabular(
+                TabularCpd::new(
+                    3,
+                    vec![1, 2],
+                    2,
+                    vec![2, 2],
+                    vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+                )
+                .unwrap(),
+            ),
+        ];
+        BayesianNetwork::new(vars, dag, cpds).unwrap()
+    }
+
+    #[test]
+    fn prior_marginal_matches_enumeration() {
+        let bn = sprinkler();
+        // P(R=1) = 0.5·0.2 + 0.5·0.8 = 0.5.
+        let p = posterior_marginal(&bn, 2, &Evidence::new()).unwrap();
+        assert!((p[1] - 0.5).abs() < 1e-9, "{p:?}");
+        // P(S=1) = 0.5·0.5 + 0.5·0.1 = 0.3.
+        let ps = posterior_marginal(&bn, 1, &Evidence::new()).unwrap();
+        assert!((ps[1] - 0.3).abs() < 1e-9, "{ps:?}");
+    }
+
+    #[test]
+    fn sprinkler_posterior_given_wet_grass() {
+        // Classic result: P(S=1 | W=1) ≈ 0.4298, P(R=1 | W=1) ≈ 0.7079.
+        let bn = sprinkler();
+        let mut ev = Evidence::new();
+        ev.insert(3, 1);
+        let ps = posterior_marginal(&bn, 1, &ev).unwrap();
+        assert!((ps[1] - 0.4298).abs() < 1e-3, "{ps:?}");
+        let pr = posterior_marginal(&bn, 2, &ev).unwrap();
+        assert!((pr[1] - 0.7079).abs() < 1e-3, "{pr:?}");
+    }
+
+    #[test]
+    fn explaining_away() {
+        // Observing rain lowers the sprinkler posterior.
+        let bn = sprinkler();
+        let mut wet = Evidence::new();
+        wet.insert(3, 1);
+        let p_s_wet = posterior_marginal(&bn, 1, &wet).unwrap()[1];
+        wet.insert(2, 1);
+        let p_s_wet_rain = posterior_marginal(&bn, 1, &wet).unwrap()[1];
+        assert!(p_s_wet_rain < p_s_wet, "{p_s_wet_rain} !< {p_s_wet}");
+    }
+
+    #[test]
+    fn evidence_on_target_is_a_point_mass() {
+        let bn = sprinkler();
+        let mut ev = Evidence::new();
+        ev.insert(2, 1);
+        let p = posterior_marginal(&bn, 2, &ev).unwrap();
+        assert_eq!(p, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn invalid_evidence_is_reported() {
+        let bn = sprinkler();
+        let mut ev = Evidence::new();
+        ev.insert(2, 9);
+        assert!(posterior_marginal(&bn, 3, &ev).is_err());
+        let mut ev2 = Evidence::new();
+        ev2.insert(99, 0);
+        assert!(posterior_marginal(&bn, 3, &ev2).is_err());
+        assert!(posterior_marginal(&bn, 99, &Evidence::new()).is_err());
+    }
+
+    #[test]
+    fn posterior_mean_uses_state_values() {
+        let bn = sprinkler();
+        let p = posterior_marginal(&bn, 2, &Evidence::new()).unwrap();
+        let mean =
+            posterior_mean(&bn, 2, &Evidence::new(), &[10.0, 30.0]).unwrap();
+        assert!((mean - (p[0] * 10.0 + p[1] * 30.0)).abs() < 1e-12);
+        assert!(posterior_mean(&bn, 2, &Evidence::new(), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn pruned_marginals_equal_full_marginals() {
+        let bn = sprinkler();
+        // Query rain given cloudy: sprinkler and wet-grass are barren.
+        let mut ev = Evidence::new();
+        ev.insert(0, 1);
+        let full = posterior_marginal(&bn, 2, &ev).unwrap();
+        let pruned = posterior_marginal_pruned(&bn, 2, &ev).unwrap();
+        for (a, b) in full.iter().zip(pruned.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // With downstream evidence nothing can be pruned; results still agree.
+        let mut ev2 = Evidence::new();
+        ev2.insert(3, 1);
+        let full2 = posterior_marginal(&bn, 1, &ev2).unwrap();
+        let pruned2 = posterior_marginal_pruned(&bn, 1, &ev2).unwrap();
+        for (a, b) in full2.iter().zip(pruned2.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruned_query_on_root_ignores_descendants() {
+        // P(cloudy) with no evidence: the pruned run touches a single
+        // factor; both must give the prior 0.5.
+        let bn = sprinkler();
+        let p = posterior_marginal_pruned(&bn, 0, &Evidence::new()).unwrap();
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let bn = sprinkler();
+        for target in 0..4 {
+            let p = posterior_marginal(&bn, target, &Evidence::new()).unwrap();
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Exact joint-Gaussian reduction of linear networks.
+//!
+//! A network whose every CPD is linear-Gaussian — including deterministic
+//! CPDs whose expression is linear (pure-sequence workflows) treated as
+//! linear-Gaussian with the noise σ — defines a joint multivariate normal.
+//! Walking nodes in topological order:
+//!
+//! ```text
+//! μᵢ          = b₀ + Σₖ bₖ·μ_{pa(k)}
+//! Cov(Xᵢ,Xⱼ)  = Σₖ bₖ·Cov(X_{pa(k)}, Xⱼ)        for already-placed j ≠ i
+//! Var(Xᵢ)     = σᵢ² + Σₖ bₖ·Cov(X_{pa(k)}, Xᵢ)
+//! ```
+//!
+//! The resulting [`MultivariateNormal`] powers exact dComp/pAccel posteriors
+//! on linear continuous KERT-BNs (conditioning is a Schur complement).
+
+use kert_linalg::{Matrix, MultivariateNormal};
+
+use crate::cpd::{Cpd, DetNoise};
+use crate::network::BayesianNetwork;
+use crate::{BayesError, Result};
+
+/// Linear-Gaussian view of one CPD: `(intercept, coeffs over parents, variance)`.
+fn linear_view(cpd: &Cpd) -> Result<(f64, Vec<f64>, f64)> {
+    match cpd {
+        Cpd::LinearGaussian(lg) => Ok((lg.intercept(), lg.coeffs().to_vec(), lg.variance())),
+        Cpd::Deterministic(det) => match det.noise() {
+            DetNoise::Gaussian { sigma } => {
+                let n_parents = det.parents().len();
+                let (b0, coeffs) = det
+                    .local_expr()
+                    .linear_coefficients(n_parents)
+                    .map_err(|_| {
+                        BayesError::InvalidCpd(
+                            "deterministic CPD with max cannot be reduced to a joint \
+                             Gaussian; use Monte-Carlo inference instead"
+                                .into(),
+                        )
+                    })?;
+                Ok((b0, coeffs, (sigma * sigma).max(1e-12)))
+            }
+            DetNoise::Discrete { .. } => Err(BayesError::InvalidCpd(
+                "discrete deterministic CPD in a Gaussian reduction".into(),
+            )),
+        },
+        Cpd::Tabular(_) => Err(BayesError::InvalidCpd(
+            "tabular CPD in a Gaussian reduction".into(),
+        )),
+    }
+}
+
+/// True if every CPD of the network admits a linear-Gaussian view.
+pub fn is_linear_gaussian(network: &BayesianNetwork) -> bool {
+    network.cpds().iter().all(|c| linear_view(c).is_ok())
+}
+
+/// Reduce a linear-Gaussian network to its joint distribution over all
+/// nodes (component `i` of the result = node `i`).
+pub fn to_joint_gaussian(network: &BayesianNetwork) -> Result<MultivariateNormal> {
+    let n = network.len();
+    let mut mean = vec![0.0; n];
+    let mut cov = Matrix::zeros(n, n);
+    // Nodes processed so far (by topological order); covariance entries
+    // outside this set are still zero and must not be read.
+    for &i in network.topological_order() {
+        let (b0, coeffs, var) = linear_view(network.cpd(i))?;
+        let parents = network.cpd(i).parents();
+
+        // Mean.
+        mean[i] = b0
+            + coeffs
+                .iter()
+                .zip(parents.iter())
+                .map(|(&b, &p)| b * mean[p])
+                .sum::<f64>();
+
+        // Cross-covariances with every node (parents are already placed;
+        // unplaced nodes contribute zeros, which get overwritten when their
+        // turn comes).
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let c: f64 = coeffs
+                .iter()
+                .zip(parents.iter())
+                .map(|(&b, &p)| b * cov.get(p, j))
+                .sum();
+            cov.set(i, j, c);
+            cov.set(j, i, c);
+        }
+
+        // Variance.
+        let v: f64 = var
+            + coeffs
+                .iter()
+                .zip(parents.iter())
+                .map(|(&b, &p)| b * cov.get(p, i))
+                .sum::<f64>();
+        cov.set(i, i, v);
+    }
+    MultivariateNormal::new(mean, cov).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::{DeterministicCpd, LinearGaussianCpd};
+    use crate::expr::Expr;
+    use crate::graph::Dag;
+    use crate::variable::Variable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// X0 ~ N(1, 2); X1 ~ N(3·X0 + 0.5, 1); D = X0 + X1 (+tiny noise).
+    fn linear_net() -> BayesianNetwork {
+        let vars = vec![
+            Variable::continuous("X0"),
+            Variable::continuous("X1"),
+            Variable::continuous("D"),
+        ];
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        let det = DeterministicCpd::from_network_expr(
+            2,
+            &Expr::Add(vec![Expr::Var(0), Expr::Var(1)]),
+            DetNoise::Gaussian { sigma: 1e-4 },
+        )
+        .unwrap();
+        let cpds = vec![
+            Cpd::LinearGaussian(LinearGaussianCpd::root(0, 1.0, 2.0)),
+            Cpd::LinearGaussian(LinearGaussianCpd::new(1, vec![0], 0.5, vec![3.0], 1.0).unwrap()),
+            Cpd::Deterministic(det),
+        ];
+        BayesianNetwork::new(vars, dag, cpds).unwrap()
+    }
+
+    #[test]
+    fn joint_moments_match_hand_computation() {
+        let bn = linear_net();
+        let mvn = to_joint_gaussian(&bn).unwrap();
+        // μ0 = 1, μ1 = 3·1 + 0.5 = 3.5, μD = 4.5.
+        assert!((mvn.mean()[0] - 1.0).abs() < 1e-9);
+        assert!((mvn.mean()[1] - 3.5).abs() < 1e-9);
+        assert!((mvn.mean()[2] - 4.5).abs() < 1e-9);
+        // Var0 = 2; Cov01 = 3·2 = 6; Var1 = 1 + 3·6 = 19;
+        // CovD0 = 2 + 6 = 8; CovD1 = 6 + 19 = 25; VarD ≈ 2 + 6 + 6 + 19 = 33.
+        assert!((mvn.cov().get(0, 0) - 2.0).abs() < 1e-9);
+        assert!((mvn.cov().get(0, 1) - 6.0).abs() < 1e-9);
+        assert!((mvn.cov().get(1, 1) - 19.0).abs() < 1e-9);
+        assert!((mvn.cov().get(2, 0) - 8.0).abs() < 1e-9);
+        assert!((mvn.cov().get(2, 1) - 25.0).abs() < 1e-9);
+        assert!((mvn.cov().get(2, 2) - 33.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_matches_monte_carlo_moments() {
+        let bn = linear_net();
+        let mvn = to_joint_gaussian(&bn).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let ds = bn.sample_dataset(&mut rng, 100_000);
+        for i in 0..3 {
+            let col = ds.column(i);
+            let m = kert_linalg::stats::mean(&col);
+            let v = kert_linalg::stats::variance(&col);
+            assert!(
+                (m - mvn.mean()[i]).abs() < 0.05 * (1.0 + mvn.mean()[i].abs()),
+                "node {i}: mean {m} vs {}",
+                mvn.mean()[i]
+            );
+            assert!(
+                (v - mvn.cov().get(i, i)).abs() < 0.05 * (1.0 + mvn.cov().get(i, i)),
+                "node {i}: var {v} vs {}",
+                mvn.cov().get(i, i)
+            );
+        }
+    }
+
+    #[test]
+    fn max_expression_is_rejected_with_guidance() {
+        let vars = vec![
+            Variable::continuous("a"),
+            Variable::continuous("b"),
+            Variable::continuous("d"),
+        ];
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        let det = DeterministicCpd::from_network_expr(
+            2,
+            &Expr::Max(vec![Expr::Var(0), Expr::Var(1)]),
+            DetNoise::Gaussian { sigma: 0.1 },
+        )
+        .unwrap();
+        let bn = BayesianNetwork::new(
+            vars,
+            dag,
+            vec![
+                Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.0, 1.0)),
+                Cpd::LinearGaussian(LinearGaussianCpd::root(1, 0.0, 1.0)),
+                Cpd::Deterministic(det),
+            ],
+        )
+        .unwrap();
+        assert!(!is_linear_gaussian(&bn));
+        assert!(to_joint_gaussian(&bn).is_err());
+    }
+
+    #[test]
+    fn is_linear_gaussian_detects_linear_nets() {
+        assert!(is_linear_gaussian(&linear_net()));
+    }
+}

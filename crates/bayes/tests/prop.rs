@@ -1,0 +1,188 @@
+//! Property-based tests for the Bayesian-network engine.
+
+#![allow(clippy::needless_range_loop)] // index loops over coupled structures
+
+use kert_bayes::cpd::{config_count, config_index, decode_config, Cpd, TabularCpd};
+use kert_bayes::infer::factor::Factor;
+use kert_bayes::infer::ve::{posterior_marginal, Evidence};
+use kert_bayes::learn::mle::{fit_tabular, ParamOptions};
+use kert_bayes::{BayesianNetwork, Dag, Dataset, Expr, Variable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a normalized probability row of length `n`.
+fn prob_row(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, n).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= s;
+        }
+        v
+    })
+}
+
+/// Strategy: a random expression over up to `n_vars` variables, depth ≤ 3.
+fn expr(n_vars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..n_vars).prop_map(Expr::Var),
+        (-3.0f64..3.0).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Expr::Add),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Expr::Max),
+            proptest::collection::vec((0.1f64..2.0, inner), 1..4).prop_map(Expr::Weighted),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn config_index_is_a_bijection(
+        cards in proptest::collection::vec(2usize..5, 1..4),
+    ) {
+        let total = config_count(&cards);
+        let mut seen = vec![false; total];
+        let mut states = vec![0usize; cards.len()];
+        for idx in 0..total {
+            decode_config(idx, &cards, &mut states);
+            let back = config_index(&states, &cards);
+            prop_assert_eq!(back, idx);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn cpt_rows_always_normalize(
+        rows in proptest::collection::vec(prob_row(3), 4),
+    ) {
+        let table: Vec<f64> = rows.into_iter().flatten().collect();
+        let cpt = TabularCpd::new(1, vec![0], 3, vec![4], table).unwrap();
+        for j in 0..4 {
+            let s: f64 = (0..3).map(|k| cpt.prob(k, &[j])).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn learned_cpt_reproduces_sample_frequencies(
+        states in proptest::collection::vec((0usize..2, 0usize..3), 30..120),
+    ) {
+        let rows: Vec<Vec<f64>> = states
+            .iter()
+            .map(|&(p, c)| vec![p as f64, c as f64])
+            .collect();
+        let data = Dataset::from_rows(vec!["p".into(), "c".into()], rows).unwrap();
+        let cpt = fit_tabular(1, &[0], &data, &[2, 3], ParamOptions { dirichlet_alpha: 0.0 })
+            .unwrap();
+        for p in 0..2usize {
+            let total = states.iter().filter(|&&(pp, _)| pp == p).count();
+            if total == 0 { continue; }
+            for c in 0..3usize {
+                let count = states.iter().filter(|&&(pp, cc)| pp == p && cc == c).count();
+                let expect = count as f64 / total as f64;
+                prop_assert!((cpt.prob(c, &[p]) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_product_is_commutative(
+        va in prob_row(4),
+        vb in prob_row(2),
+    ) {
+        let fa = Factor::new(vec![0, 1], vec![2, 2], va).unwrap();
+        let fb = Factor::new(vec![1], vec![2], vb).unwrap();
+        let ab = fa.product(&fb);
+        let ba = fb.product(&fa);
+        prop_assert_eq!(ab.vars(), ba.vars());
+        for (x, y) in ab.values().iter().zip(ba.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_out_order_does_not_matter(values in prob_row(8)) {
+        let f = Factor::new(vec![0, 1, 2], vec![2, 2, 2], values).unwrap();
+        let a = f.sum_out(0).sum_out(2);
+        let b = f.sum_out(2).sum_out(0);
+        prop_assert_eq!(a.vars(), b.vars());
+        for (x, y) in a.values().iter().zip(b.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginalization_preserves_total_mass(values in prob_row(12)) {
+        let f = Factor::new(vec![0, 1], vec![3, 4], values).unwrap();
+        let total: f64 = f.values().iter().sum();
+        let m = f.sum_out(1);
+        let total_m: f64 = m.values().iter().sum();
+        prop_assert!((total - total_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_expressions_match_their_coefficient_form(
+        e in expr(4),
+        point in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        if let Ok((b0, coeffs)) = e.linear_coefficients(4) {
+            let direct = e.eval(&point);
+            let linear: f64 = b0
+                + coeffs.iter().zip(point.iter()).map(|(c, x)| c * x).sum::<f64>();
+            prop_assert!(
+                (direct - linear).abs() < 1e-9 * (1.0 + direct.abs()),
+                "{direct} vs {linear}"
+            );
+        }
+    }
+
+    #[test]
+    fn expr_eval_is_monotone_in_each_variable_for_positive_weights(
+        e in expr(3),
+        point in proptest::collection::vec(0.0f64..5.0, 3),
+        bump in 0.01f64..2.0,
+        which in 0usize..3,
+    ) {
+        // Add/Max/positive-Weighted expressions are monotone nondecreasing
+        // in every variable — the property that makes "faster service ⇒
+        // no worse response time" sound.
+        let base = e.eval(&point);
+        let mut bumped = point.clone();
+        bumped[which] += bump;
+        prop_assert!(e.eval(&bumped) >= base - 1e-12);
+    }
+
+    #[test]
+    fn ve_marginals_match_sampling_frequencies(
+        p_root in 0.1f64..0.9,
+        p_match in 0.55f64..0.95,
+        seed in 0u64..1_000,
+    ) {
+        // Two-node chain with parametric CPTs: exact VE vs 40k samples.
+        let vars = vec![Variable::discrete("a", 2), Variable::discrete("b", 2)];
+        let mut dag = Dag::new(2);
+        dag.add_edge(0, 1).unwrap();
+        let cpds = vec![
+            Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![1.0 - p_root, p_root]).unwrap()),
+            Cpd::Tabular(TabularCpd::new(
+                1,
+                vec![0],
+                2,
+                vec![2],
+                vec![p_match, 1.0 - p_match, 1.0 - p_match, p_match],
+            ).unwrap()),
+        ];
+        let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();
+        let exact = posterior_marginal(&bn, 1, &Evidence::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40_000;
+        let ones = (0..n).filter(|_| bn.sample_row(&mut rng)[1] == 1.0).count();
+        let freq = ones as f64 / n as f64;
+        prop_assert!((freq - exact[1]).abs() < 0.02, "{freq} vs {}", exact[1]);
+    }
+}

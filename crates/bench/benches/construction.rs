@@ -1,0 +1,73 @@
+//! Criterion benchmarks behind Figures 3–4: model-construction cost.
+//!
+//! `construction/kert/*` vs `construction/nrt/*` measure the full build
+//! (structure + parameters) of both model families over training size
+//! (Figure 3's x-axis) and environment size (Figure 4's x-axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_core::{ContinuousKertOptions, KertBn, NrtBn, NrtOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_training_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_construction_vs_train_size");
+    group.sample_size(10);
+    for &train_size in &[36usize, 216, 1080] {
+        let mut env = Environment::random(30, ScenarioOptions::default(), 1);
+        let (train, _) = env.datasets(train_size, 1, 2);
+        group.bench_with_input(
+            BenchmarkId::new("kert", train_size),
+            &train,
+            |b, train| {
+                b.iter(|| {
+                    KertBn::build_continuous(
+                        &env.knowledge,
+                        black_box(train),
+                        ContinuousKertOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("nrt", train_size), &train, |b, train| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                NrtBn::build_continuous(black_box(train), NrtOptions::default(), &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_environment_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_construction_vs_services");
+    group.sample_size(10);
+    for &n in &[10usize, 30, 60] {
+        let mut env = Environment::random(n, ScenarioOptions::default(), 7);
+        let (train, _) = env.datasets(36, 1, 8);
+        group.bench_with_input(BenchmarkId::new("kert", n), &train, |b, train| {
+            b.iter(|| {
+                KertBn::build_continuous(
+                    &env.knowledge,
+                    black_box(train),
+                    ContinuousKertOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nrt", n), &train, |b, train| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                NrtBn::build_continuous(black_box(train), NrtOptions::default(), &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_size_sweep, bench_environment_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion benchmarks behind Figures 6–8: the inference machinery that
+//! dComp, pAccel and the violation sweep run on.
+//!
+//! * `ve_posterior` — exact variable elimination on the discrete eDiaMoND
+//!   KERT-BN (the §5 path used by all three figures);
+//! * `gaussian_conditioning` — exact joint-Gaussian conditioning on a
+//!   linear continuous network;
+//! * `likelihood_weighting` — the Monte-Carlo fallback for nonlinear
+//!   continuous networks (the capability BNT lacked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_core::posterior::{query_posterior, McOptions};
+use kert_core::{ContinuousKertOptions, DiscreteKertOptions, KertBn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_8_inference");
+    group.sample_size(10);
+
+    // Discrete eDiaMoND model (Figures 6–8).
+    let mut env = Environment::ediamond(ScenarioOptions::default());
+    let (train, _) = env.datasets(1200, 1, 1);
+    let discrete =
+        KertBn::build_discrete(&env.knowledge, &train, DiscreteKertOptions::default()).unwrap();
+    let x4_mean = kert_linalg::stats::mean(&train.column(3));
+    group.bench_function("ve_posterior_dcomp_query", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let observed: Vec<(usize, f64)> = (0..7)
+            .filter(|&c| c != 3)
+            .map(|c| (c, kert_linalg::stats::mean(&train.column(c))))
+            .collect();
+        b.iter(|| {
+            query_posterior(
+                discrete.network(),
+                discrete.discretizer(),
+                black_box(&observed),
+                3,
+                McOptions::default(),
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("ve_posterior_paccel_query", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            query_posterior(
+                discrete.network(),
+                discrete.discretizer(),
+                black_box(&[(3usize, 0.9 * x4_mean)]),
+                6,
+                McOptions::default(),
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    // Continuous models: a linear chain (exact conditioning) and the
+    // max-bearing eDiaMoND network (likelihood weighting).
+    let mut lin_env = Environment::random(
+        12,
+        ScenarioOptions {
+            gen: kert_workflow::GenOptions {
+                parallel_prob: 0.0,
+                choice_prob: 0.0,
+                loop_prob: 0.0,
+                max_branches: 4,
+            },
+            ..Default::default()
+        },
+        4,
+    );
+    let (lin_train, _) = lin_env.datasets(400, 1, 5);
+    let linear =
+        KertBn::build_continuous(&lin_env.knowledge, &lin_train, ContinuousKertOptions::default())
+            .unwrap();
+    group.bench_function("gaussian_conditioning", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let obs = [(0usize, 0.05)];
+        b.iter(|| {
+            query_posterior(
+                linear.network(),
+                None,
+                black_box(&obs),
+                linear.d_node(),
+                McOptions::default(),
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    let cont =
+        KertBn::build_continuous(&env.knowledge, &train, ContinuousKertOptions::default())
+            .unwrap();
+    group.bench_function("likelihood_weighting_20k", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let obs = [(3usize, 0.9 * x4_mean)];
+        b.iter(|| {
+            query_posterior(
+                cont.network(),
+                None,
+                black_box(&obs),
+                cont.d_node(),
+                McOptions { samples: 20_000 },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

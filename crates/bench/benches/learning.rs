@@ -1,0 +1,66 @@
+//! Criterion benchmarks behind Figure 5: decentralized vs centralized
+//! parameter learning.
+//!
+//! `learning/decentralized/*` runs the crossbeam agent-fleet pool;
+//! `learning/centralized/*` the sequential reference. The figure itself
+//! reports max-vs-sum of per-node times; these benches measure the actual
+//! wall cost of both code paths on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kert_agents::runtime::{
+    centralized_learn, decentralized_learn, slice_local_datasets, LearnOptions,
+};
+use kert_bayes::{Dag, Variable};
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use std::hint::black_box;
+
+fn setup(n: usize, rows: usize, seed: u64) -> (Vec<Variable>, Vec<kert_agents::LocalDataset>) {
+    let mut env = Environment::random(n, ScenarioOptions::default(), seed);
+    let (train, _) = env.datasets(rows, 1, seed ^ 1);
+    let service_data = train.project(&(0..n).collect::<Vec<_>>()).unwrap();
+    let mut dag = Dag::new(n);
+    for &(a, b) in &env.knowledge.upstream_edges {
+        dag.add_edge(a, b).unwrap();
+    }
+    let variables: Vec<Variable> = (0..n)
+        .map(|i| Variable::continuous(format!("X{}", i + 1)))
+        .collect();
+    let locals = slice_local_datasets(&dag, &service_data).unwrap();
+    (variables, locals)
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_parameter_learning");
+    group.sample_size(10);
+    for &n in &[10usize, 40, 100] {
+        let (variables, locals) = setup(n, 1080, 21);
+        group.bench_with_input(
+            BenchmarkId::new("centralized", n),
+            &(&variables, &locals),
+            |b, (vars, locals)| {
+                b.iter(|| {
+                    centralized_learn(black_box(vars), black_box(locals), LearnOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decentralized_pool", n),
+            &(&variables, &locals),
+            |b, (vars, locals)| {
+                b.iter(|| {
+                    decentralized_learn(
+                        black_box(vars),
+                        black_box(locals),
+                        LearnOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerate Figure 4: KERT-BN vs NRT-BN over environment size
+//! (10–100 services, 36 training points, continuous models).
+//!
+//! Usage: `cargo run --release -p kert-bench --bin fig4`
+//! `KERT_REPS` overrides repetitions (paper: 10); `KERT_MAX_N` caps the
+//! largest environment for quick passes.
+
+use kert_bench::{dump_json, env_usize, fig4, table};
+
+fn main() {
+    let reps = env_usize("KERT_REPS", 10);
+    let max_n = env_usize("KERT_MAX_N", 100);
+    let counts: Vec<usize> = fig4::SERVICE_COUNTS
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    eprintln!(
+        "Figure 4: environment sizes {counts:?}, {} training points, {reps} repetitions…",
+        fig4::TRAIN_SIZE
+    );
+    let points = fig4::run(&counts, reps, 4096);
+
+    println!("\nFigure 4 — construction time and accuracy vs environment size (36 points)");
+    let widths = [10, 12, 12, 14, 14];
+    table::header(
+        &["services", "kert_time", "nrt_time", "kert_log10L", "nrt_log10L"],
+        &widths,
+    );
+    for p in &points {
+        table::row(
+            &[
+                p.n_services.to_string(),
+                table::secs(p.kert_time),
+                table::secs(p.nrt_time),
+                format!("{:.1}", p.kert_accuracy),
+                format!("{:.1}", p.nrt_accuracy),
+            ],
+            &widths,
+        );
+    }
+
+    // §4.2's feasibility observation at T_CON = 2 minutes.
+    let t_con = 120.0;
+    println!(
+        "\nFeasibility at T_CON = 2 min: NRT-BN up to {:?} services, KERT-BN up to {:?}.",
+        fig4::max_feasible_size(&points, t_con, false),
+        fig4::max_feasible_size(&points, t_con, true),
+    );
+    println!(
+        "Shape check (paper): NRT-BN superlinear in services (infeasible beyond ~60 at a \
+         2-minute interval on 2007 hardware); KERT-BN flat; KERT-BN at least as accurate."
+    );
+    dump_json("fig4", &points);
+}

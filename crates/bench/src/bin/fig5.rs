@@ -1,0 +1,45 @@
+//! Regenerate Figure 5: decentralized vs centralized parameter-learning
+//! time over environment size (20 random KERT-BNs per size).
+//!
+//! Usage: `cargo run --release -p kert-bench --bin fig5`
+//! `KERT_MODELS` overrides models per size (paper: 20); `KERT_MAX_N` caps
+//! the environment size sweep.
+
+use kert_bench::{dump_json, env_usize, fig5, table};
+
+fn main() {
+    let models = env_usize("KERT_MODELS", fig5::MODELS_PER_SIZE);
+    let max_n = env_usize("KERT_MAX_N", 100);
+    let train = env_usize("KERT_TRAIN", fig5::TRAIN_SIZE);
+    let counts: Vec<usize> = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    eprintln!(
+        "Figure 5: sizes {counts:?}, {models} random KERT-BNs per size, {train} training points…"
+    );
+    let points = fig5::run(&counts, models, train, 555);
+
+    println!("\nFigure 5 — decentralized vs centralized parameter-learning time");
+    let widths = [10, 16, 16, 10];
+    table::header(
+        &["services", "decentralized", "centralized", "speedup"],
+        &widths,
+    );
+    for p in &points {
+        table::row(
+            &[
+                p.n_services.to_string(),
+                table::secs(p.decentralized_time),
+                table::secs(p.centralized_time),
+                format!("{:.1}x", p.centralized_time / p.decentralized_time.max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nShape check (paper): decentralized constantly below centralized, and the advantage \
+         grows with the number of services (thus the number of CPDs)."
+    );
+    dump_json("fig5", &points);
+}

@@ -1,0 +1,153 @@
+//! Figure 3 — KERT-BN vs NRT-BN over training-set size.
+//!
+//! Paper setting: 30 simulated services; training sets from 36 points
+//! (`K = 3, α = 12`, `T_CON` = 2 min) to 1080 points (`α = 360`, 60 min);
+//! continuous Gaussian models with `l = 0`; accuracy = `log₁₀ p(test)` on
+//! 100 test points; 10 repetitions with fresh data each.
+
+use kert_core::{ContinuousKertOptions, KertBn, NrtBn, NrtOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::scenario::{Environment, ScenarioOptions};
+
+/// Paper parameters for this figure.
+pub const N_SERVICES: usize = 30;
+/// §4.1: accuracy is measured against a test set of 100 data points.
+pub const TEST_ROWS: usize = 100;
+/// The paper's sweep end-points (36 = K·α with α = 12; 1080 with α = 360).
+pub const TRAIN_SIZES: [usize; 7] = [36, 108, 216, 432, 648, 864, 1080];
+
+/// One point of the Figure-3 series (averaged over repetitions).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Point {
+    /// Training-set size (data points).
+    pub train_size: usize,
+    /// Mean KERT-BN construction time (s).
+    pub kert_time: f64,
+    /// Mean NRT-BN construction time (s).
+    pub nrt_time: f64,
+    /// Mean KERT-BN accuracy, `log₁₀ p(test | model)`.
+    pub kert_accuracy: f64,
+    /// Mean NRT-BN accuracy.
+    pub nrt_accuracy: f64,
+    /// Std-dev of KERT-BN accuracy across repetitions (data sensitivity).
+    pub kert_accuracy_sd: f64,
+    /// Std-dev of NRT-BN accuracy across repetitions.
+    pub nrt_accuracy_sd: f64,
+}
+
+/// Run the Figure-3 experiment.
+pub fn run(train_sizes: &[usize], reps: usize, base_seed: u64) -> Vec<Fig3Point> {
+    run_sized(N_SERVICES, train_sizes, reps, base_seed)
+}
+
+/// Parameterized variant (shared with Figure 4, which sweeps `n` instead).
+pub fn run_sized(
+    n_services: usize,
+    train_sizes: &[usize],
+    reps: usize,
+    base_seed: u64,
+) -> Vec<Fig3Point> {
+    assert!(reps >= 1);
+    train_sizes
+        .iter()
+        .map(|&size| {
+            let mut kert_times = Vec::with_capacity(reps);
+            let mut nrt_times = Vec::with_capacity(reps);
+            let mut kert_accs = Vec::with_capacity(reps);
+            let mut nrt_accs = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let seed = base_seed
+                    .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                    .wrapping_add((size * 1_000 + rep) as u64);
+                let (kt, nt, ka, na) = one_rep(n_services, size, seed);
+                kert_times.push(kt);
+                nrt_times.push(nt);
+                kert_accs.push(ka);
+                nrt_accs.push(na);
+            }
+            Fig3Point {
+                train_size: size,
+                kert_time: kert_linalg::stats::mean(&kert_times),
+                nrt_time: kert_linalg::stats::mean(&nrt_times),
+                kert_accuracy: kert_linalg::stats::mean(&kert_accs),
+                nrt_accuracy: kert_linalg::stats::mean(&nrt_accs),
+                kert_accuracy_sd: kert_linalg::stats::std_dev(&kert_accs),
+                nrt_accuracy_sd: kert_linalg::stats::std_dev(&nrt_accs),
+            }
+        })
+        .collect()
+}
+
+/// One repetition: fresh environment and data, both models built and
+/// scored. Returns `(kert_time, nrt_time, kert_acc, nrt_acc)`.
+pub fn one_rep(n_services: usize, train_size: usize, seed: u64) -> (f64, f64, f64, f64) {
+    let mut env = Environment::random(n_services, ScenarioOptions::default(), seed);
+    let (train, test) = env.datasets(train_size, TEST_ROWS, seed ^ 0xabcd);
+
+    let kert = KertBn::build_continuous(
+        &env.knowledge,
+        &train,
+        ContinuousKertOptions::default(),
+    )
+    .expect("KERT-BN builds on scenario data");
+    let kert_time = kert.report().total_secs();
+    let kert_acc = kert.accuracy(&test).expect("finite accuracy");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+    let nrt = NrtBn::build_continuous(&train, NrtOptions::default(), &mut rng)
+        .expect("NRT-BN builds on scenario data");
+    let nrt_time = nrt.report().total_secs();
+    let nrt_acc = nrt.accuracy(&test).expect("finite accuracy");
+
+    (kert_time, nrt_time, kert_acc, nrt_acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kert_is_cheaper_and_at_least_as_accurate() {
+        // A scaled-down Figure 3: two sizes, a few reps; the paper's two
+        // claims must hold — lower construction time, higher (or equal)
+        // accuracy, with the gap in time present at both sizes.
+        let points = run_sized(12, &[40, 200], 3, 42);
+        for p in &points {
+            assert!(
+                p.kert_time < p.nrt_time,
+                "size {}: kert {} vs nrt {}",
+                p.train_size,
+                p.kert_time,
+                p.nrt_time
+            );
+            assert!(
+                p.kert_accuracy >= p.nrt_accuracy - 0.05 * p.nrt_accuracy.abs(),
+                "size {}: kert {} vs nrt {}",
+                p.train_size,
+                p.kert_accuracy,
+                p.nrt_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn kert_accuracy_converges_with_less_data() {
+        // Data-sensitivity claim: at the small end KERT-BN's accuracy per
+        // row should already be near its large-data value, while NRT-BN
+        // should visibly improve with more data.
+        let points = run_sized(12, &[40, 400], 3, 7);
+        let small = &points[0];
+        let large = &points[1];
+        // Accuracy scales with test rows, not train rows, so values are
+        // directly comparable across training sizes.
+        let kert_gain = large.kert_accuracy - small.kert_accuracy;
+        let nrt_gain = large.nrt_accuracy - small.nrt_accuracy;
+        assert!(
+            nrt_gain > kert_gain - 1.0,
+            "NRT should gain at least comparably from data: {nrt_gain} vs {kert_gain}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 4 — KERT-BN vs NRT-BN over environment size.
+//!
+//! Paper setting: 10–100 simulated services, training sets of 36 points
+//! (`α = 12`, `T_CON` = 2 min — the fast-reconstruction regime), 10
+//! repetitions. The headline: NRT-BN's construction time grows
+//! superlinearly with the node count (the K2 predecessor scan), making it
+//! infeasible at short construction intervals beyond ~60 services, while
+//! KERT-BN stays flat; KERT-BN is also more accurate at this tiny training
+//! size for every environment size.
+
+use serde::Serialize;
+
+use crate::fig3;
+
+/// Paper parameters for this figure.
+pub const TRAIN_SIZE: usize = 36;
+/// Environment sizes swept in the paper.
+pub const SERVICE_COUNTS: [usize; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// One point of the Figure-4 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// Number of services in the environment.
+    pub n_services: usize,
+    /// Mean KERT-BN construction time (s).
+    pub kert_time: f64,
+    /// Mean NRT-BN construction time (s).
+    pub nrt_time: f64,
+    /// Mean KERT-BN accuracy, `log₁₀ p(test | model)`.
+    pub kert_accuracy: f64,
+    /// Mean NRT-BN accuracy.
+    pub nrt_accuracy: f64,
+}
+
+/// Run the Figure-4 experiment.
+pub fn run(service_counts: &[usize], reps: usize, base_seed: u64) -> Vec<Fig4Point> {
+    service_counts
+        .iter()
+        .map(|&n| {
+            let pts = fig3::run_sized(n, &[TRAIN_SIZE], reps, base_seed ^ (n as u64) << 8);
+            let p = &pts[0];
+            Fig4Point {
+                n_services: n,
+                kert_time: p.kert_time,
+                nrt_time: p.nrt_time,
+                kert_accuracy: p.kert_accuracy,
+                nrt_accuracy: p.nrt_accuracy,
+            }
+        })
+        .collect()
+}
+
+/// Feasibility check from §4.2: the largest environment size at which a
+/// model can still be rebuilt within `t_con` seconds.
+pub fn max_feasible_size(points: &[Fig4Point], t_con: f64, kert: bool) -> Option<usize> {
+    points
+        .iter()
+        .filter(|p| (if kert { p.kert_time } else { p.nrt_time }) <= t_con)
+        .map(|p| p.n_services)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrt_time_grows_much_faster_than_kert_time() {
+        // Scaled-down Figure 4: sizes 8 and 32; the NRT/KERT time ratio
+        // must grow with environment size (superlinear vs flat).
+        let points = run(&[8, 32], 2, 11);
+        let ratio_small = points[0].nrt_time / points[0].kert_time.max(1e-9);
+        let ratio_large = points[1].nrt_time / points[1].kert_time.max(1e-9);
+        assert!(
+            ratio_large > ratio_small,
+            "ratio should grow: {ratio_small} -> {ratio_large}"
+        );
+        // And KERT must stay cheap in absolute terms at both sizes.
+        for p in &points {
+            assert!(p.kert_time < p.nrt_time);
+        }
+    }
+
+    #[test]
+    fn kert_is_more_accurate_at_tiny_training_sets() {
+        let points = run(&[10], 3, 13);
+        assert!(
+            points[0].kert_accuracy >= points[0].nrt_accuracy,
+            "kert {} vs nrt {}",
+            points[0].kert_accuracy,
+            points[0].nrt_accuracy
+        );
+    }
+
+    #[test]
+    fn feasibility_helper() {
+        let pts = vec![
+            Fig4Point { n_services: 10, kert_time: 0.1, nrt_time: 1.0, kert_accuracy: 0.0, nrt_accuracy: 0.0 },
+            Fig4Point { n_services: 20, kert_time: 0.1, nrt_time: 5.0, kert_accuracy: 0.0, nrt_accuracy: 0.0 },
+        ];
+        assert_eq!(max_feasible_size(&pts, 2.0, false), Some(10));
+        assert_eq!(max_feasible_size(&pts, 2.0, true), Some(20));
+        assert_eq!(max_feasible_size(&pts, 0.01, false), None);
+    }
+}

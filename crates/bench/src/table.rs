@@ -1,0 +1,43 @@
+//! Minimal fixed-width table printing for the figure binaries.
+
+/// Print a header row followed by a rule.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths.iter()) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().saturating_sub(2)));
+}
+
+/// Print one data row of already-formatted cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths.iter()) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t < 1e-3 {
+        format!("{:.1}µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:.2}ms", t * 1e3)
+    } else {
+        format!("{t:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_picks_sensible_units() {
+        assert_eq!(secs(0.0000005), "0.5µs");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(3.25), "3.25s");
+    }
+}

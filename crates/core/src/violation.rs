@@ -1,0 +1,127 @@
+//! Threshold-violation probabilities and the relative error ε (Eq. 5).
+//!
+//! "What is the probability that response time will exceed the
+//! threshold(s)?" is the assessment autonomic software actually consumes;
+//! §5.3 compares the model families on
+//!
+//! ```text
+//! ε = |P_bn(D > h) − P_real(D > h)| / P_real(D > h)
+//! ```
+//!
+//! computed across a sweep of thresholds (Figure 8).
+
+use crate::posterior::Posterior;
+use crate::{CoreError, Result};
+
+/// Empirical `P(D > h)` from observed response times.
+pub fn empirical_violation_probability(response_times: &[f64], threshold: f64) -> f64 {
+    if response_times.is_empty() {
+        return 0.0;
+    }
+    let count = response_times.iter().filter(|&&d| d > threshold).count();
+    count as f64 / response_times.len() as f64
+}
+
+/// Relative threshold-violation-probability error (Eq. 5). Fails when the
+/// real probability is zero (the metric is undefined there; pick
+/// thresholds inside the observed range).
+pub fn relative_violation_error(p_model: f64, p_real: f64) -> Result<f64> {
+    if p_real <= 0.0 {
+        return Err(CoreError::BadRequest(
+            "relative violation error undefined for P_real = 0".into(),
+        ));
+    }
+    Ok((p_model - p_real).abs() / p_real)
+}
+
+/// ε across a threshold sweep: pairs each model posterior exceedance with
+/// the empirical probability from `real_d`. Thresholds with zero empirical
+/// mass are skipped (returned as `None`), mirroring Eq. 5's domain.
+pub fn violation_error_sweep(
+    posterior_d: &Posterior,
+    real_d: &[f64],
+    thresholds: &[f64],
+) -> Vec<Option<f64>> {
+    thresholds
+        .iter()
+        .map(|&h| {
+            let p_real = empirical_violation_probability(real_d, h);
+            if p_real <= 0.0 {
+                None
+            } else {
+                Some((posterior_d.exceedance(h) - p_real).abs() / p_real)
+            }
+        })
+        .collect()
+}
+
+/// Evenly spaced thresholds covering the central mass of observed response
+/// times (from the `lo_q` to the `hi_q` quantile) — a reasonable default
+/// for Figure 8's six-threshold sweep.
+pub fn default_thresholds(real_d: &[f64], count: usize, lo_q: f64, hi_q: f64) -> Vec<f64> {
+    assert!(count >= 1);
+    let lo = kert_linalg::stats::quantile(real_d, lo_q);
+    let hi = kert_linalg::stats::quantile(real_d, hi_q);
+    if count == 1 {
+        return vec![0.5 * (lo + hi)];
+    }
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_probability_counts_strict_exceedances() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_violation_probability(&d, 2.0), 0.5);
+        assert_eq!(empirical_violation_probability(&d, 0.0), 1.0);
+        assert_eq!(empirical_violation_probability(&d, 4.0), 0.0);
+        assert_eq!(empirical_violation_probability(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_formula() {
+        assert!((relative_violation_error(0.12, 0.10).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(relative_violation_error(0.10, 0.10).unwrap(), 0.0);
+        assert!(relative_violation_error(0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn sweep_skips_zero_mass_thresholds() {
+        let post = Posterior::Gaussian { mean: 2.0, variance: 1.0 };
+        let real = [1.0, 2.0, 3.0];
+        let errors = violation_error_sweep(&post, &real, &[0.0, 2.5, 10.0]);
+        assert!(errors[0].is_some());
+        assert!(errors[1].is_some());
+        assert!(errors[2].is_none()); // nothing exceeds 10
+    }
+
+    #[test]
+    fn perfect_model_has_zero_error_on_matching_distribution() {
+        // Discrete posterior exactly matching the empirical histogram.
+        let real = [1.0, 1.0, 3.0, 3.0];
+        let post = Posterior::Discrete {
+            support: vec![1.0, 3.0],
+            probs: vec![0.5, 0.5],
+        };
+        let errs = violation_error_sweep(&post, &real, &[2.0]);
+        assert_eq!(errs[0], Some(0.0));
+    }
+
+    #[test]
+    fn default_thresholds_span_quantiles() {
+        let d: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let ths = default_thresholds(&d, 6, 0.1, 0.9);
+        assert_eq!(ths.len(), 6);
+        assert!((ths[0] - 10.0).abs() < 1e-9);
+        assert!((ths[5] - 90.0).abs() < 1e-9);
+        for w in ths.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(default_thresholds(&d, 1, 0.0, 1.0), vec![50.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # kert-linalg — compact dense linear algebra for KERT-BN
+//!
+//! The KERT-BN reproduction needs a small, dependency-free linear-algebra
+//! kernel: conditional linear-Gaussian parameter learning is a least-squares
+//! problem, Gaussian Bayesian-network inference is multivariate-normal
+//! conditioning, and log-likelihood scoring needs log-determinants. Matrices
+//! involved are tiny ((n+1)×(n+1) for n services, n ≤ a few hundred), so a
+//! straightforward row-major dense implementation is both sufficient and
+//! cache-friendly.
+//!
+//! Provided:
+//! * [`Matrix`] — row-major dense matrix with the usual algebra.
+//! * [`cholesky`] — Cholesky factorization, triangular solves, log-det.
+//! * [`lu`] — LU with partial pivoting for general square systems.
+//! * [`lstsq`] — linear least squares via normal equations with a ridge
+//!   fallback for rank-deficient designs.
+//! * [`mvn`] — multivariate normal density, sampling support, and exact
+//!   conditioning (the workhorse of Gaussian BN inference).
+//! * [`stats`] — column means, covariance matrices and friends.
+//!
+//! All routines are deterministic and allocation-conscious: factorizations
+//! reuse caller-provided buffers where it matters, and nothing here spawns
+//! threads (parallelism lives higher up the stack, per the workspace's
+//! HPC guidelines).
+
+// Triangular factorizations and sweeps are written as index loops on
+// purpose: ranges like `(i+1)..n` over two coupled arrays express the
+// textbook algorithms more clearly than iterator/enumerate chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod mvn;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use lstsq::{lstsq, ridge_lstsq};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use mvn::MultivariateNormal;
+
+/// Numerical tolerance used across the crate for positive-definiteness and
+/// pivot checks. Chosen relative to `f64` precision and the magnitudes of
+/// covariance entries encountered in response-time data (milliseconds to
+/// minutes squared).
+pub const EPS: f64 = 1e-12;
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A matrix expected to be symmetric positive definite was not (failed
+    /// pivot reported with its index and value).
+    NotPositiveDefinite { index: usize, pivot: f64 },
+    /// A square system was singular to working precision.
+    Singular { index: usize },
+    /// Operand shapes were incompatible; the message spells out both shapes.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { index, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:.3e} at index {index}"
+            ),
+            LinalgError::Singular { index } => {
+                write!(f, "matrix is singular at pivot index {index}")
+            }
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

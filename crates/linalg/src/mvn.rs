@@ -1,0 +1,343 @@
+//! Multivariate normal distributions: density, marginalization, exact
+//! conditioning, and a sampling transform.
+//!
+//! A linear-Gaussian Bayesian network is jointly Gaussian; every inference
+//! the paper performs on continuous KERT-BNs (data-fitting likelihood,
+//! dComp posteriors, pAccel projections) is an operation on one
+//! `MultivariateNormal`. Conditioning uses the Schur-complement formulas
+//!
+//! ```text
+//! μ_{a|b} = μ_a + Σ_ab Σ_bb⁻¹ (x_b − μ_b)
+//! Σ_{a|b} = Σ_aa − Σ_ab Σ_bb⁻¹ Σ_ba
+//! ```
+//!
+//! solved through a Cholesky factor of `Σ_bb` (never forming an explicit
+//! inverse).
+//!
+//! The crate carries no RNG dependency: sampling is exposed as a transform
+//! from caller-provided i.i.d. standard normals, keeping seeding policy in
+//! the layers above.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::stats;
+use crate::{LinalgError, Result};
+
+const LN_2PI: f64 = 1.8378770664093453; // ln(2π)
+
+/// An `n`-dimensional Gaussian `N(μ, Σ)`.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    cov: Matrix,
+    /// Cached Cholesky factor of Σ (lazy would complicate sharing; the
+    /// constructor cost is negligible at these sizes).
+    chol: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Construct from a mean vector and covariance matrix.
+    ///
+    /// The covariance is symmetrized and, when numerically semidefinite (a
+    /// routine occurrence for covariances estimated from tiny training
+    /// windows), rescued with diagonal jitter.
+    pub fn new(mean: Vec<f64>, mut cov: Matrix) -> Result<Self> {
+        if cov.rows() != mean.len() || cov.cols() != mean.len() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "mvn: mean dim {} vs covariance {}x{}",
+                mean.len(),
+                cov.rows(),
+                cov.cols()
+            )));
+        }
+        cov.symmetrize();
+        let chol = Cholesky::factor_with_jitter(&cov)?;
+        Ok(MultivariateNormal { mean, cov, chol })
+    }
+
+    /// Fit a joint Gaussian to a data matrix (rows = observations) by
+    /// maximum likelihood (sample mean, unbiased sample covariance).
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        let mean = stats::column_means(data);
+        let cov = stats::covariance_matrix(data);
+        Self::new(mean, cov)
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    pub fn cov(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// Marginal standard deviation of component `i`.
+    pub fn std_dev(&self, i: usize) -> f64 {
+        self.cov.get(i, i).max(0.0).sqrt()
+    }
+
+    /// Log-density `ln N(x; μ, Σ)`.
+    pub fn log_pdf(&self, x: &[f64]) -> Result<f64> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "mvn log_pdf: dim {n} vs point {}",
+                x.len()
+            )));
+        }
+        let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(a, m)| a - m).collect();
+        // Mahalanobis distance via the forward solve: ‖L⁻¹(x−μ)‖².
+        let w = self.chol.forward_solve(centered)?;
+        let maha: f64 = w.iter().map(|v| v * v).sum();
+        Ok(-0.5 * (n as f64 * LN_2PI + self.chol.log_det() + maha))
+    }
+
+    /// Marginal distribution over the given (distinct) component indices.
+    pub fn marginal(&self, idx: &[usize]) -> Result<MultivariateNormal> {
+        let mean = idx.iter().map(|&i| self.mean[i]).collect();
+        let cov = self.cov.submatrix(idx, idx);
+        MultivariateNormal::new(mean, cov)
+    }
+
+    /// Condition on exact observations: `p(rest | components[obs_idx] = obs_val)`.
+    ///
+    /// Returns the posterior over the *unobserved* components in their
+    /// original relative order, along with that index order.
+    pub fn condition(&self, obs_idx: &[usize], obs_val: &[f64]) -> Result<ConditionedGaussian> {
+        if obs_idx.len() != obs_val.len() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "mvn condition: {} indices vs {} values",
+                obs_idx.len(),
+                obs_val.len()
+            )));
+        }
+        let n = self.dim();
+        let observed: std::collections::HashSet<usize> = obs_idx.iter().copied().collect();
+        if observed.len() != obs_idx.len() {
+            return Err(LinalgError::ShapeMismatch(
+                "mvn condition: duplicate observation indices".into(),
+            ));
+        }
+        let free: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+        if free.is_empty() {
+            return Err(LinalgError::ShapeMismatch(
+                "mvn condition: all components observed".into(),
+            ));
+        }
+
+        let sigma_bb = self.cov.submatrix(obs_idx, obs_idx);
+        let sigma_ab = self.cov.submatrix(&free, obs_idx);
+        let sigma_aa = self.cov.submatrix(&free, &free);
+        let ch_bb = Cholesky::factor_with_jitter(&sigma_bb)?;
+
+        // delta = x_b − μ_b ; w = Σ_bb⁻¹ δ
+        let delta: Vec<f64> = obs_idx
+            .iter()
+            .zip(obs_val.iter())
+            .map(|(&i, &v)| v - self.mean[i])
+            .collect();
+        let w = ch_bb.solve(delta)?;
+
+        // μ_{a|b} = μ_a + Σ_ab w
+        let shift = sigma_ab.mul_vec(&w)?;
+        let mean: Vec<f64> = free
+            .iter()
+            .zip(shift.iter())
+            .map(|(&i, s)| self.mean[i] + s)
+            .collect();
+
+        // Σ_{a|b} = Σ_aa − Σ_ab Σ_bb⁻¹ Σ_ba, via K = Σ_bb⁻¹ Σ_ba.
+        let sigma_ba = sigma_ab.transpose();
+        let k = ch_bb.solve_matrix(&sigma_ba)?;
+        let reduction = sigma_ab.mul(&k)?;
+        let cov = sigma_aa.sub(&reduction)?;
+
+        Ok(ConditionedGaussian {
+            free_indices: free,
+            dist: MultivariateNormal::new(mean, cov)?,
+        })
+    }
+
+    /// Map i.i.d. standard normals `z` (length `n`) to a sample `μ + L·z`.
+    pub fn transform_standard_normals(&self, z: &[f64]) -> Vec<f64> {
+        let mut x = self.chol.l_mul(z);
+        for (xi, m) in x.iter_mut().zip(self.mean.iter()) {
+            *xi += m;
+        }
+        x
+    }
+
+    /// Univariate normal CDF helper `P(component_i > threshold)`, computed
+    /// from the marginal mean/variance via the error function.
+    pub fn exceedance_probability(&self, i: usize, threshold: f64) -> f64 {
+        let mu = self.mean[i];
+        let sd = self.std_dev(i);
+        if sd <= 0.0 {
+            return if mu > threshold { 1.0 } else { 0.0 };
+        }
+        let z = (threshold - mu) / (sd * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+}
+
+/// Posterior produced by [`MultivariateNormal::condition`].
+#[derive(Debug, Clone)]
+pub struct ConditionedGaussian {
+    /// Original indices of the unobserved components, ascending.
+    pub free_indices: Vec<usize>,
+    /// Posterior distribution over those components, in the same order.
+    pub dist: MultivariateNormal,
+}
+
+impl ConditionedGaussian {
+    /// Posterior mean of the original component `orig_idx`, if unobserved.
+    pub fn mean_of(&self, orig_idx: usize) -> Option<f64> {
+        self.pos(orig_idx).map(|p| self.dist.mean()[p])
+    }
+
+    /// Posterior variance of the original component `orig_idx`, if unobserved.
+    pub fn variance_of(&self, orig_idx: usize) -> Option<f64> {
+        self.pos(orig_idx).map(|p| self.dist.cov().get(p, p))
+    }
+
+    fn pos(&self, orig_idx: usize) -> Option<usize> {
+        self.free_indices.iter().position(|&i| i == orig_idx)
+    }
+}
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 rational
+/// approximation (|error| < 1.5e-7 — ample for threshold-violation
+/// probabilities quoted to two digits).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_mvn() -> MultivariateNormal {
+        // 2-D with correlation 0.6.
+        let mean = vec![1.0, -2.0];
+        let cov = Matrix::from_rows(&[&[4.0, 2.4], &[2.4, 4.0]]).unwrap();
+        MultivariateNormal::new(mean, cov).unwrap()
+    }
+
+    #[test]
+    fn log_pdf_matches_univariate_formula() {
+        let mvn = MultivariateNormal::new(vec![2.0], Matrix::from_diag(&[9.0])).unwrap();
+        let x = 3.5;
+        let expect = -0.5 * ((2.0 * std::f64::consts::PI * 9.0).ln() + (x - 2.0_f64).powi(2) / 9.0);
+        let got = mvn.log_pdf(&[x]).unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let mvn = demo_mvn();
+        let at_mean = mvn.log_pdf(&[1.0, -2.0]).unwrap();
+        let off = mvn.log_pdf(&[2.0, -1.0]).unwrap();
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn conditioning_matches_textbook_bivariate_result() {
+        // For bivariate N with ρ: E[a|b] = μ_a + ρ σ_a/σ_b (b−μ_b),
+        // Var[a|b] = σ_a²(1−ρ²).
+        let mvn = demo_mvn();
+        let rho: f64 = 0.6;
+        let post = mvn.condition(&[1], &[0.0]).unwrap();
+        let expect_mean = 1.0 + rho * (2.0 / 2.0) * (0.0 - (-2.0));
+        let expect_var = 4.0 * (1.0 - rho * rho);
+        assert!((post.mean_of(0).unwrap() - expect_mean).abs() < 1e-9);
+        assert!((post.variance_of(0).unwrap() - expect_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conditioning_reduces_variance() {
+        let mvn = demo_mvn();
+        let post = mvn.condition(&[1], &[5.0]).unwrap();
+        assert!(post.variance_of(0).unwrap() < mvn.cov().get(0, 0));
+    }
+
+    #[test]
+    fn conditioning_on_independent_component_changes_nothing() {
+        let cov = Matrix::from_diag(&[1.0, 2.0]);
+        let mvn = MultivariateNormal::new(vec![3.0, 4.0], cov).unwrap();
+        let post = mvn.condition(&[1], &[100.0]).unwrap();
+        assert!((post.mean_of(0).unwrap() - 3.0).abs() < 1e-9);
+        assert!((post.variance_of(0).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginal_extracts_components() {
+        let mvn = demo_mvn();
+        let m = mvn.marginal(&[1]).unwrap();
+        assert_eq!(m.dim(), 1);
+        assert_eq!(m.mean()[0], -2.0);
+        assert_eq!(m.cov().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn transform_standard_normals_has_right_moments() {
+        // z = 0 maps to the mean.
+        let mvn = demo_mvn();
+        assert_eq!(mvn.transform_standard_normals(&[0.0, 0.0]), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn fit_recovers_sample_moments() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 12.0],
+            &[3.0, 14.0],
+            &[4.0, 15.0],
+        ])
+        .unwrap();
+        let mvn = MultivariateNormal::fit(&data).unwrap();
+        assert!((mvn.mean()[0] - 2.5).abs() < 1e-12);
+        assert!((mvn.mean()[1] - 12.75).abs() < 1e-12);
+        assert!((mvn.cov().get(0, 0) - stats::variance(&data.col(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exceedance_probability_is_calibrated() {
+        let mvn = MultivariateNormal::new(vec![0.0], Matrix::from_diag(&[1.0])).unwrap();
+        assert!((mvn.exceedance_probability(0, 0.0) - 0.5).abs() < 1e-7);
+        // P(Z > 1.6449) ≈ 0.05
+        assert!((mvn.exceedance_probability(0, 1.6449) - 0.05).abs() < 1e-4);
+    }
+
+    #[test]
+    fn erfc_symmetry_and_limits() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(-1.0) + erfc(1.0) - 2.0).abs() < 1e-12);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn condition_rejects_duplicates_and_full_observation() {
+        let mvn = demo_mvn();
+        assert!(mvn.condition(&[0, 0], &[1.0, 1.0]).is_err());
+        assert!(mvn.condition(&[0, 1], &[1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Descriptive statistics over data matrices (rows = observations,
+//! columns = variables).
+//!
+//! These feed the Gaussian-network learners: joint-Gaussian fitting needs
+//! column means and (co)variances, discretization needs per-column ranges
+//! and quantiles.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n − 1`); `0.0` when `n < 2`.
+pub fn variance(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Per-column means of a data matrix.
+pub fn column_means(data: &Matrix) -> Vec<f64> {
+    let n = data.rows();
+    let p = data.cols();
+    let mut means = vec![0.0; p];
+    if n == 0 {
+        return means;
+    }
+    for r in 0..n {
+        for (m, &v) in means.iter_mut().zip(data.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+/// Unbiased sample covariance matrix (`p × p`) of a data matrix.
+///
+/// With fewer than two rows the zero matrix is returned; callers that need a
+/// usable density then fall back to jittered factorization.
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let p = data.cols();
+    let mut cov = Matrix::zeros(p, p);
+    if n < 2 {
+        return cov;
+    }
+    let means = column_means(data);
+    let mut centered = vec![0.0; p];
+    for r in 0..n {
+        for ((c, &v), &m) in centered.iter_mut().zip(data.row(r)).zip(means.iter()) {
+            *c = v - m;
+        }
+        for i in 0..p {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            for j in 0..=i {
+                cov.add_at(i, j, ci * centered[j]);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..p {
+        for j in 0..=i {
+            let v = cov.get(i, j) / denom;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
+}
+
+/// Minimum and maximum of a slice; `(0, 0)` for an empty slice.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// Linear-interpolation quantile (`q ∈ [0, 1]`) of a slice.
+///
+/// Sorts a copy; fine for the small training windows this crate serves.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pearson correlation of two equal-length slices; `0` when degenerate.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Σ(x−5)² = 32, n−1 = 7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(correlation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn covariance_matrix_matches_pairwise() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 4.5],
+            &[3.0, 5.5],
+            &[4.0, 8.5],
+        ])
+        .unwrap();
+        let cov = covariance_matrix(&data);
+        let x = data.col(0);
+        let y = data.col(1);
+        assert!((cov.get(0, 0) - variance(&x)).abs() < 1e-12);
+        assert!((cov.get(1, 1) - variance(&y)).abs() < 1e-12);
+        // Cross term by hand.
+        let mx = mean(&x);
+        let my = mean(&y);
+        let sxy: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / 3.0;
+        assert!((cov.get(0, 1) - sxy).abs() < 1e-12);
+        assert_eq!(cov.get(0, 1), cov.get(1, 0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_perfect_line_is_one() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 1.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|&x| -x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Monitoring infrastructure: agents, batching, reporting.
+//!
+//! Figure 1 of the paper: each machine hosts a *monitoring agent* that
+//! listens to its service's monitoring points, batches measurements, and
+//! reports them to the management server. For decentralized learning
+//! (§3.4), the agent of service `i` additionally receives the elapsed-time
+//! measurements of its KERT-BN parents `Φ(Xᵢ)` — the data locality that
+//! makes per-node CPD learning a purely local computation.
+//!
+//! This module models that data plane: it slices a system [`Trace`] into
+//! per-agent datasets (own column + parent columns, request-aligned) and a
+//! management-server view, and accounts for the bytes each agent would have
+//! shipped (the "will not flood the network" consideration of §3.4).
+
+use kert_bayes::Dataset;
+use kert_workflow::ServiceId;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// What one agent reports per construction interval: its local dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentReport {
+    /// The service this agent monitors.
+    pub service: ServiceId,
+    /// Columns: parents (ascending) then own service; rows are
+    /// request-aligned across all agents.
+    pub data: Dataset,
+    /// Number of `f64` measurements received from parent agents (network
+    /// cost accounting; own measurements are local and free).
+    pub values_received: usize,
+}
+
+/// A monitoring agent for one service.
+///
+/// Stateless between windows in this model (batching is byte accounting,
+/// not an event simulation): construction captures the topology, and
+/// [`MonitoringAgent::report`] slices a trace window into the local view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitoringAgent {
+    service: ServiceId,
+    /// KERT-BN parents of this service, ascending.
+    parents: Vec<ServiceId>,
+}
+
+impl MonitoringAgent {
+    /// Create an agent for `service` with the given BN parents.
+    pub fn new(service: ServiceId, mut parents: Vec<ServiceId>) -> Self {
+        parents.sort_unstable();
+        parents.dedup();
+        parents.retain(|&p| p != service);
+        MonitoringAgent { service, parents }
+    }
+
+    /// The monitored service.
+    pub fn service(&self) -> ServiceId {
+        self.service
+    }
+
+    /// Parent services whose data this agent receives.
+    pub fn parents(&self) -> &[ServiceId] {
+        &self.parents
+    }
+
+    /// Build this agent's local dataset from a trace window.
+    ///
+    /// Columns are `[parents…, own]` in network-node terms; callers that
+    /// need network-global column indices use [`MonitoringAgent::columns`].
+    pub fn report(&self, window: &Trace) -> AgentReport {
+        let cols = self.columns();
+        let names: Vec<String> = cols.iter().map(|&c| format!("X{}", c + 1)).collect();
+        let mut data = Dataset::new(names);
+        for row in window.rows() {
+            let values: Vec<f64> = cols.iter().map(|&c| row.elapsed[c]).collect();
+            data.push_row(values).expect("fixed width");
+        }
+        AgentReport {
+            service: self.service,
+            data,
+            values_received: self.parents.len() * window.len(),
+        }
+    }
+
+    /// Column order of [`MonitoringAgent::report`]: parents then own.
+    pub fn columns(&self) -> Vec<ServiceId> {
+        let mut cols = self.parents.clone();
+        cols.push(self.service);
+        cols
+    }
+}
+
+/// Build one agent per service from the upstream-edge list (the same edges
+/// that define the KERT-BN structure).
+pub fn agents_from_edges(n_services: usize, edges: &[(ServiceId, ServiceId)]) -> Vec<MonitoringAgent> {
+    (0..n_services)
+        .map(|s| {
+            let parents = edges
+                .iter()
+                .filter(|&&(_, to)| to == s)
+                .map(|&(from, _)| from)
+                .collect();
+            MonitoringAgent::new(s, parents)
+        })
+        .collect()
+}
+
+/// Total parent→child values shipped per window across all agents — the
+/// decentralized scheme's network cost (the centralized alternative ships
+/// *every* measurement to the management server: `n_services × rows`).
+pub fn total_network_values(agents: &[MonitoringAgent], window_rows: usize) -> usize {
+    agents
+        .iter()
+        .map(|a| a.parents().len() * window_rows)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRow;
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::new(3);
+        for i in 0..4 {
+            t.push(TraceRow {
+                completed_at: i as f64,
+                elapsed: vec![i as f64, 10.0 + i as f64, 20.0 + i as f64],
+                response_time: 30.0,
+                resources: Vec::new(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn agent_report_has_parent_then_own_columns() {
+        let agent = MonitoringAgent::new(2, vec![0]);
+        let report = agent.report(&demo_trace());
+        assert_eq!(report.data.names(), &["X1", "X3"]);
+        assert_eq!(report.data.rows(), 4);
+        assert_eq!(report.data.get(1, 0), 1.0); // parent X1 at row 1
+        assert_eq!(report.data.get(1, 1), 21.0); // own X3 at row 1
+        assert_eq!(report.values_received, 4);
+    }
+
+    #[test]
+    fn rootless_agent_receives_nothing() {
+        let agent = MonitoringAgent::new(0, vec![]);
+        let report = agent.report(&demo_trace());
+        assert_eq!(report.values_received, 0);
+        assert_eq!(report.data.columns(), 1);
+    }
+
+    #[test]
+    fn parents_are_normalized() {
+        let agent = MonitoringAgent::new(1, vec![2, 0, 2, 1]);
+        assert_eq!(agent.parents(), &[0, 2]);
+        assert_eq!(agent.columns(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn agents_from_edges_matches_structure() {
+        // Edges 0→1, 0→2, 1→2.
+        let agents = agents_from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(agents[0].parents(), &[] as &[usize]);
+        assert_eq!(agents[1].parents(), &[0]);
+        assert_eq!(agents[2].parents(), &[0, 1]);
+    }
+
+    #[test]
+    fn network_cost_counts_parent_values_only() {
+        let agents = agents_from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        // 0 + 1 + 2 parents, 10 rows each.
+        assert_eq!(total_network_values(&agents, 10), 30);
+    }
+}

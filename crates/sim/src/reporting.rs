@@ -1,0 +1,270 @@
+//! The reporting data plane: batching, latency, and loss.
+//!
+//! Figure 1's pipeline between monitoring points and the management
+//! server, made concrete: each agent batches its measurements and ships a
+//! report per batch; reports arrive after a network latency and may be
+//! lost outright — §5.1's "failure in the act of data reporting", one of
+//! the three reasons dComp exists. The server's usable training set is the
+//! set of requests for which *every* service's measurement arrived; the
+//! availability statistics quantify what monitoring overhead reduction or
+//! flaky links cost in effective data.
+
+use kert_bayes::Dataset;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+use crate::{Result, SimError};
+
+/// Configuration of one agent's reporting behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportingConfig {
+    /// Measurements per report message (batching to avoid flooding the
+    /// network, §3.4).
+    pub batch_size: usize,
+    /// Seconds between a batch filling up and its arrival at the server.
+    pub report_latency: f64,
+    /// Probability that an entire report is lost in transit.
+    pub loss_prob: f64,
+}
+
+impl Default for ReportingConfig {
+    fn default() -> Self {
+        ReportingConfig {
+            batch_size: 10,
+            report_latency: 0.5,
+            loss_prob: 0.0,
+        }
+    }
+}
+
+impl ReportingConfig {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(SimError::BadConfig("batch_size = 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return Err(SimError::BadConfig(format!(
+                "loss_prob = {}",
+                self.loss_prob
+            )));
+        }
+        if self.report_latency < 0.0 || !self.report_latency.is_finite() {
+            return Err(SimError::BadConfig(format!(
+                "report_latency = {}",
+                self.report_latency
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What the management server ends up holding after the lossy pipeline.
+#[derive(Debug, Clone)]
+pub struct ServerView {
+    n_services: usize,
+    /// `arrived[s][r]`: did service `s`'s measurement for trace row `r`
+    /// reach the server?
+    arrived: Vec<Vec<bool>>,
+    /// Arrival time of each service's batch reports (for staleness
+    /// accounting), per delivered report.
+    delivery_times: Vec<Vec<f64>>,
+}
+
+impl ServerView {
+    /// Fraction of rows whose measurement arrived, per service.
+    pub fn availability(&self, service: usize) -> f64 {
+        let v = &self.arrived[service];
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().filter(|&&a| a).count() as f64 / v.len() as f64
+    }
+
+    /// Row indices for which *every* service reported — the server's
+    /// usable complete-case training rows.
+    pub fn complete_rows(&self) -> Vec<usize> {
+        let rows = self.arrived.first().map_or(0, Vec::len);
+        (0..rows)
+            .filter(|&r| self.arrived.iter().all(|col| col[r]))
+            .collect()
+    }
+
+    /// The complete-case training dataset (columns as in
+    /// [`Trace::to_dataset`]).
+    pub fn complete_dataset(&self, trace: &Trace) -> Dataset {
+        let full = trace.to_dataset(None);
+        let mut out = Dataset::new(full.names().to_vec());
+        for r in self.complete_rows() {
+            out.push_row(full.row(r).to_vec()).expect("fixed width");
+        }
+        out
+    }
+
+    /// Which services are fully silent (no report ever arrived) — dComp's
+    /// "unobservable components".
+    pub fn silent_services(&self) -> Vec<usize> {
+        (0..self.n_services)
+            .filter(|&s| self.arrived[s].iter().all(|&a| !a))
+            .collect()
+    }
+
+    /// Mean report delivery delay of a service (NaN if nothing arrived).
+    pub fn mean_delivery_time(&self, service: usize) -> f64 {
+        let t = &self.delivery_times[service];
+        if t.is_empty() {
+            f64::NAN
+        } else {
+            t.iter().sum::<f64>() / t.len() as f64
+        }
+    }
+}
+
+/// Push a trace through the reporting pipeline with per-service configs
+/// (`configs[s]` for service `s`). Whole batches are lost together —
+/// loss is a property of report messages, not of individual measurements.
+pub fn simulate_reporting<R: Rng + ?Sized>(
+    trace: &Trace,
+    configs: &[ReportingConfig],
+    rng: &mut R,
+) -> Result<ServerView> {
+    let n = trace.n_services();
+    if configs.len() != n {
+        return Err(SimError::BadConfig(format!(
+            "{} reporting configs for {n} services",
+            configs.len()
+        )));
+    }
+    for c in configs {
+        c.validate()?;
+    }
+    let rows = trace.len();
+    let mut arrived = vec![vec![false; rows]; n];
+    let mut delivery_times = vec![Vec::new(); n];
+
+    for (s, config) in configs.iter().enumerate() {
+        let mut batch_start = 0usize;
+        while batch_start < rows {
+            let batch_end = (batch_start + config.batch_size).min(rows);
+            // The batch ships when its last measurement is taken.
+            let ship_time = trace.rows()[batch_end - 1].completed_at;
+            let lost = rng.gen::<f64>() < config.loss_prob;
+            if !lost {
+                arrived[s][batch_start..batch_end].fill(true);
+                delivery_times[s].push(ship_time + config.report_latency);
+            }
+            batch_start = batch_end;
+        }
+    }
+    Ok(ServerView {
+        n_services: n,
+        arrived,
+        delivery_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRow;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_trace(rows: usize) -> Trace {
+        let mut t = Trace::new(2);
+        for i in 0..rows {
+            t.push(TraceRow {
+                completed_at: i as f64,
+                elapsed: vec![0.1, 0.2],
+                response_time: 0.3,
+                resources: Vec::new(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn lossless_pipeline_delivers_everything() {
+        let trace = demo_trace(25);
+        let configs = vec![ReportingConfig::default(); 2];
+        let mut rng = StdRng::seed_from_u64(1);
+        let view = simulate_reporting(&trace, &configs, &mut rng).unwrap();
+        assert_eq!(view.availability(0), 1.0);
+        assert_eq!(view.availability(1), 1.0);
+        assert_eq!(view.complete_rows().len(), 25);
+        assert!(view.silent_services().is_empty());
+        // Batch of 10 at 0.5s latency: first report arrives at t=9.5.
+        assert!((view.mean_delivery_time(0) - (9.5 + 19.5 + 24.5) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_loss_silences_a_service() {
+        let trace = demo_trace(20);
+        let configs = vec![
+            ReportingConfig::default(),
+            ReportingConfig {
+                loss_prob: 1.0,
+                ..Default::default()
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        let view = simulate_reporting(&trace, &configs, &mut rng).unwrap();
+        assert_eq!(view.availability(1), 0.0);
+        assert_eq!(view.silent_services(), vec![1]);
+        assert!(view.complete_rows().is_empty());
+        assert!(view.mean_delivery_time(1).is_nan());
+    }
+
+    #[test]
+    fn partial_loss_shrinks_the_complete_case_set() {
+        let trace = demo_trace(200);
+        let configs = vec![
+            ReportingConfig {
+                batch_size: 5,
+                loss_prob: 0.3,
+                ..Default::default()
+            };
+            2
+        ];
+        let mut rng = StdRng::seed_from_u64(3);
+        let view = simulate_reporting(&trace, &configs, &mut rng).unwrap();
+        let avail0 = view.availability(0);
+        assert!(avail0 > 0.5 && avail0 < 0.9, "{avail0}");
+        let complete = view.complete_rows().len();
+        // Complete cases ≈ availability₀ × availability₁ × rows.
+        let expect = view.availability(0) * view.availability(1) * 200.0;
+        assert!(
+            (complete as f64 - expect).abs() < 40.0,
+            "complete {complete} vs expected ≈ {expect}"
+        );
+        // Losses are batch-aligned: row availability changes only at batch
+        // boundaries.
+        let ds = view.complete_dataset(&trace);
+        assert_eq!(ds.rows(), complete);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let trace = demo_trace(5);
+        let bad_len = vec![ReportingConfig::default()];
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(simulate_reporting(&trace, &bad_len, &mut rng).is_err());
+        let bad_cfg = vec![
+            ReportingConfig {
+                batch_size: 0,
+                ..Default::default()
+            };
+            2
+        ];
+        assert!(simulate_reporting(&trace, &bad_cfg, &mut rng).is_err());
+        let bad_loss = vec![
+            ReportingConfig {
+                loss_prob: 1.5,
+                ..Default::default()
+            };
+            2
+        ];
+        assert!(simulate_reporting(&trace, &bad_loss, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Per-request workflow execution: the fork/join state machine.
+//!
+//! A [`Workflow`] tree is compiled once into a flat [`WorkflowPlan`]
+//! (indices instead of boxes — cheap to share across millions of requests);
+//! each in-flight request owns a small [`RequestExec`] tracking sequence
+//! positions, parallel join counters and loop iterations. The system layer
+//! drives it with two calls: [`RequestExec::start`] when the request
+//! arrives and [`RequestExec::complete_task`] whenever a service finishes,
+//! both returning the next service invocations to dispatch.
+
+use kert_workflow::{LoopSpec, ServiceId, Workflow};
+use rand::Rng;
+
+/// Flattened workflow node kinds (children are plan indices).
+#[derive(Debug, Clone)]
+enum PlanKind {
+    Task(ServiceId),
+    Seq(Vec<usize>),
+    Par(Vec<usize>),
+    Choice { children: Vec<usize>, probs: Vec<f64> },
+    Loop { child: usize, spec: LoopSpec },
+}
+
+#[derive(Debug, Clone)]
+struct PlanNode {
+    kind: PlanKind,
+    parent: Option<usize>,
+}
+
+/// A compiled workflow, shareable across requests.
+#[derive(Debug, Clone)]
+pub struct WorkflowPlan {
+    nodes: Vec<PlanNode>,
+    root: usize,
+}
+
+impl WorkflowPlan {
+    /// Compile a workflow tree (assumed validated).
+    pub fn compile(workflow: &Workflow) -> Self {
+        let mut nodes = Vec::new();
+        let root = flatten(workflow, None, &mut nodes);
+        WorkflowPlan { nodes, root }
+    }
+
+    /// Number of plan nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the plan is empty (never true for compiled workflows).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Service id of a task node (panics on composite nodes — caller bug).
+    pub fn service_of(&self, node: usize) -> ServiceId {
+        match self.nodes[node].kind {
+            PlanKind::Task(s) => s,
+            _ => panic!("plan node {node} is not a task"),
+        }
+    }
+}
+
+fn flatten(wf: &Workflow, parent: Option<usize>, nodes: &mut Vec<PlanNode>) -> usize {
+    let idx = nodes.len();
+    // Reserve the slot so children can point back at it.
+    nodes.push(PlanNode {
+        kind: PlanKind::Task(usize::MAX),
+        parent,
+    });
+    let kind = match wf {
+        Workflow::Task(s) => PlanKind::Task(*s),
+        Workflow::Seq(parts) => {
+            PlanKind::Seq(parts.iter().map(|p| flatten(p, Some(idx), nodes)).collect())
+        }
+        Workflow::Par(branches) => PlanKind::Par(
+            branches
+                .iter()
+                .map(|b| flatten(b, Some(idx), nodes))
+                .collect(),
+        ),
+        Workflow::Choice(branches) => {
+            let probs = branches.iter().map(|(p, _)| *p).collect();
+            let children = branches
+                .iter()
+                .map(|(_, b)| flatten(b, Some(idx), nodes))
+                .collect();
+            PlanKind::Choice { children, probs }
+        }
+        Workflow::Loop { body, spec } => PlanKind::Loop {
+            child: flatten(body, Some(idx), nodes),
+            spec: *spec,
+        },
+    };
+    nodes[idx].kind = kind;
+    idx
+}
+
+/// What the executor asks the system layer to do next.
+#[derive(Debug, PartialEq, Eq)]
+pub struct StepOutput {
+    /// Service invocations to dispatch: `(plan_node, service)`.
+    pub activations: Vec<(usize, ServiceId)>,
+    /// True when the whole request has completed.
+    pub finished: bool,
+}
+
+/// Runtime execution state of one request against a [`WorkflowPlan`].
+///
+/// Owns no reference to the plan — the plan is passed to each call — so the
+/// system layer can keep one plan and thousands of in-flight states in the
+/// same struct without self-referential borrows.
+#[derive(Debug, Clone)]
+pub struct RequestExec {
+    /// Next child position for Seq nodes / remaining joins for Par nodes /
+    /// completed iterations for Loop nodes.
+    counters: Vec<usize>,
+}
+
+impl RequestExec {
+    /// Fresh execution state for one request.
+    pub fn new(plan: &WorkflowPlan) -> Self {
+        RequestExec {
+            counters: vec![0; plan.len()],
+        }
+    }
+
+    /// Begin execution; returns the initial service activations.
+    pub fn start<R: Rng + ?Sized>(&mut self, plan: &WorkflowPlan, rng: &mut R) -> StepOutput {
+        let mut out = StepOutput {
+            activations: Vec::new(),
+            finished: false,
+        };
+        self.enter(plan, plan.root, rng, &mut out.activations);
+        out
+    }
+
+    /// A previously activated task node has completed; returns follow-up
+    /// activations and/or overall completion.
+    pub fn complete_task<R: Rng + ?Sized>(
+        &mut self,
+        plan: &WorkflowPlan,
+        node: usize,
+        rng: &mut R,
+    ) -> StepOutput {
+        let mut out = StepOutput {
+            activations: Vec::new(),
+            finished: false,
+        };
+        self.ascend(plan, node, rng, &mut out);
+        out
+    }
+
+    /// Enter (start) a plan node, pushing task activations.
+    fn enter<R: Rng + ?Sized>(
+        &mut self,
+        plan: &WorkflowPlan,
+        node: usize,
+        rng: &mut R,
+        activations: &mut Vec<(usize, ServiceId)>,
+    ) {
+        match &plan.nodes[node].kind {
+            PlanKind::Task(s) => activations.push((node, *s)),
+            PlanKind::Seq(children) => {
+                self.counters[node] = 0;
+                self.enter(plan, children[0], rng, activations);
+            }
+            PlanKind::Par(children) => {
+                self.counters[node] = children.len();
+                for &c in children {
+                    self.enter(plan, c, rng, activations);
+                }
+            }
+            PlanKind::Choice { children, probs } => {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = *children.last().expect("validated non-empty");
+                for (&c, &p) in children.iter().zip(probs.iter()) {
+                    acc += p;
+                    if u < acc {
+                        chosen = c;
+                        break;
+                    }
+                }
+                self.enter(plan, chosen, rng, activations);
+            }
+            PlanKind::Loop { child, .. } => {
+                self.counters[node] = 1; // iteration in progress
+                self.enter(plan, *child, rng, activations);
+            }
+        }
+    }
+
+    /// A subtree rooted at `node` has completed; propagate upward.
+    fn ascend<R: Rng + ?Sized>(
+        &mut self,
+        plan: &WorkflowPlan,
+        node: usize,
+        rng: &mut R,
+        out: &mut StepOutput,
+    ) {
+        let Some(parent) = plan.nodes[node].parent else {
+            out.finished = true;
+            return;
+        };
+        match &plan.nodes[parent].kind {
+            PlanKind::Task(_) => unreachable!("task nodes have no children"),
+            PlanKind::Seq(children) => {
+                self.counters[parent] += 1;
+                let pos = self.counters[parent];
+                if pos < children.len() {
+                    self.enter(plan, children[pos], rng, &mut out.activations);
+                } else {
+                    self.ascend(plan, parent, rng, out);
+                }
+            }
+            PlanKind::Par(_) => {
+                self.counters[parent] -= 1;
+                if self.counters[parent] == 0 {
+                    self.ascend(plan, parent, rng, out);
+                }
+            }
+            PlanKind::Choice { .. } => self.ascend(plan, parent, rng, out),
+            PlanKind::Loop { child, spec } => {
+                let again = match *spec {
+                    LoopSpec::Count(k) => self.counters[parent] < k,
+                    LoopSpec::Geometric { continue_prob } => rng.gen::<f64>() < continue_prob,
+                };
+                if again {
+                    self.counters[parent] += 1;
+                    self.enter(plan, *child, rng, &mut out.activations);
+                } else {
+                    self.ascend(plan, parent, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_to_completion(wf: &Workflow, seed: u64) -> Vec<ServiceId> {
+        // Complete tasks in FIFO activation order; record the invocation
+        // sequence.
+        let plan = WorkflowPlan::compile(wf);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut exec = RequestExec::new(&plan);
+        let mut pending: std::collections::VecDeque<(usize, ServiceId)> =
+            exec.start(&plan, &mut rng).activations.into();
+        let mut invoked = Vec::new();
+        let mut finished = false;
+        while let Some((node, svc)) = pending.pop_front() {
+            invoked.push(svc);
+            let step = exec.complete_task(&plan, node, &mut rng);
+            pending.extend(step.activations);
+            finished |= step.finished;
+        }
+        assert!(finished, "request must finish");
+        invoked
+    }
+
+    #[test]
+    fn sequence_runs_in_order() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Task(1),
+            Workflow::Task(2),
+        ]);
+        assert_eq!(run_to_completion(&wf, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_activates_all_branches_at_once() {
+        let wf = Workflow::Par(vec![Workflow::Task(0), Workflow::Task(1), Workflow::Task(2)]);
+        let plan = WorkflowPlan::compile(&wf);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut exec = RequestExec::new(&plan);
+        let start = exec.start(&plan, &mut rng);
+        assert_eq!(start.activations.len(), 3);
+        assert!(!start.finished);
+        // Finishing two branches doesn't finish the request.
+        let s1 = exec.complete_task(&plan, start.activations[0].0, &mut rng);
+        assert!(!s1.finished && s1.activations.is_empty());
+        let s2 = exec.complete_task(&plan, start.activations[1].0, &mut rng);
+        assert!(!s2.finished);
+        let s3 = exec.complete_task(&plan, start.activations[2].0, &mut rng);
+        assert!(s3.finished);
+    }
+
+    #[test]
+    fn choice_picks_exactly_one_branch() {
+        let wf = Workflow::Choice(vec![(0.5, Workflow::Task(0)), (0.5, Workflow::Task(1))]);
+        let mut saw = [false, false];
+        for seed in 0..40 {
+            let invoked = run_to_completion(&wf, seed);
+            assert_eq!(invoked.len(), 1);
+            saw[invoked[0]] = true;
+        }
+        assert!(saw[0] && saw[1], "both branches should occur across seeds");
+    }
+
+    #[test]
+    fn counted_loop_repeats_body() {
+        let wf = Workflow::Loop {
+            body: Box::new(Workflow::Task(7)),
+            spec: LoopSpec::Count(3),
+        };
+        assert_eq!(run_to_completion(&wf, 2), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn geometric_loop_expected_iterations() {
+        let wf = Workflow::Loop {
+            body: Box::new(Workflow::Task(0)),
+            spec: LoopSpec::Geometric { continue_prob: 0.5 },
+        };
+        let total: usize = (0..2_000)
+            .map(|seed| run_to_completion(&wf, seed).len())
+            .sum();
+        let mean = total as f64 / 2_000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean iterations {mean}");
+    }
+
+    #[test]
+    fn ediamond_plan_invokes_all_six_services() {
+        let wf = kert_workflow::ediamond_workflow();
+        let mut invoked = run_to_completion(&wf, 5);
+        invoked.sort_unstable();
+        assert_eq!(invoked, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nested_fork_join_completes() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Par(vec![
+                Workflow::Seq(vec![Workflow::Task(1), Workflow::Task(2)]),
+                Workflow::Loop {
+                    body: Box::new(Workflow::Task(3)),
+                    spec: LoopSpec::Count(2),
+                },
+            ]),
+            Workflow::Task(4),
+        ]);
+        let invoked = run_to_completion(&wf, 9);
+        assert_eq!(invoked.first(), Some(&0));
+        assert_eq!(invoked.last(), Some(&4));
+        assert_eq!(invoked.iter().filter(|&&s| s == 3).count(), 2);
+        assert_eq!(invoked.len(), 6);
+    }
+
+    #[test]
+    fn plan_exposes_task_services() {
+        let wf = Workflow::Task(4);
+        let plan = WorkflowPlan::compile(&wf);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.service_of(0), 4);
+    }
+}

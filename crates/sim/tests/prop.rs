@@ -1,0 +1,140 @@
+//! Property-based tests for the discrete-event simulator.
+
+use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem};
+use kert_workflow::{random_workflow, response_time_expr, GenOptions, Workflow};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn system_for(wf: &Workflow, n: usize, mean: f64, arrival: f64) -> SimSystem {
+    let stations: Vec<ServiceConfig> = (0..n)
+        .map(|_| ServiceConfig::single(Dist::Exponential { mean }))
+        .collect();
+    SimSystem::new(
+        wf,
+        stations,
+        SimOptions {
+            inter_arrival: Dist::Exponential { mean: arrival },
+            warmup: 5,
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The invariant everything else rests on: measured `D` equals the
+    /// workflow reduction of measured elapsed times for every request, on
+    /// arbitrary generated workflows (including choices and loops). The
+    /// single documented exception — a parallel construct inside a loop
+    /// body, where accumulation does not commute with `max` — downgrades
+    /// the identity to a lower bound.
+    #[test]
+    fn every_request_satisfies_d_equals_f_of_x(
+        n in 2usize..10,
+        seed in 0u64..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wf = random_workflow(n, GenOptions::default(), &mut rng);
+        let f = response_time_expr(&wf);
+        let exact = !wf.has_parallel_under_loop();
+        let mut sys = system_for(&wf, n, 0.02, 0.3);
+        let trace = sys.run(30, &mut rng);
+        for row in trace.rows() {
+            let fx = f.eval(&row.elapsed);
+            if exact {
+                prop_assert!((fx - row.response_time).abs() < 1e-9,
+                    "exact case: f = {fx}, D = {}", row.response_time);
+            } else {
+                prop_assert!(fx <= row.response_time + 1e-9,
+                    "bound case: f = {fx}, D = {}", row.response_time);
+            }
+        }
+    }
+
+    /// Response times are positive and at least the largest single
+    /// elapsed-time entry on the taken path.
+    #[test]
+    fn response_time_dominates_component_times(
+        n in 2usize..8,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wf = random_workflow(
+            n,
+            GenOptions { loop_prob: 0.0, ..GenOptions::default() },
+            &mut rng,
+        );
+        let mut sys = system_for(&wf, n, 0.03, 0.4);
+        let trace = sys.run(40, &mut rng);
+        for row in trace.rows() {
+            let max_component = row.elapsed.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(row.response_time >= max_component - 1e-9);
+            prop_assert!(row.response_time > 0.0);
+        }
+    }
+
+    /// Traces are completion-time ordered, and interval sampling never
+    /// yields more rows than intervals or than the original trace.
+    #[test]
+    fn trace_ordering_and_sampling_bounds(
+        seed in 0u64..200,
+        t_data in 0.05f64..2.0,
+    ) {
+        let wf = kert_workflow::ediamond_workflow();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sys = system_for(&wf, 6, 0.03, 0.3);
+        let trace = sys.run(60, &mut rng);
+        for w in trace.rows().windows(2) {
+            prop_assert!(w[0].completed_at <= w[1].completed_at);
+        }
+        let sampled = trace.sample_every(t_data);
+        prop_assert!(sampled.len() <= trace.len());
+        let span = trace.rows().last().unwrap().completed_at;
+        let intervals = (span / t_data).ceil() as usize + 1;
+        prop_assert!(sampled.len() <= intervals);
+        // Sampled rows are a subsequence of the original rows.
+        for row in sampled.rows() {
+            prop_assert!(trace.rows().iter().any(|r| r == row));
+        }
+    }
+
+    /// Little's-law sanity: mean response time under heavier load is no
+    /// better than under lighter load (same seed, same service times).
+    #[test]
+    fn more_load_never_helps(seed in 0u64..100) {
+        let wf = kert_workflow::ediamond_workflow();
+        let mut light = system_for(&wf, 6, 0.05, 1.2);
+        let mut heavy = system_for(&wf, 6, 0.05, 0.12);
+        let t_light = light.run(300, &mut StdRng::seed_from_u64(seed));
+        let t_heavy = heavy.run(300, &mut StdRng::seed_from_u64(seed));
+        let m_light = t_light.response_times().iter().sum::<f64>() / 300.0;
+        let m_heavy = t_heavy.response_times().iter().sum::<f64>() / 300.0;
+        prop_assert!(m_heavy >= m_light * 0.95, "{m_heavy} vs {m_light}");
+    }
+
+    /// Service-time distributions deliver the configured mean through the
+    /// station layer (low load ⇒ elapsed ≈ service time).
+    #[test]
+    fn station_elapsed_tracks_service_mean_at_low_load(
+        mean in 0.01f64..0.2,
+        seed in 0u64..100,
+    ) {
+        let wf = Workflow::Task(0);
+        let stations = vec![ServiceConfig::single(Dist::Erlang { k: 4, mean })];
+        let mut sys = SimSystem::new(
+            &wf,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: mean * 20.0 },
+                warmup: 20,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(400, &mut rng);
+        let m = trace.response_times().iter().sum::<f64>() / 400.0;
+        prop_assert!((m - mean).abs() < 0.25 * mean, "measured {m} vs configured {mean}");
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's running example: the eDiaMoND mammogram-retrieval scenario
+//! (Figure 1) and its KERT-BN structure (Figure 2).
+//!
+//! Six Grid services serve a radiologist's image request:
+//! `image_list` calls `work_list`, then simultaneously asks the
+//! `image_locator` services at the local and remote hospitals, each of
+//! which invokes its site's `ogsa_dai` database wrapper. Response time is
+//! `D = X₁ + X₂ + max(X₃ + X₅, X₄ + X₆)`.
+
+use crate::construct::Workflow;
+
+/// Service names in node-index order (indices 0..=5 ↔ X₁..X₆ of the paper).
+pub const EDIAMOND_SERVICES: [&str; 6] = [
+    "image_list",           // X1
+    "work_list",            // X2
+    "image_locator_local",  // X3
+    "image_locator_remote", // X4
+    "ogsa_dai_local",       // X5
+    "ogsa_dai_remote",      // X6
+];
+
+/// Index of `image_list`.
+pub const IMAGE_LIST: usize = 0;
+/// Index of `work_list`.
+pub const WORK_LIST: usize = 1;
+/// Index of `image_locator_local`.
+pub const IMAGE_LOCATOR_LOCAL: usize = 2;
+/// Index of `image_locator_remote`.
+pub const IMAGE_LOCATOR_REMOTE: usize = 3;
+/// Index of `ogsa_dai_local`.
+pub const OGSA_DAI_LOCAL: usize = 4;
+/// Index of `ogsa_dai_remote`.
+pub const OGSA_DAI_REMOTE: usize = 5;
+
+/// The eDiaMoND scenario workflow of Figure 1:
+/// `seq(image_list, work_list, par(seq(loc_local, dai_local),
+///                                 seq(loc_remote, dai_remote)))`.
+pub fn ediamond_workflow() -> Workflow {
+    Workflow::Seq(vec![
+        Workflow::Task(IMAGE_LIST),
+        Workflow::Task(WORK_LIST),
+        Workflow::Par(vec![
+            Workflow::Seq(vec![
+                Workflow::Task(IMAGE_LOCATOR_LOCAL),
+                Workflow::Task(OGSA_DAI_LOCAL),
+            ]),
+            Workflow::Seq(vec![
+                Workflow::Task(IMAGE_LOCATOR_REMOTE),
+                Workflow::Task(OGSA_DAI_REMOTE),
+            ]),
+        ]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_services_all_used_once() {
+        let wf = ediamond_workflow();
+        assert_eq!(wf.services(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(wf.task_count(), 6);
+        assert!(wf.validate(6).is_ok());
+    }
+
+    #[test]
+    fn names_align_with_indices() {
+        assert_eq!(EDIAMOND_SERVICES[IMAGE_LIST], "image_list");
+        assert_eq!(EDIAMOND_SERVICES[OGSA_DAI_REMOTE], "ogsa_dai_remote");
+    }
+}

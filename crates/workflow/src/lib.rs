@@ -1,0 +1,62 @@
+//! # kert-workflow — service workflows and the knowledge they encode
+//!
+//! The KERT-BN insight is that service-oriented environments already *know*
+//! a great deal about themselves: the workflow (which service calls which,
+//! sequentially or in parallel) and the resource-sharing map are recorded by
+//! monitoring infrastructure or design documents. This crate models that
+//! knowledge and compiles it into the two artifacts the Bayesian network
+//! needs:
+//!
+//! 1. the **DAG structure** over per-service elapsed-time nodes
+//!    ([`structure`]) — immediate-upstream edges plus resource nodes; and
+//! 2. the **deterministic response-time function** `f(𝕏)` of Eq. 4
+//!    ([`reduction`]) — the Cardoso et al. reduction of sequence/parallel/
+//!    choice/loop constructs to `+`/`max`/mixtures.
+//!
+//! Also here: the paper's running eDiaMoND example ([`ediamond`]), a random
+//! workflow generator for the scaling experiments ([`gen`]), and an
+//! analytical expected-QoS calculator ([`qos`]).
+
+pub mod construct;
+pub mod ediamond;
+pub mod gen;
+pub mod qos;
+pub mod reduction;
+pub mod structure;
+
+pub use construct::{LoopSpec, ServiceId, Workflow};
+pub use ediamond::{ediamond_workflow, EDIAMOND_SERVICES};
+pub use gen::{random_workflow, GenOptions};
+pub use qos::{expected_response_time, expected_visits};
+pub use reduction::{count_expr, expected_qos_expr, response_time_expr};
+pub use structure::{derive_structure, ResourceMap, WorkflowKnowledge};
+
+/// Errors from workflow validation and compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// A composite construct (sequence/parallel/choice) with no branches.
+    EmptyConstruct(&'static str),
+    /// Choice branch probabilities must be positive and sum to 1.
+    BadProbabilities(String),
+    /// A loop specification was invalid (zero count / out-of-range
+    /// continuation probability).
+    BadLoop(String),
+    /// Service index out of the declared range.
+    UnknownService(ServiceId),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::EmptyConstruct(kind) => write!(f, "empty {kind} construct"),
+            WorkflowError::BadProbabilities(msg) => write!(f, "bad choice probabilities: {msg}"),
+            WorkflowError::BadLoop(msg) => write!(f, "bad loop: {msg}"),
+            WorkflowError::UnknownService(s) => write!(f, "unknown service {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WorkflowError>;

@@ -1,0 +1,147 @@
+//! Cardoso-style reduction of workflows to deterministic expressions.
+//!
+//! Three reductions are provided, matching the paper's §3.3:
+//!
+//! * [`response_time_expr`] — the *per-request realized* response time as a
+//!   function of per-service measured elapsed times: sequence → `+`,
+//!   parallel → `max`. Choice also reduces to `+`: per request exactly one
+//!   branch executes, and the monitoring convention (see `kert-sim`)
+//!   records zero elapsed time for services off the taken path, so summing
+//!   branches yields the taken branch's time. Loops reduce to the body
+//!   expression because a looped service's *measured* elapsed time already
+//!   accumulates its iterations. The identity `D = f(𝕏)` is exact for
+//!   every workflow except those with a parallel construct *inside* a loop
+//!   body ([`Workflow::has_parallel_under_loop`]), where accumulation does
+//!   not commute with `max` and `f(𝕏)` becomes a lower bound
+//!   (`max(Σaᵢ, Σbᵢ) ≤ Σ max(aᵢ, bᵢ)`).
+//! * [`expected_qos_expr`] — the *analytical expectation* reduction of
+//!   Cardoso et al.: choice → probability-weighted mixture, loop → scaling
+//!   by expected iterations. (`max` is kept structural; its expectation is
+//!   evaluated numerically downstream. Note `E[max] ≥ max(E)`, so this
+//!   expression is a lower bound when used with mean inputs.)
+//! * [`count_expr`] — the transaction-count metric (e.g. timeout counts)
+//!   mentioned in §3.3: counts simply add across services, `D = Σ Xᵢ`.
+
+use kert_bayes::Expr;
+
+use crate::construct::Workflow;
+
+/// Realized per-request response time as a function of measured per-service
+/// elapsed times (`Expr::Var(s)` = elapsed time of service `s`).
+pub fn response_time_expr(workflow: &Workflow) -> Expr {
+    match workflow {
+        Workflow::Task(s) => Expr::Var(*s),
+        Workflow::Seq(parts) => Expr::Add(parts.iter().map(response_time_expr).collect()),
+        Workflow::Par(branches) => Expr::Max(branches.iter().map(response_time_expr).collect()),
+        // One branch ran; the others measured zero. Summing is exact.
+        Workflow::Choice(branches) => {
+            Expr::Add(branches.iter().map(|(_, b)| response_time_expr(b)).collect())
+        }
+        // Iterations accumulate into the very same measurements.
+        Workflow::Loop { body, .. } => response_time_expr(body),
+    }
+}
+
+/// Expected-QoS reduction (Cardoso et al.): variables stand for *expected*
+/// per-invocation elapsed times.
+pub fn expected_qos_expr(workflow: &Workflow) -> Expr {
+    match workflow {
+        Workflow::Task(s) => Expr::Var(*s),
+        Workflow::Seq(parts) => Expr::Add(parts.iter().map(expected_qos_expr).collect()),
+        Workflow::Par(branches) => Expr::Max(branches.iter().map(expected_qos_expr).collect()),
+        Workflow::Choice(branches) => Expr::Weighted(
+            branches
+                .iter()
+                .map(|(p, b)| (*p, expected_qos_expr(b)))
+                .collect(),
+        ),
+        Workflow::Loop { body, spec } => Expr::Weighted(vec![(
+            spec.expected_iterations(),
+            expected_qos_expr(body),
+        )]),
+    }
+}
+
+/// Transaction-count metric reduction: per-service counts add up to the
+/// end-to-end count, `D = Σ_{s ∈ services} X_s`.
+pub fn count_expr(workflow: &Workflow) -> Expr {
+    Expr::sum_of_vars(&workflow.services())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::LoopSpec;
+
+    /// seq(0, par(1, 2))
+    fn small() -> Workflow {
+        Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Par(vec![Workflow::Task(1), Workflow::Task(2)]),
+        ])
+    }
+
+    #[test]
+    fn response_time_matches_semantics() {
+        let f = response_time_expr(&small());
+        // D = X0 + max(X1, X2)
+        assert_eq!(f.eval(&[1.0, 5.0, 3.0]), 6.0);
+        assert_eq!(f.eval(&[1.0, 2.0, 7.0]), 8.0);
+    }
+
+    #[test]
+    fn choice_sums_because_untaken_branch_is_zero() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Choice(vec![(0.5, Workflow::Task(1)), (0.5, Workflow::Task(2))]),
+        ]);
+        let f = response_time_expr(&wf);
+        // Request took branch 1: X2 measured 0.
+        assert_eq!(f.eval(&[1.0, 4.0, 0.0]), 5.0);
+        // Request took branch 2: X1 measured 0.
+        assert_eq!(f.eval(&[1.0, 0.0, 9.0]), 10.0);
+    }
+
+    #[test]
+    fn loop_uses_accumulated_measurement() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Loop {
+                body: Box::new(Workflow::Task(1)),
+                spec: LoopSpec::Count(3),
+            },
+        ]);
+        let f = response_time_expr(&wf);
+        // X1 already holds the sum of 3 iterations.
+        assert_eq!(f.eval(&[1.0, 6.0]), 7.0);
+    }
+
+    #[test]
+    fn expected_qos_weights_choice_and_loops() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Choice(vec![(0.25, Workflow::Task(0)), (0.75, Workflow::Task(1))]),
+            Workflow::Loop {
+                body: Box::new(Workflow::Task(2)),
+                spec: LoopSpec::Geometric { continue_prob: 0.5 },
+            },
+        ]);
+        let f = expected_qos_expr(&wf);
+        // E[D] = 0.25·4 + 0.75·8 + 2·3 = 1 + 6 + 6 = 13.
+        assert!((f.eval(&[4.0, 8.0, 3.0]) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_metric_sums_all_services() {
+        let f = count_expr(&small());
+        assert_eq!(f.eval(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn ediamond_reduction_matches_the_paper_formula() {
+        let wf = crate::ediamond::ediamond_workflow();
+        let f = response_time_expr(&wf);
+        // D = X1 + X2 + max(X3+X5, X4+X6) on indices 0..=5.
+        let s = f.display_with(&|i| format!("X{}", i + 1));
+        assert_eq!(s, "(X1 + X2 + max((X3 + X5), (X4 + X6)))");
+    }
+}

@@ -1,0 +1,235 @@
+//! Deriving the KERT-BN structure from domain knowledge.
+//!
+//! §3.2 of the paper: dependency edges between elapsed-time nodes come from
+//! two sources —
+//!
+//! 1. **Workflow adjacency**: if service `i` is the *immediate upstream*
+//!    service of `j`, the load `i` forwards drives `j`'s elapsed time, so
+//!    the DAG contains `Xᵢ → Xⱼ` (this is what lets the model capture
+//!    "bottleneck shift"). Only direct, important relationships are kept —
+//!    the simplest DAG representing the workflow.
+//! 2. **Resource sharing**: services sharing a CPU / memory / network are
+//!    connected through a node embodying the shared resource, with the
+//!    sharing services as its parents.
+//!
+//! The response-time node `D` depends on *all* elapsed-time nodes through
+//! the deterministic CPD; assembling that node is the core crate's job, so
+//! this module returns the knowledge package ([`WorkflowKnowledge`]) it
+//! needs: edges among service nodes, resource attachments, and the
+//! compiled `f` expressions.
+
+use std::collections::BTreeMap;
+
+use kert_bayes::Expr;
+use serde::{Deserialize, Serialize};
+
+use crate::construct::{ServiceId, Workflow};
+use crate::reduction::{count_expr, expected_qos_expr, response_time_expr};
+use crate::Result;
+
+/// Map from resource name to the services sharing it.
+pub type ResourceMap = BTreeMap<String, Vec<ServiceId>>;
+
+/// Everything the knowledge-enhanced model construction needs, compiled
+/// from the workflow and the resource-sharing map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkflowKnowledge {
+    /// Number of services (`n`); service nodes are `0..n`.
+    pub n_services: usize,
+    /// Immediate-upstream edges `(i, j)` meaning `Xᵢ → Xⱼ`, deduplicated,
+    /// deterministic order.
+    pub upstream_edges: Vec<(ServiceId, ServiceId)>,
+    /// Resource nodes: `(name, sharing services)` — each becomes an extra
+    /// network node whose parents are the sharing services.
+    pub resources: Vec<(String, Vec<ServiceId>)>,
+    /// Realized response-time function `f(𝕏)` (Eq. 4), over service indices.
+    pub response_expr: Expr,
+    /// Expected-QoS variant (choice → mixtures, loops → scaling).
+    pub expected_expr: Expr,
+    /// Transaction-count metric variant (`D = Σ Xᵢ`).
+    pub count_expr: Expr,
+}
+
+/// Derive the knowledge package from a workflow and resource map.
+///
+/// `n_services` fixes the node range (services not appearing in this
+/// workflow are allowed — they become isolated nodes, which is what happens
+/// in real environments where one model covers services of several
+/// applications).
+pub fn derive_structure(
+    workflow: &Workflow,
+    n_services: usize,
+    resources: &ResourceMap,
+) -> Result<WorkflowKnowledge> {
+    workflow.validate(n_services)?;
+    let mut edges = Vec::new();
+    upstream_pairs(workflow, &mut edges);
+    edges.sort_unstable();
+    edges.dedup();
+    // Self-edges can arise from loops whose body starts and ends at the
+    // same service; a node cannot parent itself.
+    edges.retain(|(a, b)| a != b);
+
+    let resources: Vec<(String, Vec<ServiceId>)> = resources
+        .iter()
+        .map(|(name, services)| {
+            let mut s = services.clone();
+            s.sort_unstable();
+            s.dedup();
+            (name.clone(), s)
+        })
+        .collect();
+    for (name, services) in &resources {
+        for &s in services {
+            if s >= n_services {
+                return Err(crate::WorkflowError::UnknownService(s));
+            }
+        }
+        debug_assert!(!name.is_empty());
+    }
+
+    Ok(WorkflowKnowledge {
+        n_services,
+        upstream_edges: edges,
+        resources,
+        response_expr: response_time_expr(workflow),
+        expected_expr: expected_qos_expr(workflow),
+        count_expr: count_expr(workflow),
+    })
+}
+
+/// Entry services of a workflow: the first services a request reaches.
+fn sources(workflow: &Workflow) -> Vec<ServiceId> {
+    match workflow {
+        Workflow::Task(s) => vec![*s],
+        Workflow::Seq(parts) => sources(&parts[0]),
+        Workflow::Par(branches) => branches.iter().flat_map(sources).collect(),
+        Workflow::Choice(branches) => branches.iter().flat_map(|(_, b)| sources(b)).collect(),
+        Workflow::Loop { body, .. } => sources(body),
+    }
+}
+
+/// Exit services of a workflow: the services whose completion ends it.
+fn sinks(workflow: &Workflow) -> Vec<ServiceId> {
+    match workflow {
+        Workflow::Task(s) => vec![*s],
+        Workflow::Seq(parts) => sinks(parts.last().expect("validated non-empty")),
+        Workflow::Par(branches) => branches.iter().flat_map(sinks).collect(),
+        Workflow::Choice(branches) => branches.iter().flat_map(|(_, b)| sinks(b)).collect(),
+        Workflow::Loop { body, .. } => sinks(body),
+    }
+}
+
+/// Collect all immediate-upstream pairs: within a sequence, each part's
+/// sinks are upstream of the next part's sources; composites recurse.
+fn upstream_pairs(workflow: &Workflow, out: &mut Vec<(ServiceId, ServiceId)>) {
+    match workflow {
+        Workflow::Task(_) => {}
+        Workflow::Seq(parts) => {
+            for p in parts {
+                upstream_pairs(p, out);
+            }
+            for w in parts.windows(2) {
+                for &up in &sinks(&w[0]) {
+                    for &down in &sources(&w[1]) {
+                        out.push((up, down));
+                    }
+                }
+            }
+        }
+        Workflow::Par(branches) => {
+            for b in branches {
+                upstream_pairs(b, out);
+            }
+        }
+        Workflow::Choice(branches) => {
+            for (_, b) in branches {
+                upstream_pairs(b, out);
+            }
+        }
+        Workflow::Loop { body, .. } => upstream_pairs(body, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ediamond::ediamond_workflow;
+
+    #[test]
+    fn ediamond_structure_matches_figure_2() {
+        let wf = ediamond_workflow();
+        let k = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
+        // Figure 2: X1→X2; X2→X3 (locator local); X2→X4 (locator remote);
+        // X3→X5 (dai local); X4→X6 (dai remote).
+        assert_eq!(
+            k.upstream_edges,
+            vec![(0, 1), (1, 2), (1, 3), (2, 4), (3, 5)]
+        );
+        assert_eq!(k.n_services, 6);
+    }
+
+    #[test]
+    fn choice_branches_connect_to_surroundings() {
+        // seq(0, choice(1 | 2), 3): 0 upstream of both 1 and 2; both
+        // upstream of 3.
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Choice(vec![(0.5, Workflow::Task(1)), (0.5, Workflow::Task(2))]),
+            Workflow::Task(3),
+        ]);
+        let k = derive_structure(&wf, 4, &ResourceMap::new()).unwrap();
+        assert_eq!(k.upstream_edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn loop_body_does_not_self_edge() {
+        let wf = Workflow::Seq(vec![
+            Workflow::Task(0),
+            Workflow::Loop {
+                body: Box::new(Workflow::Task(1)),
+                spec: crate::construct::LoopSpec::Count(3),
+            },
+        ]);
+        let k = derive_structure(&wf, 2, &ResourceMap::new()).unwrap();
+        assert_eq!(k.upstream_edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn resources_are_normalized_and_validated() {
+        let wf = ediamond_workflow();
+        let mut res = ResourceMap::new();
+        res.insert("db_host".into(), vec![5, 4, 5]);
+        let k = derive_structure(&wf, 6, &res).unwrap();
+        assert_eq!(k.resources, vec![("db_host".to_string(), vec![4, 5])]);
+
+        let mut bad = ResourceMap::new();
+        bad.insert("x".into(), vec![9]);
+        assert!(derive_structure(&wf, 6, &bad).is_err());
+    }
+
+    #[test]
+    fn invalid_workflow_is_rejected() {
+        let wf = Workflow::Task(7);
+        assert!(derive_structure(&wf, 3, &ResourceMap::new()).is_err());
+    }
+
+    #[test]
+    fn isolated_services_are_allowed() {
+        let wf = Workflow::Task(0);
+        let k = derive_structure(&wf, 5, &ResourceMap::new()).unwrap();
+        assert!(k.upstream_edges.is_empty());
+        assert_eq!(k.n_services, 5);
+    }
+
+    #[test]
+    fn parallel_to_sequence_join_edges() {
+        // seq(par(0, 1), 2): both parallel sinks upstream of 2.
+        let wf = Workflow::Seq(vec![
+            Workflow::Par(vec![Workflow::Task(0), Workflow::Task(1)]),
+            Workflow::Task(2),
+        ]);
+        let k = derive_structure(&wf, 3, &ResourceMap::new()).unwrap();
+        assert_eq!(k.upstream_edges, vec![(0, 2), (1, 2)]);
+    }
+}

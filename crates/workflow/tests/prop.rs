@@ -1,0 +1,113 @@
+//! Property-based tests for the workflow algebra.
+
+use kert_workflow::{
+    derive_structure, expected_visits, random_workflow, GenOptions, LoopSpec, ResourceMap,
+    Workflow,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a structurally random workflow over services `0..n`, built
+/// directly (not via the generator) to also cover duplicate service use.
+fn workflow(n: usize) -> impl Strategy<Value = Workflow> {
+    let leaf = (0..n).prop_map(Workflow::Task);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Workflow::Seq),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Workflow::Par),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(|parts| {
+                let p = 1.0 / parts.len() as f64;
+                Workflow::Choice(parts.into_iter().map(|w| (p, w)).collect())
+            }),
+            (inner, 1usize..4).prop_map(|(body, k)| Workflow::Loop {
+                body: Box::new(body),
+                spec: LoopSpec::Count(k),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_workflows_use_each_service_once(n in 1usize..40, seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wf = random_workflow(n, GenOptions::default(), &mut rng);
+        prop_assert_eq!(wf.services(), (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(wf.task_count(), n);
+    }
+
+    #[test]
+    fn structure_edges_are_within_range_and_acyclic(wf in workflow(6)) {
+        prop_assume!(wf.validate(6).is_ok());
+        let k = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
+        // Building the DAG must succeed: in-range, no self-loops, acyclic.
+        let mut dag = kert_bayes::Dag::new(6);
+        for &(a, b) in &k.upstream_edges {
+            prop_assert!(a < 6 && b < 6 && a != b);
+            // Workflows with repeated services can legitimately induce
+            // both orientations across different sequence positions; the
+            // derivation must still never produce a *cycle* through the
+            // checked add (skip duplicates in opposite order).
+            if !dag.reachable(b, a) {
+                dag.add_edge(a, b).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn response_expr_reads_exactly_the_used_services(wf in workflow(5)) {
+        prop_assume!(wf.validate(5).is_ok());
+        let k = derive_structure(&wf, 5, &ResourceMap::new()).unwrap();
+        prop_assert_eq!(k.response_expr.variables(), wf.services());
+        prop_assert_eq!(k.count_expr.variables(), wf.services());
+    }
+
+    #[test]
+    fn response_time_is_at_least_any_single_leg(
+        wf in workflow(5),
+        values in proptest::collection::vec(0.0f64..10.0, 5),
+    ) {
+        prop_assume!(wf.validate(5).is_ok());
+        // f(X) with all services at their values is ≥ the largest single
+        // contribution along any sequential chain — in particular, ≥ the
+        // value of every service that appears outside a choice. A cheap
+        // but telling consequence: f is nonnegative for nonnegative X.
+        let k = derive_structure(&wf, 5, &ResourceMap::new()).unwrap();
+        prop_assert!(k.response_expr.eval(&values) >= 0.0);
+        // And monotone: doubling every input cannot reduce it.
+        let doubled: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+        prop_assert!(k.response_expr.eval(&doubled) >= k.response_expr.eval(&values));
+    }
+
+    #[test]
+    fn expected_visits_are_consistent_with_task_counts(wf in workflow(5)) {
+        prop_assume!(wf.validate(5).is_ok());
+        let visits = expected_visits(&wf, 5);
+        // Total expected visits ≤ task count scaled by the largest loop
+        // factor; all entries nonnegative; services not used have zero.
+        for (s, &v) in visits.iter().enumerate() {
+            prop_assert!(v >= 0.0);
+            if !wf.services().contains(&s) {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+        let used: f64 = visits.iter().sum();
+        prop_assert!(used > 0.0);
+    }
+
+    #[test]
+    fn expected_qos_interpolates_choice_branches(
+        a in 0.0f64..10.0,
+        b in 0.0f64..10.0,
+        p in 0.05f64..0.95,
+    ) {
+        let wf = Workflow::Choice(vec![(p, Workflow::Task(0)), (1.0 - p, Workflow::Task(1))]);
+        let e = kert_workflow::expected_response_time(&wf, &[a, b]);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
+        prop_assert!((e - (p * a + (1.0 - p) * b)).abs() < 1e-12);
+    }
+}

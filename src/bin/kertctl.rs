@@ -1,0 +1,401 @@
+//! `kertctl` — the operational command-line front end.
+//!
+//! The paper's third contribution is an *implementation* that "can be
+//! integrated into autonomic solutions with minimal effort"; this tool is
+//! that integration surface without writing Rust: simulate an environment,
+//! build either model family, persist it, and query it.
+//!
+//! ```text
+//! kertctl simulate --services 12 --requests 800 --seed 7 --out scenario.json
+//! kertctl simulate --ediamond --requests 1200 --out scenario.json
+//! kertctl build --scenario scenario.json --family kert --mode discrete --out model.json
+//! kertctl info  --model model.json
+//! kertctl query --model model.json --target 6 --given 3=0.25 --given 0=0.05
+//! kertctl violation --model model.json --threshold 0.8 --given 3=0.25
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget has
+//! no CLI crate); every failure prints usage and exits nonzero.
+
+use std::process::ExitCode;
+
+use kert_bn::model::posterior::{query_posterior, McOptions};
+use kert_bn::model::{
+    ContinuousKertOptions, DiscreteKertOptions, KertBn, NrtBn, NrtOptions, SavedModel,
+};
+use kert_bn::prelude::*;
+use kert_bn::workflow::{random_workflow, GenOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// On-disk scenario: the workflow (the knowledge) plus the monitoring
+/// trace it produced.
+#[derive(Serialize, Deserialize)]
+struct ScenarioFile {
+    n_services: usize,
+    workflow: Workflow,
+    trace: Trace,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "build" => cmd_build(rest),
+        "info" => cmd_info(rest),
+        "query" => cmd_query(rest),
+        "violation" => cmd_violation(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("kertctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+kertctl — KERT-BN performance modeling from the command line
+
+USAGE:
+  kertctl simulate (--services N | --ediamond) [--requests R] [--seed S]
+          [--utilization U] --out scenario.json
+  kertctl build --scenario scenario.json --family kert|nrt|naive
+          --mode continuous|discrete [--bins B] [--restarts K] --out model.json
+  kertctl info --model model.json [--dot]
+  kertctl query --model model.json --target NODE [--given NODE=VALUE]...
+  kertctl violation --model model.json --threshold H [--given NODE=VALUE]...
+
+Raw measurement values are used in --given and --threshold; discrete
+models bin them internally. Node indices: services are 0..n-1 in column
+order; the end-to-end metric D is the last node (see `kertctl info`).";
+
+/// Minimal flag parser: `--key value` pairs, with repeatable keys.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {key:?}"));
+            };
+            // Boolean flags take no value.
+            if matches!(name, "ediamond" | "dot") {
+                pairs.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let requests: usize = flags.parse_num("requests", 800)?;
+    let seed: u64 = flags.parse_num("seed", 2026)?;
+    let utilization: f64 = flags.parse_num("utilization", 0.5)?;
+    let out = flags.require("out")?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (workflow, n, means): (Workflow, usize, Vec<f64>) = if flags.get("ediamond").is_some() {
+        (
+            ediamond_workflow(),
+            6,
+            vec![0.05, 0.05, 0.04, 0.25, 0.05, 0.12],
+        )
+    } else {
+        let n: usize = flags
+            .require("services")?
+            .parse()
+            .map_err(|_| "--services: not a number".to_string())?;
+        if n == 0 {
+            return Err("--services must be ≥ 1".into());
+        }
+        let wf = random_workflow(
+            n,
+            GenOptions {
+                choice_prob: 0.0,
+                loop_prob: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let means = (0..n).map(|_| rng.gen_range(0.02..0.10)).collect();
+        (wf, n, means)
+    };
+
+    let visits = kert_bn::workflow::expected_visits(&workflow, n);
+    let max_work = visits
+        .iter()
+        .zip(means.iter())
+        .map(|(&v, &m)| v * m)
+        .fold(1e-6f64, f64::max);
+    let stations: Vec<ServiceConfig> = means
+        .iter()
+        .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+        .collect();
+    let mut system = SimSystem::new(
+        &workflow,
+        stations,
+        SimOptions {
+            inter_arrival: Dist::Exponential {
+                mean: max_work / utilization.clamp(0.05, 0.95),
+            },
+            warmup: 100,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let trace = system.run(requests, &mut rng);
+    eprintln!(
+        "simulated {} requests over {} services (mean D = {:.4} s)",
+        trace.len(),
+        n,
+        trace.response_times().iter().sum::<f64>() / trace.len().max(1) as f64
+    );
+
+    let file = ScenarioFile {
+        n_services: n,
+        workflow,
+        trace,
+    };
+    let json = serde_json::to_string(&file).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("scenario written to {out}");
+    Ok(())
+}
+
+fn load_scenario(path: &str) -> Result<ScenarioFile, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let scenario = load_scenario(flags.require("scenario")?)?;
+    let family = flags.require("family")?;
+    let mode = flags.get("mode").unwrap_or("discrete");
+    let bins: usize = flags.parse_num("bins", 5)?;
+    let restarts: usize = flags.parse_num("restarts", 1)?;
+    let seed: u64 = flags.parse_num("seed", 1)?;
+    let out = flags.require("out")?;
+
+    let data = scenario.trace.to_dataset(None);
+    let knowledge = derive_structure(&scenario.workflow, scenario.n_services, &ResourceMap::new())
+        .map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let saved: SavedModel = match (family, mode) {
+        ("kert", "continuous") => {
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default())
+                .map_err(|e| e.to_string())?
+                .to_saved()
+        }
+        ("kert", "discrete") => KertBn::build_discrete(
+            &knowledge,
+            &data,
+            DiscreteKertOptions {
+                bins,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?
+        .to_saved(),
+        ("nrt", "continuous") => NrtBn::build_continuous(
+            &data,
+            NrtOptions {
+                restarts,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?
+        .to_saved(),
+        ("nrt", "discrete") => NrtBn::build_discrete(
+            &data,
+            NrtOptions {
+                restarts,
+                bins,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?
+        .to_saved(),
+        ("naive", "discrete") => NrtBn::build_naive_discrete(
+            &data,
+            NrtOptions {
+                bins,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?
+        .to_saved(),
+        (f, m) => return Err(format!("unsupported combination --family {f} --mode {m}")),
+    };
+    let json = saved.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "{family}/{mode} model over {} nodes written to {out}",
+        saved.network.len()
+    );
+    Ok(())
+}
+
+fn load_model(flags: &Flags) -> Result<SavedModel, String> {
+    let path = flags.require("model")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SavedModel::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let saved = load_model(&flags)?;
+    if flags.get("dot").is_some() {
+        // Graphviz view of the structure — pipe into `dot -Tsvg`.
+        print!("{}", kert_bn::bayes::dot::network_to_dot(&saved.network, "kert_model"));
+        return Ok(());
+    }
+    println!("family        : {:?}", saved.kind);
+    println!("nodes         : {}", saved.network.len());
+    println!("services      : {}", saved.n_services);
+    println!("metric node D : {}", saved.d_node);
+    println!(
+        "mode          : {}",
+        if saved.discretizer.is_some() {
+            "discrete"
+        } else {
+            "continuous"
+        }
+    );
+    println!("edges:");
+    for (from, to) in saved.network.dag().edges() {
+        println!(
+            "  {} -> {}",
+            saved.network.variables()[from].name,
+            saved.network.variables()[to].name
+        );
+    }
+    Ok(())
+}
+
+fn parse_evidence(flags: &Flags) -> Result<Vec<(usize, f64)>, String> {
+    flags
+        .get_all("given")
+        .into_iter()
+        .map(|pair| {
+            let (node, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--given wants NODE=VALUE, got {pair:?}"))?;
+            let node: usize = node
+                .parse()
+                .map_err(|_| format!("--given: bad node index {node:?}"))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| format!("--given: bad value {value:?}"))?;
+            Ok((node, value))
+        })
+        .collect()
+}
+
+fn run_query(
+    saved: &SavedModel,
+    target: usize,
+    evidence: &[(usize, f64)],
+) -> Result<kert_bn::model::Posterior, String> {
+    let mut rng = StdRng::seed_from_u64(7);
+    query_posterior(
+        &saved.network,
+        saved.discretizer.as_ref(),
+        evidence,
+        target,
+        McOptions::default(),
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let saved = load_model(&flags)?;
+    let target: usize = flags
+        .require("target")?
+        .parse()
+        .map_err(|_| "--target: not a node index".to_string())?;
+    let evidence = parse_evidence(&flags)?;
+    let posterior = run_query(&saved, target, &evidence)?;
+    let name = &saved.network.variables()[target].name;
+    println!("posterior of {name} given {evidence:?}:");
+    println!("  mean = {:.6}", posterior.mean());
+    println!("  sd   = {:.6}", posterior.std_dev());
+    if let kert_bn::model::Posterior::Discrete { support, probs } = &posterior {
+        for (v, p) in support.iter().zip(probs.iter()) {
+            println!("  {v:>12.6}  {p:.4}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_violation(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let saved = load_model(&flags)?;
+    let threshold: f64 = flags
+        .require("threshold")?
+        .parse()
+        .map_err(|_| "--threshold: not a number".to_string())?;
+    let evidence = parse_evidence(&flags)?;
+    let posterior = run_query(&saved, saved.d_node, &evidence)?;
+    println!(
+        "P(D > {threshold}) = {:.4}   (E[D] = {:.4})",
+        posterior.exceedance(threshold),
+        posterior.mean()
+    );
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests of the `kertctl` operational CLI: simulate → build →
+//! info/query/violation, driving the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kertctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_kertctl"))
+        .args(args)
+        .output()
+        .expect("kertctl binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kertctl-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_pipeline_ediamond() {
+    let scenario = tmp("scenario.json");
+    let model = tmp("model.json");
+
+    // Simulate the test-bed.
+    let out = kertctl(&[
+        "simulate",
+        "--ediamond",
+        "--requests",
+        "400",
+        "--seed",
+        "3",
+        "--out",
+        scenario.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(scenario.exists());
+
+    // Build a discrete KERT-BN.
+    let out = kertctl(&[
+        "build",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--family",
+        "kert",
+        "--mode",
+        "discrete",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Inspect it.
+    let out = kertctl(&["info", "--model", model.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("family        : Kert"), "{stdout}");
+    assert!(stdout.contains("nodes         : 7"), "{stdout}");
+    assert!(stdout.contains("X2 -> X3"), "{stdout}");
+
+    // Query the response-time posterior given a slow remote locator.
+    let out = kertctl(&[
+        "query",
+        "--model",
+        model.to_str().unwrap(),
+        "--target",
+        "6",
+        "--given",
+        "3=0.4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("posterior of D"), "{stdout}");
+    assert!(stdout.contains("mean ="), "{stdout}");
+
+    // Graphviz export.
+    let out = kertctl(&["info", "--model", model.to_str().unwrap(), "--dot"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph kert_model"), "{stdout}");
+    assert!(stdout.contains("->"), "{stdout}");
+
+    // Violation probability.
+    let out = kertctl(&[
+        "violation",
+        "--model",
+        model.to_str().unwrap(),
+        "--threshold",
+        "0.8",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P(D > 0.8)"), "{stdout}");
+
+    let _ = std::fs::remove_file(&scenario);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn random_environment_and_nrt_family() {
+    let scenario = tmp("rand-scenario.json");
+    let model = tmp("rand-model.json");
+
+    let out = kertctl(&[
+        "simulate",
+        "--services",
+        "8",
+        "--requests",
+        "200",
+        "--out",
+        scenario.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = kertctl(&[
+        "build",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--family",
+        "nrt",
+        "--mode",
+        "continuous",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = kertctl(&["info", "--model", model.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("family        : Nrt"), "{stdout}");
+    assert!(stdout.contains("mode          : continuous"), "{stdout}");
+
+    let _ = std::fs::remove_file(&scenario);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown command.
+    let out = kertctl(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = kertctl(&["simulate", "--services", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --out"));
+
+    // Bad evidence syntax.
+    let model = tmp("never-built.json");
+    let out = kertctl(&[
+        "query",
+        "--model",
+        model.to_str().unwrap(),
+        "--target",
+        "0",
+    ]);
+    assert!(!out.status.success());
+
+    // Help succeeds.
+    let out = kertctl(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: simulate → build both model families →
+//! verify the paper's comparative claims on a laptop-scale instance.
+
+use kert_bn::model::{ContinuousKertOptions, DiscreteKertOptions, KertBn, NrtBn, NrtOptions};
+use kert_bn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulated eDiaMoND deployment shared by the tests.
+fn ediamond_data(rows: usize, seed: u64) -> (WorkflowKnowledge, Dataset) {
+    let workflow = ediamond_workflow();
+    let knowledge = derive_structure(&workflow, 6, &ResourceMap::new()).unwrap();
+    let means = [0.05, 0.05, 0.04, 0.20, 0.05, 0.10];
+    let stations: Vec<ServiceConfig> = means
+        .iter()
+        .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+        .collect();
+    let mut system = SimSystem::new(
+        &workflow,
+        stations,
+        SimOptions {
+            inter_arrival: Dist::Exponential { mean: 0.5 },
+            warmup: 100,
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (knowledge, system.run(rows, &mut rng).to_dataset(None))
+}
+
+#[test]
+fn kert_beats_nrt_on_cost_and_matches_on_accuracy_continuous() {
+    let (knowledge, data) = ediamond_data(700, 1);
+    let (train, test) = data.split_at(600);
+
+    let kert =
+        KertBn::build_continuous(&knowledge, &train, ContinuousKertOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let nrt = NrtBn::build_continuous(&train, NrtOptions::default(), &mut rng).unwrap();
+
+    // Claim 1 (Fig. 3): construction cost.
+    assert!(kert.report().total() < nrt.report().total());
+    assert_eq!(kert.report().score_evaluations, 0);
+    assert!(nrt.report().score_evaluations > 0);
+
+    // Claim 2 (Fig. 3): accuracy at worst marginally below, usually above.
+    let kert_acc = kert.accuracy(&test).unwrap();
+    let nrt_acc = nrt.accuracy(&test).unwrap();
+    assert!(
+        kert_acc >= nrt_acc - 0.05 * nrt_acc.abs(),
+        "kert {kert_acc} vs nrt {nrt_acc}"
+    );
+}
+
+#[test]
+fn kert_beats_nrt_discrete_on_cost() {
+    let (knowledge, data) = ediamond_data(800, 3);
+    let (train, test) = data.split_at(600);
+
+    let kert = KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let nrt = NrtBn::build_discrete(&train, NrtOptions::default(), &mut rng).unwrap();
+
+    assert!(kert.report().structure_time < nrt.report().structure_time);
+    let kert_acc = kert.accuracy(&test).unwrap();
+    let nrt_acc = nrt.accuracy(&test).unwrap();
+    assert!(kert_acc.is_finite() && nrt_acc.is_finite());
+    // Discrete accuracies are log-probabilities of the same binned data —
+    // directly comparable; KERT must be in the same league or better.
+    assert!(
+        kert_acc >= nrt_acc - 0.15 * nrt_acc.abs(),
+        "kert {kert_acc} vs nrt {nrt_acc}"
+    );
+}
+
+#[test]
+fn small_training_windows_favor_kert_more() {
+    // Data-sensitivity claim: shrink the window to 36 points (the paper's
+    // fast-reconstruction regime) and the gap must not close.
+    let (knowledge, data) = ediamond_data(200, 5);
+    let (train, test) = data.split_at(36);
+
+    let kert =
+        KertBn::build_continuous(&knowledge, &train, ContinuousKertOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let nrt = NrtBn::build_continuous(&train, NrtOptions::default(), &mut rng).unwrap();
+
+    let kert_acc = kert.accuracy(&test).unwrap();
+    let nrt_acc = nrt.accuracy(&test).unwrap();
+    assert!(
+        kert_acc >= nrt_acc - 0.05 * nrt_acc.abs(),
+        "at 36 points: kert {kert_acc} vs nrt {nrt_acc}"
+    );
+}
+
+#[test]
+fn simulated_response_times_satisfy_the_workflow_identity() {
+    // The soundness anchor of the whole reproduction: with noise-free
+    // monitoring the simulator's end-to-end response time is *exactly*
+    // the workflow-derived deterministic function of the per-service
+    // elapsed times — Eq. 4 with l = 0.
+    let (knowledge, data) = ediamond_data(300, 7);
+    for r in 0..data.rows() {
+        let row = data.row(r);
+        let f = knowledge.response_expr.eval(&row[..6]);
+        assert!(
+            (f - row[6]).abs() < 1e-9,
+            "row {r}: f(X) = {f} but D = {}",
+            row[6]
+        );
+    }
+}
+
+#[test]
+fn facade_prelude_compiles_and_links_everything() {
+    // The quickstart path from the crate docs, in miniature.
+    let workflow = ediamond_workflow();
+    let knowledge = derive_structure(&workflow, 6, &ResourceMap::new()).unwrap();
+    let stations: Vec<ServiceConfig> = (0..6)
+        .map(|_| ServiceConfig::single(Dist::Exponential { mean: 0.05 }))
+        .collect();
+    let mut system = SimSystem::new(&workflow, stations, SimOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let train = system.run(200, &mut rng).to_dataset(None);
+    let model = KertBn::build_continuous(&knowledge, &train, Default::default()).unwrap();
+    assert_eq!(model.network().len(), 7);
+}

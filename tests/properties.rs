@@ -1,0 +1,148 @@
+//! Cross-crate property-based tests: the invariants that tie the
+//! workflow algebra, the simulator, and the models together.
+
+use kert_bn::prelude::*;
+use kert_bn::workflow::{random_workflow, GenOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central soundness invariant: for *any* generated workflow, the
+    /// simulator's end-to-end response time equals the workflow-derived
+    /// deterministic function of the measured elapsed times, request by
+    /// request — including choices (untaken branch measures zero) and
+    /// loops (iterations accumulate).
+    #[test]
+    fn simulator_satisfies_the_cardoso_identity(
+        n in 2usize..14,
+        seed in 0u64..500,
+        with_choices in proptest::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = if with_choices {
+            GenOptions::default()
+        } else {
+            GenOptions { choice_prob: 0.0, loop_prob: 0.0, ..Default::default() }
+        };
+        let workflow = random_workflow(n, gen, &mut rng);
+        let knowledge = derive_structure(&workflow, n, &ResourceMap::new()).unwrap();
+        let stations: Vec<ServiceConfig> = (0..n)
+            .map(|_| ServiceConfig::single(Dist::Exponential { mean: 0.02 }))
+            .collect();
+        let mut system = SimSystem::new(
+            &workflow,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 0.5 },
+                warmup: 5,
+            },
+        )
+        .unwrap();
+        let trace = system.run(40, &mut rng);
+        let exact = !workflow.has_parallel_under_loop();
+        for row in trace.rows() {
+            let f = knowledge.response_expr.eval(&row.elapsed);
+            if exact {
+                prop_assert!(
+                    (f - row.response_time).abs() < 1e-9,
+                    "f(X) = {f} vs D = {}",
+                    row.response_time
+                );
+            } else {
+                // Documented exception: parallel inside a loop body makes
+                // f(X) a lower bound (accumulation vs max).
+                prop_assert!(f <= row.response_time + 1e-9);
+            }
+        }
+    }
+
+    /// Structure derivation always yields an acyclic, in-range edge set
+    /// that can be assembled into a valid KERT-BN DAG.
+    #[test]
+    fn derived_structures_are_always_valid_dags(
+        n in 2usize..30,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workflow = random_workflow(n, GenOptions::default(), &mut rng);
+        let knowledge = derive_structure(&workflow, n, &ResourceMap::new()).unwrap();
+        let mut dag = kert_bn::bayes::Dag::new(n + 1);
+        for &(a, b) in &knowledge.upstream_edges {
+            prop_assert!(a < n && b < n && a != b);
+            dag.add_edge(a, b).unwrap(); // add_edge rejects cycles
+        }
+        for v in knowledge.response_expr.variables() {
+            dag.add_edge(v, n).unwrap();
+        }
+        // Topological order exists and has the right length.
+        prop_assert_eq!(dag.topological_order().len(), n + 1);
+    }
+
+    /// A continuous KERT-BN built on any (choice-free) environment scores
+    /// finite likelihoods on data from the same environment and never does
+    /// structure search.
+    #[test]
+    fn kert_builds_are_finite_and_search_free(
+        n in 2usize..10,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = GenOptions { choice_prob: 0.0, loop_prob: 0.0, ..Default::default() };
+        let workflow = random_workflow(n, gen, &mut rng);
+        let knowledge = derive_structure(&workflow, n, &ResourceMap::new()).unwrap();
+        let stations: Vec<ServiceConfig> = (0..n)
+            .map(|_| ServiceConfig::single(Dist::Erlang { k: 3, mean: 0.03 }))
+            .collect();
+        let mut system = SimSystem::new(
+            &workflow,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 0.3 },
+                warmup: 10,
+            },
+        )
+        .unwrap();
+        let data = system.run(80, &mut rng).to_dataset(None);
+        let model = KertBn::build_continuous(&knowledge, &data, Default::default()).unwrap();
+        prop_assert_eq!(model.report().score_evaluations, 0);
+        let acc = model.accuracy(&data).unwrap();
+        prop_assert!(acc.is_finite());
+    }
+
+    /// Expected-QoS reduction evaluated on per-service means lower-bounds
+    /// the simulated mean response time (Jensen: E[max] ≥ max(E), queueing
+    /// only adds delay).
+    #[test]
+    fn analytical_qos_lower_bounds_simulation(
+        n in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = GenOptions { choice_prob: 0.0, loop_prob: 0.0, ..Default::default() };
+        let workflow = random_workflow(n, gen, &mut rng);
+        let means = vec![0.05; n];
+        let stations: Vec<ServiceConfig> = means
+            .iter()
+            .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+            .collect();
+        let mut system = SimSystem::new(
+            &workflow,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 1.0 },
+                warmup: 20,
+            },
+        )
+        .unwrap();
+        let trace = system.run(150, &mut rng);
+        let sim_mean = kert_bn::linalg::stats::mean(&trace.response_times());
+        let analytical = kert_bn::workflow::expected_response_time(&workflow, &means);
+        prop_assert!(
+            sim_mean > analytical * 0.95,
+            "simulated {sim_mean} should not undercut the analytical bound {analytical}"
+        );
+    }
+}
