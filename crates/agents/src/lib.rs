@@ -12,7 +12,7 @@
 //! Modules:
 //! * [`local`] — fit a node's CPD from an agent-local dataset (own +
 //!   parent columns), remapping indices between local and network views.
-//! * [`runtime`] — the concurrent execution: a crossbeam-scoped worker pool
+//! * [`runtime`] — the concurrent execution: a scoped worker pool
 //!   plays the agent fleet, one learning task per node, with per-task
 //!   timing; plus the sequential centralized reference path.
 //! * [`scheduler`] — the periodic reconstruction scheme of §2:

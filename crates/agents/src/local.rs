@@ -101,8 +101,8 @@ pub fn fit_node_from_local(
             .map_err(map_err)
         }
         VariableKind::Continuous => {
-            let fitted = mle::fit_linear_gaussian(own_col, &local_parents, &local.data)
-                .map_err(map_err)?;
+            let fitted =
+                mle::fit_linear_gaussian(own_col, &local_parents, &local.data).map_err(map_err)?;
             LinearGaussianCpd::new(
                 node,
                 local.parents.clone(),
@@ -121,7 +121,9 @@ mod tests {
     use super::*;
 
     fn continuous_vars(n: usize) -> Vec<Variable> {
-        (0..n).map(|i| Variable::continuous(format!("X{i}"))).collect()
+        (0..n)
+            .map(|i| Variable::continuous(format!("X{i}")))
+            .collect()
     }
 
     #[test]
@@ -134,18 +136,14 @@ mod tests {
                 vec![a, b, 1.0 + 2.0 * a - 0.5 * b]
             })
             .collect();
-        let data = Dataset::from_rows(
-            vec!["X3".into(), "X4".into(), "X6".into()],
-            rows,
-        )
-        .unwrap();
+        let data = Dataset::from_rows(vec!["X3".into(), "X4".into(), "X6".into()], rows).unwrap();
         let local = LocalDataset {
             node: 5,
             parents: vec![2, 3],
             data,
         };
-        let cpd = fit_node_from_local(&continuous_vars(6), &local, ParamOptions::default())
-            .unwrap();
+        let cpd =
+            fit_node_from_local(&continuous_vars(6), &local, ParamOptions::default()).unwrap();
         assert_eq!(cpd.child(), 5);
         assert_eq!(cpd.parents(), &[2, 3]);
         match cpd {
@@ -180,7 +178,9 @@ mod tests {
         let cpd = fit_node_from_local(
             &vars,
             &local,
-            ParamOptions { dirichlet_alpha: 0.0 },
+            ParamOptions {
+                dirichlet_alpha: 0.0,
+            },
         )
         .unwrap();
         match cpd {

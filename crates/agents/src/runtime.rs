@@ -1,6 +1,6 @@
 //! Concurrent (decentralized) vs. sequential (centralized) learning.
 //!
-//! The decentralized path plays the agent fleet on a crossbeam-scoped
+//! The decentralized path plays the agent fleet on a `std::thread::scope`
 //! worker pool: each node's CPD is one task, tasks are pulled from a shared
 //! queue, and every task's learning time is measured individually. Because
 //! real deployments run each agent on its own machine, the *reported*
@@ -10,12 +10,12 @@
 //! returned so Figure 5 can plot them from a single run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use kert_bayes::cpd::Cpd;
 use kert_bayes::learn::mle::ParamOptions;
 use kert_bayes::{Dag, Dataset, Variable};
-use parking_lot::Mutex;
 
 use crate::local::{fit_node_from_local, LocalDataset};
 use crate::{AgentError, Result};
@@ -107,9 +107,9 @@ pub fn decentralized_learn(
     let results: Vec<TaskCell> = (0..n).map(|_| Mutex::new(None)).collect();
 
     let wall_start = Instant::now();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let task = next_task.fetch_add(1, Ordering::Relaxed);
                 if task >= n {
                     break;
@@ -117,11 +117,10 @@ pub fn decentralized_learn(
                 let started = Instant::now();
                 let outcome = fit_node_from_local(variables, &locals[task], options.params)
                     .map(|cpd| (cpd, started.elapsed()));
-                *results[task].lock() = Some(outcome);
+                *results[task].lock().expect("result cell not poisoned") = Some(outcome);
             });
         }
-    })
-    .expect("learning workers do not panic");
+    });
     let wall_time = wall_start.elapsed();
 
     let mut cpds = Vec::with_capacity(n);
@@ -129,6 +128,7 @@ pub fn decentralized_learn(
     for cell in results {
         let (cpd, t) = cell
             .into_inner()
+            .expect("result cell not poisoned")
             .expect("every task index below n is processed")?;
         cpds.push(cpd);
         node_times.push(t);

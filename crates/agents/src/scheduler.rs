@@ -235,9 +235,27 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(ModelSchedule { t_data: 0.0, alpha_model: 1, k: 1 }.validate().is_err());
-        assert!(ModelSchedule { t_data: 1.0, alpha_model: 0, k: 1 }.validate().is_err());
-        assert!(ModelSchedule { t_data: 1.0, alpha_model: 1, k: 0 }.validate().is_err());
+        assert!(ModelSchedule {
+            t_data: 0.0,
+            alpha_model: 1,
+            k: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ModelSchedule {
+            t_data: 1.0,
+            alpha_model: 0,
+            k: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ModelSchedule {
+            t_data: 1.0,
+            alpha_model: 1,
+            k: 0
+        }
+        .validate()
+        .is_err());
     }
 
     fn one_row(v: f64) -> Dataset {
@@ -246,7 +264,11 @@ mod tests {
 
     #[test]
     fn window_triggers_every_alpha_batches_and_slides() {
-        let schedule = ModelSchedule { t_data: 1.0, alpha_model: 3, k: 2 };
+        let schedule = ModelSchedule {
+            t_data: 1.0,
+            alpha_model: 3,
+            k: 2,
+        };
         let mut w = ReconstructionWindow::new(schedule, vec!["x".into()]).unwrap();
         let mut windows = Vec::new();
         for i in 0..12 {
@@ -286,7 +308,11 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_reported() {
-        let schedule = ModelSchedule { t_data: 1.0, alpha_model: 2, k: 1 };
+        let schedule = ModelSchedule {
+            t_data: 1.0,
+            alpha_model: 2,
+            k: 1,
+        };
         let mut w = ReconstructionWindow::new(schedule, vec!["x".into()]).unwrap();
         let bad = Dataset::new(vec!["y".into()]);
         assert!(w.push_interval(&bad).is_err());

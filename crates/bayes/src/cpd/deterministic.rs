@@ -84,7 +84,9 @@ impl DeterministicCpd {
                 return Err(BayesError::InvalidCpd(format!("leak {leak} out of [0,1)")));
             }
             if *card < 2 {
-                return Err(BayesError::InvalidCpd("discrete child needs ≥ 2 states".into()));
+                return Err(BayesError::InvalidCpd(
+                    "discrete child needs ≥ 2 states".into(),
+                ));
             }
             if child_edges.len() + 1 != *card {
                 return Err(BayesError::InvalidCpd(format!(
@@ -264,8 +266,10 @@ mod tests {
     #[test]
     fn self_reference_rejected() {
         let expr = Expr::Var(3);
-        assert!(DeterministicCpd::from_network_expr(3, &expr, DetNoise::Gaussian { sigma: 0.1 })
-            .is_err());
+        assert!(
+            DeterministicCpd::from_network_expr(3, &expr, DetNoise::Gaussian { sigma: 0.1 })
+                .is_err()
+        );
     }
 
     fn disc_cpd(leak: f64) -> DeterministicCpd {

@@ -24,6 +24,7 @@ mod tabular;
 pub use deterministic::{DetNoise, DeterministicCpd};
 pub use linear_gaussian::{LinearGaussianCpd, VARIANCE_FLOOR};
 pub use tabular::TabularCpd;
+pub(crate) use tabular::PROB_FLOOR;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

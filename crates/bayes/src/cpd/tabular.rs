@@ -8,7 +8,7 @@ use crate::{BayesError, Result};
 
 /// Probability floor used when taking logs of empty table cells; prevents
 /// `-∞` log-likelihoods from a single unseen test configuration.
-const PROB_FLOOR: f64 = 1e-12;
+pub(crate) const PROB_FLOOR: f64 = 1e-12;
 
 /// A conditional probability table `P(child | parents)`.
 ///
@@ -79,7 +79,12 @@ impl TabularCpd {
     }
 
     /// Uniform CPT (the zero-knowledge prior).
-    pub fn uniform(child: usize, parents: Vec<usize>, card: usize, parent_cards: Vec<usize>) -> Self {
+    pub fn uniform(
+        child: usize,
+        parents: Vec<usize>,
+        card: usize,
+        parent_cards: Vec<usize>,
+    ) -> Self {
         let configs = config_count(&parent_cards);
         TabularCpd {
             child,
@@ -232,8 +237,8 @@ mod tests {
     #[test]
     fn from_counts_mle_and_smoothing() {
         // counts: config 0 → (3, 1); config 1 → (0, 0)
-        let cpd = TabularCpd::from_counts(1, vec![0], 2, vec![2], &[3.0, 1.0, 0.0, 0.0], 0.0)
-            .unwrap();
+        let cpd =
+            TabularCpd::from_counts(1, vec![0], 2, vec![2], &[3.0, 1.0, 0.0, 0.0], 0.0).unwrap();
         assert!((cpd.prob(0, &[0]) - 0.75).abs() < 1e-12);
         // Empty config falls back to uniform.
         assert!((cpd.prob(0, &[1]) - 0.5).abs() < 1e-12);

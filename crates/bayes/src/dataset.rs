@@ -201,8 +201,8 @@ mod tests {
 
     #[test]
     fn state_parses_integers_only() {
-        let ds = Dataset::from_rows(vec!["s".into()], vec![vec![2.0], vec![1.5], vec![-1.0]])
-            .unwrap();
+        let ds =
+            Dataset::from_rows(vec!["s".into()], vec![vec![2.0], vec![1.5], vec![-1.0]]).unwrap();
         assert_eq!(ds.state(0, 0).unwrap(), 2);
         assert!(ds.state(1, 0).is_err());
         assert!(ds.state(2, 0).is_err());

@@ -26,9 +26,18 @@ pub struct ColumnBins {
     /// Interior cut points, ascending, length `bins − 1`. Value `v` maps to
     /// state `#{e ∈ edges : v ≥ e}`.
     pub edges: Vec<f64>,
-    /// Representative value per state (bin centers; outer bins use the
-    /// training min/max as the outer boundary).
+    /// Representative value per state: the mean of the training values
+    /// falling in the bin (its centroid). On skewed data this is a far
+    /// better stand-in than the geometric bin center — the outer bin of a
+    /// heavy-tailed column is dragged toward the max by a single outlier,
+    /// and a sum of center-based representatives then systematically
+    /// overshoots. Empty bins (possible after tie-nudging of
+    /// equal-frequency edges) fall back to the geometric center.
     pub midpoints: Vec<f64>,
+    /// Smallest training value (lower boundary of bin 0).
+    pub lo: f64,
+    /// Largest training value (upper boundary of the last bin).
+    pub hi: f64,
 }
 
 impl ColumnBins {
@@ -62,14 +71,34 @@ impl ColumnBins {
                 edges
             }
         };
-        // Midpoints: centers between consecutive boundaries, with the data
-        // min/max closing the outer bins.
+        // Representatives: within-bin training means, geometric centers for
+        // empty bins.
+        let mut sums = vec![0.0f64; bins];
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let s = edges.iter().take_while(|&&e| v >= e).count();
+            sums[s] += v;
+            counts[s] += 1;
+        }
         let mut bounds = Vec::with_capacity(bins + 1);
         bounds.push(lo);
         bounds.extend_from_slice(&edges);
         bounds.push(hi);
-        let midpoints = bounds.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
-        Ok(ColumnBins { edges, midpoints })
+        let midpoints = (0..bins)
+            .map(|s| {
+                if counts[s] > 0 {
+                    sums[s] / counts[s] as f64
+                } else {
+                    0.5 * (bounds[s] + bounds[s + 1])
+                }
+            })
+            .collect();
+        Ok(ColumnBins {
+            edges,
+            midpoints,
+            lo,
+            hi,
+        })
     }
 
     /// Number of states.
@@ -86,6 +115,23 @@ impl ColumnBins {
     /// Representative value of a state.
     pub fn midpoint(&self, state: usize) -> f64 {
         self.midpoints[state.min(self.midpoints.len() - 1)]
+    }
+
+    /// Value interval `[lower, upper)` covered by a state, with the
+    /// training min/max closing the outer bins.
+    pub fn bounds(&self, state: usize) -> (f64, f64) {
+        let state = state.min(self.edges.len());
+        let lower = if state == 0 {
+            self.lo
+        } else {
+            self.edges[state - 1]
+        };
+        let upper = if state == self.edges.len() {
+            self.hi
+        } else {
+            self.edges[state]
+        };
+        (lower, upper)
     }
 }
 
@@ -165,11 +211,27 @@ mod tests {
     }
 
     #[test]
-    fn midpoints_are_bin_centers() {
+    fn representatives_are_within_bin_means() {
         let values: Vec<f64> = (0..=10).map(|i| i as f64).collect();
         let bins = ColumnBins::fit(&values, 5, BinStrategy::EqualWidth).unwrap();
-        assert_eq!(bins.midpoints, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
-        assert_eq!(bins.midpoint(2), 5.0);
+        // Bin 0 holds {0, 1}, bin 1 holds {2, 3}, …, bin 4 holds {8, 9, 10}.
+        assert_eq!(bins.midpoints, vec![0.5, 2.5, 4.5, 6.5, 9.0]);
+        assert_eq!(bins.midpoint(2), 4.5);
+    }
+
+    #[test]
+    fn skewed_data_representatives_track_the_mass_not_the_range() {
+        // 99 points near zero plus one huge outlier: the top bin's
+        // representative must sit on its data, not halfway to the outlier.
+        let mut values: Vec<f64> = (0..99).map(|i| i as f64 * 0.01).collect();
+        values.push(1000.0);
+        let bins = ColumnBins::fit(&values, 4, BinStrategy::EqualFrequency).unwrap();
+        let top = *bins.midpoints.last().unwrap();
+        let lower_sane = bins.midpoints[..3].iter().all(|&m| m < 1.0);
+        assert!(lower_sane, "midpoints={:?}", bins.midpoints);
+        // Top bin: ~25 points below 1.0 and the 1000.0 outlier → mean ≈ 40,
+        // far below the geometric center (~500).
+        assert!(top < 100.0, "top representative {top}");
     }
 
     #[test]

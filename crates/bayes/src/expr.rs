@@ -103,12 +103,7 @@ impl Expr {
         Ok((intercept, coeffs))
     }
 
-    fn accumulate_linear(
-        &self,
-        scale: f64,
-        intercept: &mut f64,
-        coeffs: &mut [f64],
-    ) -> Result<()> {
+    fn accumulate_linear(&self, scale: f64, intercept: &mut f64, coeffs: &mut [f64]) -> Result<()> {
         match self {
             Expr::Const(c) => {
                 *intercept += scale * c;
@@ -254,12 +249,15 @@ mod tests {
         let f = Expr::Add(vec![Expr::Var(0), Expr::Var(2)]);
         let g = f.remap(&|i| i + 10);
         assert_eq!(g.variables(), vec![10, 12]);
-        assert_eq!(g.eval(&{
-            let mut v = vec![0.0; 13];
-            v[10] = 1.0;
-            v[12] = 5.0;
-            v
-        }), 6.0);
+        assert_eq!(
+            g.eval(&{
+                let mut v = vec![0.0; 13];
+                v[10] = 1.0;
+                v[12] = 5.0;
+                v
+            }),
+            6.0
+        );
     }
 
     #[test]

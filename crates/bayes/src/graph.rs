@@ -211,7 +211,11 @@ impl Dag {
         queue.push_back((x, true)); // leaving x upward…
         queue.push_back((x, false)); // …and downward
         while let Some((u, up)) = queue.pop_front() {
-            let seen = if up { &mut visited_up } else { &mut visited_down };
+            let seen = if up {
+                &mut visited_up
+            } else {
+                &mut visited_down
+            };
             if seen[u] {
                 continue;
             }
@@ -318,7 +322,10 @@ mod tests {
             g.add_edge(3, 0),
             Err(BayesError::CycleDetected { from: 3, to: 0 })
         ));
-        assert!(matches!(g.add_edge(1, 1), Err(BayesError::CycleDetected { .. })));
+        assert!(matches!(
+            g.add_edge(1, 1),
+            Err(BayesError::CycleDetected { .. })
+        ));
         // The failed insert must not corrupt the graph.
         assert_eq!(g.edge_count(), 4);
     }
@@ -428,7 +435,7 @@ mod tests {
     #[test]
     fn d_separation_on_the_diamond() {
         let g = diamond(); // 0→1, 0→2, 1→3, 2→3
-        // The two middle nodes are dependent via the fork at 0…
+                           // The two middle nodes are dependent via the fork at 0…
         assert!(!g.d_separated(1, 2, &[]));
         // …independent given 0 (the collider at 3 is unobserved)…
         assert!(g.d_separated(1, 2, &[0]));

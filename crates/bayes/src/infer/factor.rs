@@ -5,9 +5,64 @@
 //! deterministic CPD, enumerated over its parent configurations — feasible
 //! for test-bed-sized nets, which is precisely where the paper uses the
 //! discrete model), then multiplied and summed out.
+//!
+//! The combination kernels (`product`, `sum_out`, `reduce`) walk the tables
+//! with precomputed stride tables and an odometer over the scope instead of
+//! decoding every linear index into a configuration vector: each table
+//! entry costs a few adds rather than two O(scope) encode/decode passes,
+//! and no per-entry allocation happens. The original index-arithmetic
+//! implementations are kept in [`naive`] as differential oracles for the
+//! property tests and as the "before" side of the kernel benchmarks.
 
-use crate::cpd::{config_count, decode_config, Cpd};
+use crate::cpd::{config_count, Cpd, DetNoise, PROB_FLOOR};
 use crate::{BayesError, Result};
+
+/// Row-major strides for a cardinality vector: `strides[p]` is how far the
+/// linear index moves when position `p` increments (last position fastest).
+fn strides(cards: &[usize]) -> Vec<usize> {
+    let mut out = vec![1usize; cards.len()];
+    for p in (0..cards.len().saturating_sub(1)).rev() {
+        out[p] = out[p + 1] * cards[p + 1];
+    }
+    out
+}
+
+/// Odometer over `cards` tracking one or more linear indices via per-slot
+/// stride tables. `advance` steps to the next configuration in natural
+/// (last-fastest) order, updating every tracked index incrementally.
+struct Odometer<'a> {
+    cards: &'a [usize],
+    counters: Vec<usize>,
+}
+
+impl<'a> Odometer<'a> {
+    fn new(cards: &'a [usize]) -> Self {
+        Odometer {
+            cards,
+            counters: vec![0usize; cards.len()],
+        }
+    }
+
+    /// Advance to the next configuration; `indices[k]` moves by
+    /// `stride_tables[k][p]` whenever position `p` increments (and unwinds
+    /// on wrap). Stride tables use 0 for positions a given index ignores.
+    #[inline]
+    fn advance(&mut self, stride_tables: &[&[usize]], indices: &mut [usize]) {
+        for p in (0..self.cards.len()).rev() {
+            self.counters[p] += 1;
+            for (k, table) in stride_tables.iter().enumerate() {
+                indices[k] += table[p];
+            }
+            if self.counters[p] < self.cards[p] {
+                return;
+            }
+            self.counters[p] = 0;
+            for (k, table) in stride_tables.iter().enumerate() {
+                indices[k] -= table[p] * self.cards[p];
+            }
+        }
+    }
+}
 
 /// A factor over a sorted list of discrete variables.
 #[derive(Debug, Clone)]
@@ -43,7 +98,11 @@ impl Factor {
                 config_count(&cards)
             )));
         }
-        Ok(Factor { vars, cards, values })
+        Ok(Factor {
+            vars,
+            cards,
+            values,
+        })
     }
 
     /// The trivial factor (empty scope, single value 1).
@@ -73,10 +132,13 @@ impl Factor {
     /// Convert a CPD into a factor over `{parents ∪ child}`.
     ///
     /// `cards[i]` must give the cardinality of node `i`. For tabular CPDs
-    /// this is a re-indexing; for deterministic CPDs the function is
-    /// *enumerated* over all parent configurations — exponential in the
+    /// this is a direct stride re-indexing of the stored table (no `ln`/
+    /// `exp` roundtrip); for discrete deterministic CPDs the workflow
+    /// expression is evaluated once per *parent* configuration and the
+    /// child row filled from the leak model — still exponential in the
     /// parent count, so only sensible for small networks (documented
-    /// limitation; the continuous path avoids it entirely).
+    /// limitation; the continuous path avoids it entirely). Any other CPD
+    /// family falls back to the generic per-entry [`naive::from_cpd`].
     pub fn from_cpd(cpd: &Cpd, cards: &[usize]) -> Result<Self> {
         let child = cpd.child();
         let parents = cpd.parents();
@@ -94,27 +156,91 @@ impl Factor {
                     .ok_or(BayesError::InvalidNode(v))
             })
             .collect::<Result<_>>()?;
-
         let total = config_count(&scope_cards);
-        let mut values = vec![0.0; total];
-        let mut scope_states = vec![0usize; vars.len()];
-        let mut parent_vals = vec![0.0; parents.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &scope_cards, &mut scope_states);
-            // Split scope states into parent values and the child state.
-            let mut pi = 0;
-            let mut child_state = 0usize;
-            for (pos, &v) in vars.iter().enumerate() {
-                if v == child {
-                    child_state = scope_states[pos];
-                } else {
-                    parent_vals[pi] = scope_states[pos] as f64;
-                    pi += 1;
+        // Dropping the child position from the scope leaves the parents in
+        // their own (sorted) order — used by both fast paths below.
+        let scope_strides = strides(&scope_cards);
+
+        match cpd {
+            Cpd::Tabular(t)
+                if scope_cards[child_pos] == t.cardinality()
+                    && scope_cards
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != child_pos)
+                        .map(|(_, &c)| c)
+                        .eq(t.parent_cards().iter().copied()) =>
+            {
+                // Entry at scope config = table[parent_config * card + k]:
+                // walk the scope in natural order tracking the table index
+                // with one stride table (child moves it by 1, parent `pi`
+                // by its parent-config stride times the child cardinality).
+                let parent_strides = strides(t.parent_cards());
+                let mut tstride = Vec::with_capacity(vars.len());
+                let mut pi = 0usize;
+                for pos in 0..vars.len() {
+                    if pos == child_pos {
+                        tstride.push(1);
+                    } else {
+                        tstride.push(parent_strides[pi] * t.cardinality());
+                        pi += 1;
+                    }
                 }
+                let table = t.table();
+                let mut values = Vec::with_capacity(total);
+                let mut odo = Odometer::new(&scope_cards);
+                let mut idx = [0usize];
+                for _ in 0..total {
+                    values.push(table[idx[0]].max(PROB_FLOOR));
+                    odo.advance(&[&tstride], &mut idx);
+                }
+                Factor::new(vars, scope_cards, values)
             }
-            *value = cpd.log_prob(child_state as f64, &parent_vals).exp();
+            Cpd::Deterministic(d) => match d.noise() {
+                DetNoise::Discrete {
+                    leak,
+                    card,
+                    child_edges,
+                    parent_mids,
+                } if scope_cards[child_pos] == *card && parent_mids.len() == parents.len() => {
+                    // One expression evaluation per parent configuration
+                    // (not per table entry): walk parent configs with an
+                    // odometer tracking the base scope index, then fill the
+                    // child's `card` slots from the leak model.
+                    let pcards: Vec<usize> = (0..vars.len())
+                        .filter(|&p| p != child_pos)
+                        .map(|p| scope_cards[p])
+                        .collect();
+                    let pstrides: Vec<usize> = (0..vars.len())
+                        .filter(|&p| p != child_pos)
+                        .map(|p| scope_strides[p])
+                        .collect();
+                    let child_stride = scope_strides[child_pos];
+                    let hit = (1.0 - leak).max(1e-12);
+                    let miss = (leak / (*card as f64 - 1.0)).max(1e-12);
+                    let mut values = vec![0.0; total];
+                    let mut mids = vec![0.0; parents.len()];
+                    let mut odo = Odometer::new(&pcards);
+                    let mut idx = [0usize];
+                    for _ in 0..config_count(&pcards) {
+                        for (k, m) in parent_mids.iter().enumerate() {
+                            mids[k] = m[odo.counters[k].min(m.len().saturating_sub(1))];
+                        }
+                        let v = d.local_expr().eval(&mids);
+                        let predicted = child_edges.iter().take_while(|&&e| v >= e).count();
+                        let base = idx[0];
+                        for k in 0..*card {
+                            values[base + k * child_stride] =
+                                if k == predicted { hit } else { miss };
+                        }
+                        odo.advance(&[&pstrides], &mut idx);
+                    }
+                    Factor::new(vars, scope_cards, values)
+                }
+                _ => naive::from_cpd(cpd, cards),
+            },
+            _ => naive::from_cpd(cpd, cards),
         }
-        Factor::new(vars, scope_cards, values)
     }
 
     /// Product of two factors over the union of their scopes.
@@ -151,40 +277,52 @@ impl Factor {
                 }
             }
         }
-        // Map each scope position to positions in the operands.
-        let map_a: Vec<Option<usize>> = vars
+        // Stride each merged position induces in either operand (0 for
+        // positions absent from that operand): walking the merged table in
+        // natural order then keeps both source indices current with a
+        // couple of adds per entry instead of a decode + two re-encodes.
+        let strides_a = strides(&self.cards);
+        let strides_b = strides(&other.cards);
+        let stride_a: Vec<usize> = vars
             .iter()
-            .map(|v| self.vars.binary_search(v).ok())
+            .map(|v| {
+                self.vars
+                    .binary_search(v)
+                    .map(|p| strides_a[p])
+                    .unwrap_or(0)
+            })
             .collect();
-        let map_b: Vec<Option<usize>> = vars
+        let stride_b: Vec<usize> = vars
             .iter()
-            .map(|v| other.vars.binary_search(v).ok())
+            .map(|v| {
+                other
+                    .vars
+                    .binary_search(v)
+                    .map(|p| strides_b[p])
+                    .unwrap_or(0)
+            })
             .collect();
 
         let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
-        let mut sa = vec![0usize; self.vars.len()];
-        let mut sb = vec![0usize; other.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
-            for (pos, &m) in map_a.iter().enumerate() {
-                if let Some(p) = m {
-                    sa[p] = states[pos];
-                }
-            }
-            for (pos, &m) in map_b.iter().enumerate() {
-                if let Some(p) = m {
-                    sb[p] = states[pos];
-                }
-            }
-            *value = self.values[crate::cpd::config_index(&sa, &self.cards)]
-                * other.values[crate::cpd::config_index(&sb, &other.cards)];
+        let mut values = Vec::with_capacity(total);
+        let mut odo = Odometer::new(&cards);
+        let mut idx = [0usize; 2];
+        for _ in 0..total {
+            values.push(self.values[idx[0]] * other.values[idx[1]]);
+            odo.advance(&[&stride_a, &stride_b], &mut idx);
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// Sum out (marginalize away) a variable. No-op if it is not in scope.
+    ///
+    /// One linear pass over the input table, scatter-adding each entry into
+    /// the output slot whose index is tracked incrementally (the summed
+    /// position simply contributes stride 0).
     pub fn sum_out(&self, var: usize) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone();
@@ -192,31 +330,62 @@ impl Factor {
         let mut vars = self.vars.clone();
         let mut cards = self.cards.clone();
         vars.remove(pos);
-        let removed_card = cards.remove(pos);
+        cards.remove(pos);
 
-        let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
-        let mut full = vec![0usize; self.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
-            // Rebuild the full configuration with `var` sweeping its states.
-            for s in 0..removed_card {
-                for (fpos, f) in full.iter_mut().enumerate() {
-                    *f = match fpos.cmp(&pos) {
-                        std::cmp::Ordering::Less => states[fpos],
-                        std::cmp::Ordering::Equal => s,
-                        std::cmp::Ordering::Greater => states[fpos - 1],
-                    };
-                }
-                *value += self.values[crate::cpd::config_index(&full, &self.cards)];
-            }
+        let out_strides = strides(&cards);
+        // Output stride per input position; the removed position moves the
+        // output index by nothing.
+        let scatter: Vec<usize> = (0..self.vars.len())
+            .map(|ip| match ip.cmp(&pos) {
+                std::cmp::Ordering::Less => out_strides[ip],
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => out_strides[ip - 1],
+            })
+            .collect();
+
+        let mut values = vec![0.0; config_count(&cards)];
+        let mut odo = Odometer::new(&self.cards);
+        let mut idx = [0usize];
+        for &v in &self.values {
+            values[idx[0]] += v;
+            odo.advance(&[&scatter], &mut idx);
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Sum out a variable, consuming the factor. When the eliminated
+    /// variable is the slowest-varying position the table is folded block
+    /// by block into its own front and truncated — no new allocation at
+    /// all. Other positions fall back to [`Factor::sum_out`].
+    pub fn sum_out_owned(mut self, var: usize) -> Factor {
+        match self.vars.binary_search(&var) {
+            Ok(0) => {
+                self.vars.remove(0);
+                let removed_card = self.cards.remove(0);
+                let block = config_count(&self.cards);
+                for s in 1..removed_card {
+                    let (head, tail) = self.values.split_at_mut(s * block);
+                    for (h, t) in head[..block].iter_mut().zip(tail[..block].iter()) {
+                        *h += *t;
+                    }
+                }
+                self.values.truncate(block);
+                self
+            }
+            Ok(_) => self.sum_out(var),
+            Err(_) => self,
+        }
     }
 
     /// Restrict (reduce) the factor to `var = state`, removing it from scope.
     /// No-op if the variable is not in scope.
+    ///
+    /// One linear pass over the output table, gathering from the input at
+    /// an incrementally tracked index offset by the fixed state.
     pub fn reduce(&self, var: usize, state: usize) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone();
@@ -226,22 +395,31 @@ impl Factor {
         vars.remove(pos);
         cards.remove(pos);
 
+        let in_strides = strides(&self.cards);
+        // Input stride per output position (the fixed position is skipped).
+        let gather: Vec<usize> = (0..vars.len())
+            .map(|op| {
+                if op < pos {
+                    in_strides[op]
+                } else {
+                    in_strides[op + 1]
+                }
+            })
+            .collect();
+
         let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
-        let mut full = vec![0usize; self.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
-            for (fpos, f) in full.iter_mut().enumerate() {
-                *f = match fpos.cmp(&pos) {
-                    std::cmp::Ordering::Less => states[fpos],
-                    std::cmp::Ordering::Equal => state,
-                    std::cmp::Ordering::Greater => states[fpos - 1],
-                };
-            }
-            *value = self.values[crate::cpd::config_index(&full, &self.cards)];
+        let mut values = Vec::with_capacity(total);
+        let mut odo = Odometer::new(&cards);
+        let mut idx = [state * in_strides[pos]];
+        for _ in 0..total {
+            values.push(self.values[idx[0]]);
+            odo.advance(&[&gather], &mut idx);
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// Normalize to sum 1 (returns the normalization constant; a zero sum
@@ -254,6 +432,188 @@ impl Factor {
             }
         }
         z
+    }
+}
+
+/// Reference implementations of the factor kernels, kept verbatim from the
+/// pre-stride code: every table entry decodes its linear index into a
+/// configuration and re-encodes into the operands. They serve as
+/// differential oracles for the property tests and as the "before" side of
+/// the kernel benchmarks — never as the production path.
+#[doc(hidden)]
+pub mod naive {
+    use super::Factor;
+    use crate::cpd::{config_count, config_index, decode_config, Cpd};
+    use crate::{BayesError, Result};
+
+    /// Per-entry `decode_config` + `log_prob().exp()` CPD conversion
+    /// (original implementation); also the generic fallback for CPD
+    /// families without a fast path.
+    pub fn from_cpd(cpd: &Cpd, cards: &[usize]) -> Result<Factor> {
+        let child = cpd.child();
+        let parents = cpd.parents();
+        let mut vars: Vec<usize> = parents.to_vec();
+        let child_pos = vars.binary_search(&child).unwrap_err();
+        vars.insert(child_pos, child);
+        let scope_cards: Vec<usize> = vars
+            .iter()
+            .map(|&v| {
+                cards
+                    .get(v)
+                    .copied()
+                    .filter(|&c| c > 0)
+                    .ok_or(BayesError::InvalidNode(v))
+            })
+            .collect::<Result<_>>()?;
+
+        let total = config_count(&scope_cards);
+        let mut values = vec![0.0; total];
+        let mut scope_states = vec![0usize; vars.len()];
+        let mut parent_vals = vec![0.0; parents.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &scope_cards, &mut scope_states);
+            // Split scope states into parent values and the child state.
+            let mut pi = 0;
+            let mut child_state = 0usize;
+            for (pos, &v) in vars.iter().enumerate() {
+                if v == child {
+                    child_state = scope_states[pos];
+                } else {
+                    parent_vals[pi] = scope_states[pos] as f64;
+                    pi += 1;
+                }
+            }
+            *value = cpd.log_prob(child_state as f64, &parent_vals).exp();
+        }
+        Factor::new(vars, scope_cards, values)
+    }
+
+    /// Per-entry decode/encode product (original implementation).
+    pub fn product(a: &Factor, b: &Factor) -> Factor {
+        let mut vars: Vec<usize> = Vec::with_capacity(a.vars.len() + b.vars.len());
+        let mut cards: Vec<usize> = Vec::new();
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < a.vars.len() || j < b.vars.len() {
+                let take_left = match (a.vars.get(i), b.vars.get(j)) {
+                    (Some(&x), Some(&y)) => {
+                        if x == y {
+                            vars.push(x);
+                            cards.push(a.cards[i]);
+                            i += 1;
+                            j += 1;
+                            continue;
+                        }
+                        x < y
+                    }
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_left {
+                    vars.push(a.vars[i]);
+                    cards.push(a.cards[i]);
+                    i += 1;
+                } else {
+                    vars.push(b.vars[j]);
+                    cards.push(b.cards[j]);
+                    j += 1;
+                }
+            }
+        }
+        let map_a: Vec<Option<usize>> = vars.iter().map(|v| a.vars.binary_search(v).ok()).collect();
+        let map_b: Vec<Option<usize>> = vars.iter().map(|v| b.vars.binary_search(v).ok()).collect();
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut sa = vec![0usize; a.vars.len()];
+        let mut sb = vec![0usize; b.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            for (pos, &m) in map_a.iter().enumerate() {
+                if let Some(p) = m {
+                    sa[p] = states[pos];
+                }
+            }
+            for (pos, &m) in map_b.iter().enumerate() {
+                if let Some(p) = m {
+                    sb[p] = states[pos];
+                }
+            }
+            *value = a.values[config_index(&sa, &a.cards)] * b.values[config_index(&sb, &b.cards)];
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Per-entry decode with an inner state sweep (original implementation).
+    pub fn sum_out(f: &Factor, var: usize) -> Factor {
+        let Some(pos) = f.vars.binary_search(&var).ok() else {
+            return f.clone();
+        };
+        let mut vars = f.vars.clone();
+        let mut cards = f.cards.clone();
+        vars.remove(pos);
+        let removed_card = cards.remove(pos);
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut full = vec![0usize; f.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            for s in 0..removed_card {
+                for (fpos, fv) in full.iter_mut().enumerate() {
+                    *fv = match fpos.cmp(&pos) {
+                        std::cmp::Ordering::Less => states[fpos],
+                        std::cmp::Ordering::Equal => s,
+                        std::cmp::Ordering::Greater => states[fpos - 1],
+                    };
+                }
+                *value += f.values[config_index(&full, &f.cards)];
+            }
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Per-entry decode/encode restriction (original implementation).
+    pub fn reduce(f: &Factor, var: usize, state: usize) -> Factor {
+        let Some(pos) = f.vars.binary_search(&var).ok() else {
+            return f.clone();
+        };
+        let mut vars = f.vars.clone();
+        let mut cards = f.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; vars.len()];
+        let mut full = vec![0usize; f.vars.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            for (fpos, fv) in full.iter_mut().enumerate() {
+                *fv = match fpos.cmp(&pos) {
+                    std::cmp::Ordering::Less => states[fpos],
+                    std::cmp::Ordering::Equal => state,
+                    std::cmp::Ordering::Greater => states[fpos - 1],
+                };
+            }
+            *value = f.values[config_index(&full, &f.cards)];
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 }
 
@@ -311,9 +671,46 @@ mod tests {
         assert_eq!(m.vars(), &[1]);
         assert!((m.values()[0] - 0.4).abs() < 1e-12); // B=0: 0.1+0.3
         assert!((m.values()[1] - 0.6).abs() < 1e-12); // B=1: 0.2+0.4
-        // Summing out an absent variable is a no-op.
+                                                      // Summing out an absent variable is a no-op.
         let same = f.sum_out(7);
         assert_eq!(same.values(), f.values());
+    }
+
+    #[test]
+    fn sum_out_owned_matches_sum_out_on_every_position() {
+        // 3-variable factor with distinct cards so position mixups surface.
+        let values: Vec<f64> = (0..24).map(|i| i as f64 * 0.5 + 1.0).collect();
+        let f = Factor::new(vec![2, 5, 9], vec![2, 3, 4], values).unwrap();
+        for &var in &[2, 5, 9] {
+            let by_ref = f.sum_out(var);
+            let owned = f.clone().sum_out_owned(var);
+            assert_eq!(owned.vars(), by_ref.vars());
+            assert_eq!(owned.cards(), by_ref.cards());
+            assert_eq!(owned.values(), by_ref.values());
+        }
+        // Absent variable: no-op.
+        let same = f.clone().sum_out_owned(3);
+        assert_eq!(same.values(), f.values());
+    }
+
+    #[test]
+    fn stride_kernels_match_naive_oracles() {
+        let values: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) * 0.125).collect();
+        let f = Factor::new(vec![0, 2, 4], vec![2, 2, 3], values).unwrap();
+        let g = Factor::new(vec![1, 2], vec![3, 2], (1..=6).map(f64::from).collect()).unwrap();
+
+        let p = f.product(&g);
+        let p_ref = naive::product(&f, &g);
+        assert_eq!(p.vars(), p_ref.vars());
+        assert_eq!(p.values(), p_ref.values());
+
+        for &var in p.vars() {
+            assert_eq!(p.sum_out(var).values(), naive::sum_out(&p, var).values());
+            assert_eq!(
+                p.reduce(var, 1).values(),
+                naive::reduce(&p, var, 1).values()
+            );
+        }
     }
 
     #[test]
@@ -331,6 +728,49 @@ mod tests {
         assert!((z - 1.0).abs() < 1e-12);
         let s: f64 = f.values().iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_from_cpd_matches_naive_on_tabular_and_deterministic_cpds() {
+        // Tabular with the child *between* its parents (0 < 1 < 2) and
+        // mixed cardinalities — exercises the stride re-indexing.
+        let configs = 3 * 2; // parents 0 (card 3) and 2 (card 2)
+        let mut table = Vec::new();
+        for j in 0..configs {
+            let a = 0.1 + 0.13 * j as f64;
+            table.extend_from_slice(&[a, (1.0 - a) * 0.6, (1.0 - a) * 0.4]);
+        }
+        let tab = Cpd::Tabular(TabularCpd::new(1, vec![0, 2], 3, vec![3, 2], table).unwrap());
+        let cards = [3usize, 3, 2];
+        let fast = Factor::from_cpd(&tab, &cards).unwrap();
+        let slow = naive::from_cpd(&tab, &cards).unwrap();
+        assert_eq!(fast.vars(), slow.vars());
+        assert_eq!(fast.cards(), slow.cards());
+        for (a, b) in fast.values().iter().zip(slow.values()) {
+            assert!((a - b).abs() < 1e-12, "tabular fast path diverged");
+        }
+
+        // Deterministic discrete: child 3 = sum of nodes 0 and 2, leak 0.1.
+        let det = Cpd::Deterministic(
+            crate::cpd::DeterministicCpd::from_network_expr(
+                3,
+                &crate::expr::Expr::sum_of_vars(&[0, 2]),
+                DetNoise::Discrete {
+                    leak: 0.1,
+                    card: 4,
+                    child_edges: vec![1.0, 2.0, 3.0],
+                    parent_mids: vec![vec![0.25, 1.25, 2.25], vec![0.5, 1.5]],
+                },
+            )
+            .unwrap(),
+        );
+        let cards = [3usize, 3, 2, 4];
+        let fast = Factor::from_cpd(&det, &cards).unwrap();
+        let slow = naive::from_cpd(&det, &cards).unwrap();
+        assert_eq!(fast.vars(), slow.vars());
+        for (a, b) in fast.values().iter().zip(slow.values()) {
+            assert!((a - b).abs() < 1e-12, "deterministic fast path diverged");
+        }
     }
 
     #[test]

@@ -145,6 +145,80 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
     Ok(counts)
 }
 
+/// Estimate `P(target | evidence)` by running `chains` independent Gibbs
+/// chains on scoped worker threads and pooling their samples.
+///
+/// Each chain gets its own [`rand::rngs::StdRng`] seeded deterministically
+/// from `base_seed` and the chain index, and every chain keeps the same
+/// number of samples, so the pooled estimate is a plain average taken in
+/// chain order — identical across runs *and* across thread counts. Chains
+/// also decorrelate the estimate: independent starting points cover more
+/// of the state space than one long chain of the same total length.
+pub fn gibbs_posterior_chains(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &std::collections::HashMap<usize, usize>,
+    options: GibbsOptions,
+    chains: usize,
+    base_seed: u64,
+) -> Result<Vec<f64>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    if chains == 0 {
+        return Err(BayesError::InvalidData("gibbs needs chains ≥ 1".into()));
+    }
+    // SplitMix64-style spread keeps per-chain seeds far apart even for
+    // consecutive base seeds.
+    let chain_seed = |chain: usize| {
+        base_seed.wrapping_add((chain as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    };
+    if chains == 1 {
+        let mut rng = StdRng::seed_from_u64(chain_seed(0));
+        return gibbs_posterior(network, target, evidence, options, &mut rng);
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(chains);
+    let mut slots: Vec<Option<Result<Vec<f64>>>> = (0..chains).map(|_| None).collect();
+    let chunk = chains.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move || {
+                for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(chain_seed(start + off));
+                    *slot = Some(gibbs_posterior(
+                        network, target, evidence, options, &mut rng,
+                    ));
+                }
+            });
+        }
+    });
+
+    // Pool in chain order: equal sample counts make the average exact.
+    let mut pooled: Option<Vec<f64>> = None;
+    for slot in slots {
+        let probs = slot.expect("every chain chunk is processed")?;
+        match &mut pooled {
+            None => pooled = Some(probs),
+            Some(acc) => {
+                for (a, p) in acc.iter_mut().zip(probs.iter()) {
+                    *a += p;
+                }
+            }
+        }
+    }
+    let mut pooled = pooled.expect("chains >= 1");
+    let k = chains as f64;
+    for p in &mut pooled {
+        *p /= k;
+    }
+    Ok(pooled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,8 +317,9 @@ mod tests {
     fn invalid_inputs_rejected() {
         let bn = sprinkler();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(gibbs_posterior(&bn, 9, &HashMap::new(), GibbsOptions::default(), &mut rng)
-            .is_err());
+        assert!(
+            gibbs_posterior(&bn, 9, &HashMap::new(), GibbsOptions::default(), &mut rng).is_err()
+        );
         let mut bad = HashMap::new();
         bad.insert(0, 7);
         assert!(gibbs_posterior(&bn, 1, &bad, GibbsOptions::default(), &mut rng).is_err());
@@ -272,9 +347,7 @@ mod tests {
         }
         let mut cpds: Vec<Cpd> = (0..n)
             .map(|i| {
-                Cpd::Tabular(
-                    TabularCpd::new(i, vec![], card, vec![], vec![0.5, 0.3, 0.2]).unwrap(),
-                )
+                Cpd::Tabular(TabularCpd::new(i, vec![], card, vec![], vec![0.5, 0.3, 0.2]).unwrap())
             })
             .collect();
         // D as a deterministic-with-leak sum of parents, binned: use the

@@ -18,6 +18,9 @@ pub mod sampling;
 pub mod ve;
 
 pub use factor::Factor;
-pub use gibbs::{gibbs_posterior, GibbsOptions};
+pub use gibbs::{gibbs_posterior, gibbs_posterior_chains, GibbsOptions};
 pub use sampling::{likelihood_weighting, LwOptions, WeightedSamples};
-pub use ve::{posterior_marginal, posterior_marginal_pruned, Evidence};
+pub use ve::{
+    posterior_marginal, posterior_marginal_pruned, posterior_marginal_pruned_with,
+    posterior_marginal_with, EliminationHeuristic, Evidence,
+};

@@ -297,8 +297,13 @@ mod tests {
         let cpds = vec![Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.0, 1.0))];
         let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
-        let s = likelihood_weighting(&bn, &HashMap::new(), LwOptions { samples: 50_000 }, &mut rng)
-            .unwrap();
+        let s = likelihood_weighting(
+            &bn,
+            &HashMap::new(),
+            LwOptions { samples: 50_000 },
+            &mut rng,
+        )
+        .unwrap();
         let p = s.exceedance_probability(0, 0.0);
         assert!((p - 0.5).abs() < 0.01, "p={p}");
         assert!(s.exceedance_probability(0, 10.0) < 0.001);
@@ -308,9 +313,8 @@ mod tests {
     fn histogram_mass_sums_to_one() {
         let bn = two_node_discrete();
         let mut rng = StdRng::seed_from_u64(2);
-        let s =
-            likelihood_weighting(&bn, &HashMap::new(), LwOptions { samples: 5_000 }, &mut rng)
-                .unwrap();
+        let s = likelihood_weighting(&bn, &HashMap::new(), LwOptions { samples: 5_000 }, &mut rng)
+            .unwrap();
         let (centers, mass) = s.histogram(0, 4);
         assert_eq!(centers.len(), 4);
         assert!((mass.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -323,12 +327,8 @@ mod tests {
         let mut bad_ev = HashMap::new();
         bad_ev.insert(42, 0.0);
         assert!(likelihood_weighting(&bn, &bad_ev, LwOptions::default(), &mut rng).is_err());
-        assert!(likelihood_weighting(
-            &bn,
-            &HashMap::new(),
-            LwOptions { samples: 0 },
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            likelihood_weighting(&bn, &HashMap::new(), LwOptions { samples: 0 }, &mut rng).is_err()
+        );
     }
 }

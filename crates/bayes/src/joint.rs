@@ -27,16 +27,16 @@ fn linear_view(cpd: &Cpd) -> Result<(f64, Vec<f64>, f64)> {
         Cpd::Deterministic(det) => match det.noise() {
             DetNoise::Gaussian { sigma } => {
                 let n_parents = det.parents().len();
-                let (b0, coeffs) = det
-                    .local_expr()
-                    .linear_coefficients(n_parents)
-                    .map_err(|_| {
-                        BayesError::InvalidCpd(
-                            "deterministic CPD with max cannot be reduced to a joint \
+                let (b0, coeffs) =
+                    det.local_expr()
+                        .linear_coefficients(n_parents)
+                        .map_err(|_| {
+                            BayesError::InvalidCpd(
+                                "deterministic CPD with max cannot be reduced to a joint \
                              Gaussian; use Monte-Carlo inference instead"
-                                .into(),
-                        )
-                    })?;
+                                    .into(),
+                            )
+                        })?;
                 Ok((b0, coeffs, (sigma * sigma).max(1e-12)))
             }
             DetNoise::Discrete { .. } => Err(BayesError::InvalidCpd(

@@ -11,6 +11,22 @@
 //! Because the true ordering is unknown to the baseline, the paper runs K2
 //! repeatedly with *random orderings* and keeps the best-scoring result
 //! (§5.3); [`k2_with_random_restarts`] implements that loop.
+//!
+//! Two optimizations ride on top of the textbook algorithm, both
+//! result-identical to the sequential original:
+//!
+//! - a **family-score memo cache** keyed `(node, parent set)` shared across
+//!   the greedy scan and across restarts — different random orderings
+//!   re-evaluate the same families constantly, and the score of a family
+//!   does not depend on the ordering that proposed it;
+//! - **parallel candidate scoring and restarts** on scoped threads. All
+//!   tie-breaks are resolved *after* collection, in predecessor/restart
+//!   order (earliest wins on equal score), so the structure and every
+//!   score are independent of thread count and scheduling.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -45,9 +61,51 @@ pub struct K2Result {
     pub dag: Dag,
     /// Sum of family scores over all nodes (higher is better).
     pub total_score: f64,
-    /// Number of family-score evaluations performed (the cost driver the
-    /// paper's Figure 4 measures indirectly through wall-clock time).
+    /// Number of *logical* family-score lookups (the cost driver the
+    /// paper's Figure 4 measures indirectly through wall-clock time). A
+    /// lookup served from the memo cache still counts here.
     pub evaluations: usize,
+    /// Lookups that actually computed a score (cache misses). The gap to
+    /// `evaluations` is work the memo cache saved.
+    pub cache_misses: usize,
+}
+
+/// Shared memo cache for family scores, keyed `(node, sorted parent set)`.
+/// The score of a family depends only on the data, so one cache serves the
+/// whole greedy scan and every restart.
+struct ScoreCache {
+    map: Mutex<HashMap<(usize, Vec<usize>), f64>>,
+    misses: AtomicUsize,
+}
+
+impl ScoreCache {
+    fn new() -> Self {
+        ScoreCache {
+            map: Mutex::new(HashMap::new()),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn score(
+        &self,
+        kind: FamilyScore,
+        node: usize,
+        parents: &[usize],
+        data: &Dataset,
+        cards: &[usize],
+    ) -> Result<f64> {
+        let key = (node, parents.to_vec());
+        if let Some(&s) = self.map.lock().expect("score cache not poisoned").get(&key) {
+            return Ok(s);
+        }
+        let s = family_score(kind, node, parents, data, cards)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("score cache not poisoned")
+            .insert(key, s);
+        Ok(s)
+    }
 }
 
 /// Run K2 with a fixed node ordering.
@@ -60,6 +118,20 @@ pub fn k2_search(
     cards: &[usize],
     options: K2Options,
 ) -> Result<K2Result> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    k2_search_cached(ordering, data, cards, options, &ScoreCache::new(), workers)
+}
+
+fn k2_search_cached(
+    ordering: &[usize],
+    data: &Dataset,
+    cards: &[usize],
+    options: K2Options,
+    cache: &ScoreCache,
+    workers: usize,
+) -> Result<K2Result> {
     let mut dag = Dag::new(data.columns());
     let mut total_score = 0.0;
     let mut evaluations = 0usize;
@@ -67,22 +139,63 @@ pub fn k2_search(
     for (pos, &node) in ordering.iter().enumerate() {
         let predecessors = &ordering[..pos];
         let mut parents: Vec<usize> = Vec::new();
-        let mut best = family_score(options.score, node, &parents, data, cards)?;
+        let mut best = cache.score(options.score, node, &parents, data, cards)?;
         evaluations += 1;
 
         while parents.len() < options.max_parents {
-            // Scan remaining predecessors for the single best addition.
-            let mut best_add: Option<(usize, f64)> = None;
-            for &cand in predecessors {
-                if parents.contains(&cand) {
-                    continue;
-                }
+            // Score every remaining predecessor as the next addition.
+            let candidates: Vec<usize> = predecessors
+                .iter()
+                .copied()
+                .filter(|c| !parents.contains(c))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let trial_of = |cand: usize| {
                 let mut trial = parents.clone();
                 // Keep the parent list sorted — the DAG and CPDs expect it.
                 let ins = trial.binary_search(&cand).unwrap_err();
                 trial.insert(ins, cand);
-                let s = family_score(options.score, node, &trial, data, cards)?;
-                evaluations += 1;
+                trial
+            };
+            let scores: Vec<Result<f64>> = if workers > 1 && candidates.len() > 1 {
+                let mut slots: Vec<Option<Result<f64>>> =
+                    (0..candidates.len()).map(|_| None).collect();
+                let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+                let candidates = &candidates;
+                let parents_ref = &parents;
+                std::thread::scope(|scope| {
+                    for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                        let start = ci * chunk;
+                        scope.spawn(move || {
+                            for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                                let cand = candidates[start + off];
+                                let mut trial = parents_ref.clone();
+                                let ins = trial.binary_search(&cand).unwrap_err();
+                                trial.insert(ins, cand);
+                                *slot = Some(cache.score(options.score, node, &trial, data, cards));
+                            }
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every candidate chunk is processed"))
+                    .collect()
+            } else {
+                candidates
+                    .iter()
+                    .map(|&cand| cache.score(options.score, node, &trial_of(cand), data, cards))
+                    .collect()
+            };
+            evaluations += scores.len();
+
+            // Deterministic selection regardless of how the scores were
+            // computed: scan in predecessor order, strictly-greater wins.
+            let mut best_add: Option<(usize, f64)> = None;
+            for (cand, s) in candidates.iter().copied().zip(scores) {
+                let s = s?;
                 if s > best && best_add.is_none_or(|(_, bs)| s > bs) {
                     best_add = Some((cand, s));
                 }
@@ -108,11 +221,18 @@ pub fn k2_search(
         dag,
         total_score,
         evaluations,
+        cache_misses: cache.misses.load(Ordering::Relaxed),
     })
 }
 
 /// Run K2 `restarts` times with uniformly random orderings and keep the
 /// best-scoring structure — the paper's §5.3 optimization for NRT-BN.
+///
+/// All orderings are drawn from `rng` up front (so the stream of random
+/// numbers is identical to the sequential loop), then the restarts run on
+/// scoped worker threads against one shared score cache. The winner is the
+/// strictly best score, lowest restart index on a tie — independent of
+/// thread count.
 pub fn k2_with_random_restarts<R: Rng + ?Sized>(
     data: &Dataset,
     cards: &[usize],
@@ -123,11 +243,56 @@ pub fn k2_with_random_restarts<R: Rng + ?Sized>(
     assert!(restarts >= 1, "need at least one restart");
     let n = data.columns();
     let mut ordering: Vec<usize> = (0..n).collect();
+    let orderings: Vec<Vec<usize>> = (0..restarts)
+        .map(|_| {
+            ordering.shuffle(rng);
+            ordering.clone()
+        })
+        .collect();
+
+    let cache = ScoreCache::new();
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+    let results: Vec<Result<K2Result>> = if workers > 1 && restarts > 1 {
+        // One restart per task; candidate scoring inside each restart stays
+        // sequential (workers = 1) so the threads do not oversubscribe.
+        let mut slots: Vec<Option<Result<K2Result>>> = (0..restarts).map(|_| None).collect();
+        let chunk = restarts.div_ceil(workers.min(restarts));
+        let orderings = &orderings;
+        let cache = &cache;
+        std::thread::scope(|scope| {
+            for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                        *slot = Some(k2_search_cached(
+                            &orderings[start + off],
+                            data,
+                            cards,
+                            options,
+                            cache,
+                            1,
+                        ));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every restart chunk is processed"))
+            .collect()
+    } else {
+        orderings
+            .iter()
+            .map(|o| k2_search_cached(o, data, cards, options, &cache, workers))
+            .collect()
+    };
+
     let mut best: Option<K2Result> = None;
     let mut total_evals = 0usize;
-    for _ in 0..restarts {
-        ordering.shuffle(rng);
-        let result = k2_search(&ordering, data, cards, options)?;
+    for result in results {
+        let result = result?;
         total_evals += result.evaluations;
         if best
             .as_ref()
@@ -138,6 +303,7 @@ pub fn k2_with_random_restarts<R: Rng + ?Sized>(
     }
     let mut best = best.expect("restarts >= 1");
     best.evaluations = total_evals;
+    best.cache_misses = cache.misses.load(Ordering::Relaxed);
     Ok(best)
 }
 
@@ -236,13 +402,7 @@ mod tests {
         }
         let names = (0..6).map(|i| format!("v{i}")).collect();
         let big = Dataset::from_rows(names, rows).unwrap();
-        let r_big = k2_search(
-            &[0, 1, 2, 3, 4, 5],
-            &big,
-            &[2; 6],
-            K2Options::default(),
-        )
-        .unwrap();
+        let r_big = k2_search(&[0, 1, 2, 3, 4, 5], &big, &[2; 6], K2Options::default()).unwrap();
         assert!(r_big.evaluations > 2 * r_small.evaluations);
     }
 
@@ -256,8 +416,7 @@ mod tests {
             let ripple = if i % 2 == 0 { 0.05 } else { -0.05 };
             rows.push(vec![a, 2.0 * a + ripple, c]);
         }
-        let data =
-            Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], rows).unwrap();
+        let data = Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], rows).unwrap();
         let opts = K2Options {
             score: FamilyScore::GaussianBic,
             max_parents: 2,

@@ -49,9 +49,7 @@ pub fn fit_tabular(
     cards: &[usize],
     options: ParamOptions,
 ) -> Result<TabularCpd> {
-    let card = *cards
-        .get(child)
-        .ok_or(BayesError::InvalidNode(child))?;
+    let card = *cards.get(child).ok_or(BayesError::InvalidNode(child))?;
     let parent_cards: Vec<usize> = parents
         .iter()
         .map(|&p| cards.get(p).copied().ok_or(BayesError::InvalidNode(p)))
@@ -112,8 +110,7 @@ pub fn fit_linear_gaussian(
     // point produces astronomically bad likelihoods instead of merely poor
     // ones.
     let child_col = data.column(child);
-    let mean_sq =
-        child_col.iter().map(|&v| v * v).sum::<f64>() / child_col.len().max(1) as f64;
+    let mean_sq = child_col.iter().map(|&v| v * v).sum::<f64>() / child_col.len().max(1) as f64;
     let var_floor = mean_sq * 1e-6;
     if parents.is_empty() {
         let mean = kert_linalg::stats::mean(&child_col);
@@ -146,11 +143,32 @@ pub fn fit_linear_gaussian(
 /// Fit every node's CPD for a given structure, choosing the family from the
 /// variable kind. This is the *centralized* parameter-learning path the
 /// paper compares against in Figure 5.
+///
+/// Nodes are independent given the structure (§3.4's data-locality
+/// observation), so they are fitted on scoped worker threads — one chunk of
+/// nodes per available core. Results are identical to the sequential loop:
+/// every node's fit depends only on its own columns, and the output vector
+/// is assembled in node order.
 pub fn fit_all_parameters(
     variables: &[Variable],
     dag: &Dag,
     data: &Dataset,
     options: ParamOptions,
+) -> Result<Vec<Cpd>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    fit_all_parameters_with_workers(variables, dag, data, options, workers)
+}
+
+/// [`fit_all_parameters`] with an explicit worker-thread count (1 =
+/// sequential, no threads spawned).
+pub fn fit_all_parameters_with_workers(
+    variables: &[Variable],
+    dag: &Dag,
+    data: &Dataset,
+    options: ParamOptions,
+    workers: usize,
 ) -> Result<Vec<Cpd>> {
     if data.columns() != variables.len() {
         return Err(BayesError::InvalidData(format!(
@@ -159,12 +177,41 @@ pub fn fit_all_parameters(
             variables.len()
         )));
     }
+    let n = variables.len();
     let cards: Vec<usize> = variables
         .iter()
         .map(|v| v.cardinality().unwrap_or(0))
         .collect();
-    (0..variables.len())
-        .map(|i| fit_node(i, variables, dag.parents(i), data, &cards, options))
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n)
+            .map(|i| fit_node(i, variables, dag.parents(i), data, &cards, options))
+            .collect();
+    }
+    let cards = &cards;
+    let mut slots: Vec<Option<Result<Cpd>>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move || {
+                for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                    let node = start + off;
+                    *slot = Some(fit_node(
+                        node,
+                        variables,
+                        dag.parents(node),
+                        data,
+                        cards,
+                        options,
+                    ));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every node chunk is processed"))
         .collect()
 }
 
@@ -217,7 +264,9 @@ mod tests {
             &[0],
             &data,
             &[2, 2],
-            ParamOptions { dirichlet_alpha: 0.0 },
+            ParamOptions {
+                dirichlet_alpha: 0.0,
+            },
         )
         .unwrap();
         assert!((cpd.prob(0, &[0]) - 2.0 / 3.0).abs() < 1e-12);
@@ -317,8 +366,16 @@ mod tests {
             vec![vec![0.0, 0.0], vec![0.0, 1.0]],
         )
         .unwrap();
-        let cpd = fit_tabular(1, &[0], &data, &[2, 2], ParamOptions { dirichlet_alpha: 1.0 })
-            .unwrap();
+        let cpd = fit_tabular(
+            1,
+            &[0],
+            &data,
+            &[2, 2],
+            ParamOptions {
+                dirichlet_alpha: 1.0,
+            },
+        )
+        .unwrap();
         // Parent config 1 never observed → uniform from the prior.
         assert!((cpd.prob(0, &[1]) - 0.5).abs() < 1e-12);
     }

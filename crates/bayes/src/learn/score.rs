@@ -13,7 +13,7 @@
 //!   means in the paper's §4 (BNT's K2 accepts a per-family scoring
 //!   function; Gaussian BIC is its standard continuous instantiation).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::dataset::Dataset;
 use crate::learn::mle;
@@ -92,12 +92,19 @@ pub fn discrete_bic_family_score(
 }
 
 /// Sparse per-configuration child-state counts: `config → counts[r]`.
+///
+/// A `BTreeMap` rather than a hash map: the scores sum floats over these
+/// counts, and ordered iteration makes every family score a bit-exact pure
+/// function of the data — the property the K2 memo cache and the
+/// parallel-restart determinism guarantees rest on. (A `HashMap`'s
+/// per-instance iteration order would add ~1e-16 noise that can flip
+/// greedy near-ties between runs.)
 fn sparse_counts(
     child: usize,
     parents: &[usize],
     data: &Dataset,
     cards: &[usize],
-) -> Result<(usize, HashMap<u64, Vec<u32>>)> {
+) -> Result<(usize, BTreeMap<u64, Vec<u32>>)> {
     let r = *cards.get(child).ok_or(BayesError::InvalidNode(child))?;
     if r < 1 {
         return Err(BayesError::InvalidData(format!(
@@ -108,7 +115,7 @@ fn sparse_counts(
         .iter()
         .map(|&p| cards.get(p).copied().ok_or(BayesError::InvalidNode(p)))
         .collect::<Result<_>>()?;
-    let mut counts: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut counts: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     for row_idx in 0..data.rows() {
         let row = data.row(row_idx);
         let mut cfg: u64 = 0;
@@ -236,11 +243,8 @@ mod tests {
         // Single binary variable, no parents, counts (2 ones, 1 zero):
         // score = ln( (r−1)! · Π N_k! / (N + r − 1)! )
         //       = ln( 1!·(1!·2!) / 4! ) = ln(2/24).
-        let data = Dataset::from_rows(
-            vec!["x".into()],
-            vec![vec![0.0], vec![1.0], vec![1.0]],
-        )
-        .unwrap();
+        let data =
+            Dataset::from_rows(vec!["x".into()], vec![vec![0.0], vec![1.0], vec![1.0]]).unwrap();
         let got = k2_family_score(0, &[], &data, &[2]).unwrap();
         let want = (2.0f64 / 24.0).ln();
         assert!((got - want).abs() < 1e-12, "{got} vs {want}");
@@ -250,8 +254,7 @@ mod tests {
     fn bdeu_agrees_in_direction_with_k2() {
         let data = dependent_data();
         let cards = [2, 2, 2];
-        let with_p =
-            bdeu_family_score(2, &[0], &data, &cards, 1.0).unwrap();
+        let with_p = bdeu_family_score(2, &[0], &data, &cards, 1.0).unwrap();
         let with_none = bdeu_family_score(2, &[], &data, &cards, 1.0).unwrap();
         assert!(with_p > with_none);
     }

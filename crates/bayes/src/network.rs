@@ -233,9 +233,7 @@ mod tests {
         dag.add_edge(0, 1).unwrap();
         let cpds = vec![
             Cpd::LinearGaussian(LinearGaussianCpd::root(0, 10.0, 1.0)),
-            Cpd::LinearGaussian(
-                LinearGaussianCpd::new(1, vec![0], 0.0, vec![2.0], 0.25).unwrap(),
-            ),
+            Cpd::LinearGaussian(LinearGaussianCpd::new(1, vec![0], 0.0, vec![2.0], 0.25).unwrap()),
         ];
         BayesianNetwork::new(vars, dag, cpds).unwrap()
     }
@@ -246,9 +244,7 @@ mod tests {
         let dag = Dag::new(2); // no edges
         let cpds = vec![
             Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.0, 1.0)),
-            Cpd::LinearGaussian(
-                LinearGaussianCpd::new(1, vec![0], 0.0, vec![1.0], 1.0).unwrap(),
-            ),
+            Cpd::LinearGaussian(LinearGaussianCpd::new(1, vec![0], 0.0, vec![1.0], 1.0).unwrap()),
         ];
         assert!(matches!(
             BayesianNetwork::new(vars, dag, cpds),
@@ -343,14 +339,8 @@ mod tests {
         let cpds = vec![
             Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.3, 0.7]).unwrap()),
             Cpd::Tabular(
-                TabularCpd::new(
-                    1,
-                    vec![0],
-                    3,
-                    vec![2],
-                    vec![0.1, 0.2, 0.7, 0.5, 0.25, 0.25],
-                )
-                .unwrap(),
+                TabularCpd::new(1, vec![0], 3, vec![2], vec![0.1, 0.2, 0.7, 0.5, 0.25, 0.25])
+                    .unwrap(),
             ),
         ];
         let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();

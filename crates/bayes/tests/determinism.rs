@@ -1,0 +1,138 @@
+//! Determinism guarantees for the parallel paths.
+//!
+//! The parallel learning and inference code promises results that are
+//! *identical* — bitwise, not approximately — across runs and across
+//! worker counts: per-chain/per-restart seeds are derived from the base
+//! seed alone, and every reduction (pooling, argmax, CPD collection)
+//! happens in a fixed logical order after the parallel section.
+
+use std::collections::HashMap;
+
+use kert_bayes::infer::gibbs::{gibbs_posterior_chains, GibbsOptions};
+use kert_bayes::learn::k2::{k2_with_random_restarts, K2Options};
+use kert_bayes::learn::mle::{fit_all_parameters_with_workers, ParamOptions};
+use kert_bayes::{BayesianNetwork, Cpd, Dag, TabularCpd, Variable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sprinkler() -> BayesianNetwork {
+    let vars = vec![
+        Variable::discrete("cloudy", 2),
+        Variable::discrete("sprinkler", 2),
+        Variable::discrete("rain", 2),
+        Variable::discrete("wet", 2),
+    ];
+    let mut dag = Dag::new(4);
+    dag.add_edge(0, 1).unwrap();
+    dag.add_edge(0, 2).unwrap();
+    dag.add_edge(1, 3).unwrap();
+    dag.add_edge(2, 3).unwrap();
+    let cpds = vec![
+        Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap()),
+        Cpd::Tabular(TabularCpd::new(1, vec![0], 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap()),
+        Cpd::Tabular(TabularCpd::new(2, vec![0], 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap()),
+        Cpd::Tabular(
+            TabularCpd::new(
+                3,
+                vec![1, 2],
+                2,
+                vec![2, 2],
+                vec![0.95, 0.05, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+            )
+            .unwrap(),
+        ),
+    ];
+    BayesianNetwork::new(vars, dag, cpds).unwrap()
+}
+
+#[test]
+fn multi_chain_gibbs_is_bitwise_reproducible() {
+    let bn = sprinkler();
+    let mut ev = HashMap::new();
+    ev.insert(3, 1);
+    let opts = GibbsOptions {
+        samples: 800,
+        burn_in: 100,
+        thin: 1,
+    };
+    let a = gibbs_posterior_chains(&bn, 1, &ev, opts, 4, 2026).unwrap();
+    let b = gibbs_posterior_chains(&bn, 1, &ev, opts, 4, 2026).unwrap();
+    assert_eq!(a, b, "same seed, same chains → identical floats");
+    assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    // A different base seed must actually change the sample stream.
+    let c = gibbs_posterior_chains(&bn, 1, &ev, opts, 4, 2027).unwrap();
+    assert_ne!(a, c, "distinct seeds should not collide bitwise");
+}
+
+#[test]
+fn multi_chain_gibbs_pools_sensibly() {
+    // Pooled chains stay close to the single-chain estimate of the same
+    // posterior (they estimate the same quantity) without being it.
+    let bn = sprinkler();
+    let mut ev = HashMap::new();
+    ev.insert(3, 1);
+    let opts = GibbsOptions {
+        samples: 4_000,
+        burn_in: 400,
+        thin: 1,
+    };
+    let pooled = gibbs_posterior_chains(&bn, 1, &ev, opts, 4, 11).unwrap();
+    let single = gibbs_posterior_chains(&bn, 1, &ev, opts, 1, 11).unwrap();
+    for (p, s) in pooled.iter().zip(single.iter()) {
+        assert!((p - s).abs() < 0.05, "pooled {p} vs single {s}");
+    }
+}
+
+#[test]
+fn parallel_k2_restarts_are_bitwise_reproducible() {
+    let bn = sprinkler();
+    let mut rng = StdRng::seed_from_u64(99);
+    let data = bn.sample_dataset(&mut rng, 400);
+    let cards = [2usize, 2, 2, 2];
+
+    let mut rng_a = StdRng::seed_from_u64(5);
+    let a = k2_with_random_restarts(&data, &cards, K2Options::default(), 8, &mut rng_a).unwrap();
+    let mut rng_b = StdRng::seed_from_u64(5);
+    let b = k2_with_random_restarts(&data, &cards, K2Options::default(), 8, &mut rng_b).unwrap();
+
+    assert_eq!(a.total_score.to_bits(), b.total_score.to_bits());
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(format!("{:?}", a.dag), format!("{:?}", b.dag));
+}
+
+#[test]
+fn k2_score_cache_saves_work_across_restarts() {
+    let bn = sprinkler();
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = bn.sample_dataset(&mut rng, 300);
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let r =
+        k2_with_random_restarts(&data, &[2, 2, 2, 2], K2Options::default(), 12, &mut rng2).unwrap();
+    assert!(
+        r.cache_misses < r.evaluations,
+        "12 restarts over 4 nodes must repeat families: {} misses / {} lookups",
+        r.cache_misses,
+        r.evaluations
+    );
+}
+
+#[test]
+fn parallel_parameter_fit_is_identical_across_worker_counts() {
+    let bn = sprinkler();
+    let mut rng = StdRng::seed_from_u64(17);
+    let data = bn.sample_dataset(&mut rng, 600);
+    let vars: Vec<Variable> = bn.variables().to_vec();
+    let dag = bn.dag().clone();
+
+    let opts = ParamOptions::default();
+    let seq = fit_all_parameters_with_workers(&vars, &dag, &data, opts, 1).unwrap();
+    for workers in [2, 3, 8] {
+        let par = fit_all_parameters_with_workers(&vars, &dag, &data, opts, workers).unwrap();
+        assert_eq!(
+            format!("{seq:?}"),
+            format!("{par:?}"),
+            "workers = {workers} must reproduce the sequential fit exactly"
+        );
+    }
+}

@@ -3,8 +3,10 @@
 #![allow(clippy::needless_range_loop)] // index loops over coupled structures
 
 use kert_bayes::cpd::{config_count, config_index, decode_config, Cpd, TabularCpd};
-use kert_bayes::infer::factor::Factor;
-use kert_bayes::infer::ve::{posterior_marginal, Evidence};
+use kert_bayes::infer::factor::{naive as naive_factor, Factor};
+use kert_bayes::infer::ve::{
+    naive as naive_ve, posterior_marginal, posterior_marginal_with, EliminationHeuristic, Evidence,
+};
 use kert_bayes::learn::mle::{fit_tabular, ParamOptions};
 use kert_bayes::{BayesianNetwork, Dag, Dataset, Expr, Variable};
 use proptest::prelude::*;
@@ -155,6 +157,116 @@ proptest! {
         let mut bumped = point.clone();
         bumped[which] += bump;
         prop_assert!(e.eval(&bumped) >= base - 1e-12);
+    }
+
+    #[test]
+    fn stride_product_matches_naive_oracle_on_random_factors(
+        c0 in 2usize..4,
+        c1 in 2usize..4,
+        c2 in 2usize..4,
+        raw_a in proptest::collection::vec(0.01f64..1.0, 16),
+        raw_b in proptest::collection::vec(0.01f64..1.0, 16),
+        overlap in proptest::bool::ANY,
+    ) {
+        // A over {0,1}; B over {1,2} (shared var) or {2} (disjoint scopes).
+        let fa = Factor::new(vec![0, 1], vec![c0, c1], raw_a[..c0 * c1].to_vec()).unwrap();
+        let fb = if overlap {
+            Factor::new(vec![1, 2], vec![c1, c2], raw_b[..c1 * c2].to_vec()).unwrap()
+        } else {
+            Factor::new(vec![2], vec![c2], raw_b[..c2].to_vec()).unwrap()
+        };
+        let fast = fa.product(&fb);
+        let slow = naive_factor::product(&fa, &fb);
+        prop_assert_eq!(fast.vars(), slow.vars());
+        prop_assert_eq!(fast.cards(), slow.cards());
+        for (x, y) in fast.values().iter().zip(slow.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stride_sum_out_and_reduce_match_naive_oracles(
+        c0 in 2usize..4,
+        c1 in 2usize..5,
+        c2 in 2usize..4,
+        raw in proptest::collection::vec(0.01f64..1.0, 48),
+        which in 0usize..3,
+        state in 0usize..2,
+    ) {
+        let f = Factor::new(vec![3, 7, 8], vec![c0, c1, c2], raw[..c0 * c1 * c2].to_vec())
+            .unwrap();
+        let var = [3, 7, 8][which];
+
+        let fast = f.sum_out(var);
+        let slow = naive_factor::sum_out(&f, var);
+        prop_assert_eq!(fast.vars(), slow.vars());
+        for (x, y) in fast.values().iter().zip(slow.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+        let owned = f.clone().sum_out_owned(var);
+        for (x, y) in owned.values().iter().zip(slow.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+
+        let fast_r = f.reduce(var, state);
+        let slow_r = naive_factor::reduce(&f, var, state);
+        prop_assert_eq!(fast_r.vars(), slow_r.vars());
+        for (x, y) in fast_r.values().iter().zip(slow_r.values().iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_fill_ve_matches_default_order_ve_and_the_naive_path(
+        rows_s in proptest::collection::vec(prob_row(2), 2),
+        rows_r in proptest::collection::vec(prob_row(2), 2),
+        rows_w in proptest::collection::vec(prob_row(2), 4),
+        p_c in 0.1f64..0.9,
+        observe_wet in proptest::bool::ANY,
+        target in 0usize..3,
+    ) {
+        // Random-CPT sprinkler-shaped network; every ordering heuristic and
+        // the pre-optimization greedy path must produce the same marginals.
+        let vars = vec![
+            Variable::discrete("c", 2),
+            Variable::discrete("s", 2),
+            Variable::discrete("r", 2),
+            Variable::discrete("w", 2),
+        ];
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let cpds = vec![
+            Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![1.0 - p_c, p_c]).unwrap()),
+            Cpd::Tabular(TabularCpd::new(
+                1, vec![0], 2, vec![2], rows_s.concat(),
+            ).unwrap()),
+            Cpd::Tabular(TabularCpd::new(
+                2, vec![0], 2, vec![2], rows_r.concat(),
+            ).unwrap()),
+            Cpd::Tabular(TabularCpd::new(
+                3, vec![1, 2], 2, vec![2, 2], rows_w.concat(),
+            ).unwrap()),
+        ];
+        let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();
+        let mut ev = Evidence::new();
+        if observe_wet {
+            ev.insert(3, 1);
+        }
+        let reference = naive_ve::posterior_marginal(&bn, target, &ev).unwrap();
+        for h in [
+            EliminationHeuristic::MinFill,
+            EliminationHeuristic::MinDegree,
+            EliminationHeuristic::Sequential,
+        ] {
+            let p = posterior_marginal_with(&bn, target, &ev, h).unwrap();
+            prop_assert_eq!(p.len(), reference.len());
+            for (x, y) in p.iter().zip(reference.iter()) {
+                prop_assert!((x - y).abs() < 1e-12, "{:?}: {} vs {}", h, x, y);
+            }
+        }
     }
 
     #[test]

@@ -1,73 +1,47 @@
-//! Criterion benchmarks behind Figures 3–4: model-construction cost.
+//! Benchmarks behind Figures 3–4: model-construction cost, merged into
+//! `BENCH_perf.json`.
 //!
-//! `construction/kert/*` vs `construction/nrt/*` measure the full build
-//! (structure + parameters) of both model families over training size
-//! (Figure 3's x-axis) and environment size (Figure 4's x-axis).
+//! `construction/kert_*` vs `construction/nrt_*` measure the full build
+//! (structure + parameters) of both model families at one training size
+//! and two environment sizes — the shape claim (KERT flat, NRT superlinear
+//! in services) is asserted by the fig3/fig4 integration tests; these
+//! record the absolute medians.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_bench::timing::{bench, merge_bench_perf};
 use kert_core::{ContinuousKertOptions, KertBn, NrtBn, NrtOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Value;
 use std::hint::black_box;
 
-fn bench_training_size_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_construction_vs_train_size");
-    group.sample_size(10);
-    for &train_size in &[36usize, 216, 1080] {
-        let mut env = Environment::random(30, ScenarioOptions::default(), 1);
-        let (train, _) = env.datasets(train_size, 1, 2);
-        group.bench_with_input(
-            BenchmarkId::new("kert", train_size),
-            &train,
-            |b, train| {
-                b.iter(|| {
-                    KertBn::build_continuous(
-                        &env.knowledge,
-                        black_box(train),
-                        ContinuousKertOptions::default(),
-                    )
-                    .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("nrt", train_size), &train, |b, train| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(3);
-                NrtBn::build_continuous(black_box(train), NrtOptions::default(), &mut rng)
-                    .unwrap()
-            })
-        });
-    }
-    group.finish();
-}
+fn main() {
+    println!("== construction ==");
+    let mut entries: Vec<(String, Value)> = Vec::new();
 
-fn bench_environment_size_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_construction_vs_services");
-    group.sample_size(10);
-    for &n in &[10usize, 30, 60] {
+    for &n in &[10usize, 30] {
         let mut env = Environment::random(n, ScenarioOptions::default(), 7);
-        let (train, _) = env.datasets(36, 1, 8);
-        group.bench_with_input(BenchmarkId::new("kert", n), &train, |b, train| {
-            b.iter(|| {
-                KertBn::build_continuous(
-                    &env.knowledge,
-                    black_box(train),
-                    ContinuousKertOptions::default(),
-                )
-                .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("nrt", n), &train, |b, train| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(9);
-                NrtBn::build_continuous(black_box(train), NrtOptions::default(), &mut rng)
-                    .unwrap()
-            })
-        });
-    }
-    group.finish();
-}
+        let (train, _) = env.datasets(216, 1, 8);
 
-criterion_group!(benches, bench_training_size_sweep, bench_environment_size_sweep);
-criterion_main!(benches);
+        let kert = bench(&format!("construction/kert_{n}_services"), || {
+            KertBn::build_continuous(
+                &env.knowledge,
+                black_box(&train),
+                ContinuousKertOptions::default(),
+            )
+            .unwrap()
+        });
+        let nrt = bench(&format!("construction/nrt_{n}_services"), || {
+            let mut rng = StdRng::seed_from_u64(9);
+            NrtBn::build_continuous(black_box(&train), NrtOptions::default(), &mut rng).unwrap()
+        });
+        entries.push((format!("kert_{n}_services_ns"), Value::Num(kert.median_ns)));
+        entries.push((format!("nrt_{n}_services_ns"), Value::Num(nrt.median_ns)));
+        entries.push((
+            format!("kert_vs_nrt_{n}_services"),
+            Value::Num(nrt.median_ns / kert.median_ns),
+        ));
+    }
+
+    merge_bench_perf("construction", Value::Map(entries));
+}

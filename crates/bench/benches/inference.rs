@@ -1,119 +1,105 @@
-//! Criterion benchmarks behind Figures 6–8: the inference machinery that
-//! dComp, pAccel and the violation sweep run on.
+//! Kernel benchmarks for the inference hot path: factor combination and
+//! variable elimination, each measured against its pre-optimization
+//! implementation (`naive` modules) — the before/after pair committed to
+//! `BENCH_perf.json`.
 //!
-//! * `ve_posterior` — exact variable elimination on the discrete eDiaMoND
-//!   KERT-BN (the §5 path used by all three figures);
-//! * `gaussian_conditioning` — exact joint-Gaussian conditioning on a
-//!   linear continuous network;
-//! * `likelihood_weighting` — the Monte-Carlo fallback for nonlinear
-//!   continuous networks (the capability BNT lacked).
+//! * `factor_product` — stride/odometer product vs per-entry decode/encode
+//!   on eDiaMoND-shaped factors (scope overlap, mixed cardinalities);
+//! * `factor_sum_out` — linear scatter pass vs decode + inner state sweep;
+//! * `ve_query` — a dComp-style posterior on the discrete eDiaMoND
+//!   KERT-BN: min-fill ordering + stride kernels vs greedy per-step
+//!   ordering + naive kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kert_bayes::infer::factor::{naive as naive_factor, Factor};
+use kert_bayes::infer::ve::{self, naive as naive_ve, Evidence};
 use kert_bench::scenario::{Environment, ScenarioOptions};
-use kert_core::posterior::{query_posterior, McOptions};
-use kert_core::{ContinuousKertOptions, DiscreteKertOptions, KertBn};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use kert_bench::timing::{before_after, bench, merge_bench_perf};
+use kert_core::{DiscreteKertOptions, KertBn};
+use serde::Value;
 use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_8_inference");
-    group.sample_size(10);
-
-    // Discrete eDiaMoND model (Figures 6–8).
-    let mut env = Environment::ediamond(ScenarioOptions::default());
-    let (train, _) = env.datasets(1200, 1, 1);
-    let discrete =
-        KertBn::build_discrete(&env.knowledge, &train, DiscreteKertOptions::default()).unwrap();
-    let x4_mean = kert_linalg::stats::mean(&train.column(3));
-    group.bench_function("ve_posterior_dcomp_query", |b| {
-        let mut rng = StdRng::seed_from_u64(2);
-        let observed: Vec<(usize, f64)> = (0..7)
-            .filter(|&c| c != 3)
-            .map(|c| (c, kert_linalg::stats::mean(&train.column(c))))
-            .collect();
-        b.iter(|| {
-            query_posterior(
-                discrete.network(),
-                discrete.discretizer(),
-                black_box(&observed),
-                3,
-                McOptions::default(),
-                &mut rng,
-            )
-            .unwrap()
-        })
-    });
-    group.bench_function("ve_posterior_paccel_query", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| {
-            query_posterior(
-                discrete.network(),
-                discrete.discretizer(),
-                black_box(&[(3usize, 0.9 * x4_mean)]),
-                6,
-                McOptions::default(),
-                &mut rng,
-            )
-            .unwrap()
-        })
-    });
-
-    // Continuous models: a linear chain (exact conditioning) and the
-    // max-bearing eDiaMoND network (likelihood weighting).
-    let mut lin_env = Environment::random(
-        12,
-        ScenarioOptions {
-            gen: kert_workflow::GenOptions {
-                parallel_prob: 0.0,
-                choice_prob: 0.0,
-                loop_prob: 0.0,
-                max_branches: 4,
-            },
-            ..Default::default()
-        },
-        4,
-    );
-    let (lin_train, _) = lin_env.datasets(400, 1, 5);
-    let linear =
-        KertBn::build_continuous(&lin_env.knowledge, &lin_train, ContinuousKertOptions::default())
-            .unwrap();
-    group.bench_function("gaussian_conditioning", |b| {
-        let mut rng = StdRng::seed_from_u64(6);
-        let obs = [(0usize, 0.05)];
-        b.iter(|| {
-            query_posterior(
-                linear.network(),
-                None,
-                black_box(&obs),
-                linear.d_node(),
-                McOptions::default(),
-                &mut rng,
-            )
-            .unwrap()
-        })
-    });
-
-    let cont =
-        KertBn::build_continuous(&env.knowledge, &train, ContinuousKertOptions::default())
-            .unwrap();
-    group.bench_function("likelihood_weighting_20k", |b| {
-        let mut rng = StdRng::seed_from_u64(7);
-        let obs = [(3usize, 0.9 * x4_mean)];
-        b.iter(|| {
-            query_posterior(
-                cont.network(),
-                None,
-                black_box(&obs),
-                cont.d_node(),
-                McOptions { samples: 20_000 },
-                &mut rng,
-            )
-            .unwrap()
-        })
-    });
-    group.finish();
+/// eDiaMoND-shaped factor pair: the response-node factor over four parents
+/// (card 5 each) times an upstream family factor sharing two of them.
+fn factor_pair() -> (Factor, Factor) {
+    let cards_a = [5usize, 5, 5, 5, 5];
+    let len_a: usize = cards_a.iter().product();
+    let a = Factor::new(
+        vec![0, 1, 2, 3, 6],
+        cards_a.to_vec(),
+        (0..len_a).map(|i| 1.0 + (i % 17) as f64 * 0.25).collect(),
+    )
+    .unwrap();
+    let cards_b = [5usize, 5, 5];
+    let len_b: usize = cards_b.iter().product();
+    let b = Factor::new(
+        vec![1, 3, 4],
+        cards_b.to_vec(),
+        (0..len_b).map(|i| 0.5 + (i % 11) as f64 * 0.125).collect(),
+    )
+    .unwrap();
+    (a, b)
 }
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+fn main() {
+    println!("== inference kernels ==");
+    let (fa, fb) = factor_pair();
+
+    let product_before = bench("factor_product/naive", || {
+        naive_factor::product(black_box(&fa), black_box(&fb))
+    });
+    let product_after = bench("factor_product/stride", || {
+        black_box(&fa).product(black_box(&fb))
+    });
+
+    let big = fa.product(&fb);
+    let sum_before = bench("factor_sum_out/naive", || {
+        naive_factor::sum_out(black_box(&big), 3)
+    });
+    let sum_after = bench("factor_sum_out/stride", || black_box(&big).sum_out(3));
+
+    // Discrete eDiaMoND model, dComp-style query: response time observed in
+    // its top bin plus two upstream services, posterior of the hidden X4.
+    let mut env = Environment::ediamond(ScenarioOptions::default());
+    let (train, _) = env.datasets(1200, 1, 1);
+    let model =
+        KertBn::build_discrete(&env.knowledge, &train, DiscreteKertOptions::default()).unwrap();
+    let bn = model.network();
+    let d_node = model.d_node();
+    let mut evidence = Evidence::new();
+    evidence.insert(0, 2);
+    evidence.insert(1, 2);
+    evidence.insert(d_node, 4);
+
+    let ve_before = bench("ve_query/naive_greedy", || {
+        naive_ve::posterior_marginal(black_box(bn), 3, black_box(&evidence)).unwrap()
+    });
+    let ve_after = bench("ve_query/minfill_stride", || {
+        ve::posterior_marginal(black_box(bn), 3, black_box(&evidence)).unwrap()
+    });
+    let ve_pruned = bench("ve_query/minfill_stride_pruned", || {
+        ve::posterior_marginal_pruned(black_box(bn), 3, black_box(&evidence)).unwrap()
+    });
+
+    // Sanity: the two paths must agree before their times are comparable.
+    let p_naive = naive_ve::posterior_marginal(bn, 3, &evidence).unwrap();
+    let p_fast = ve::posterior_marginal(bn, 3, &evidence).unwrap();
+    for (a, b) in p_fast.iter().zip(p_naive.iter()) {
+        assert!((a - b).abs() < 1e-12, "optimized VE diverged from naive VE");
+    }
+
+    merge_bench_perf(
+        "inference",
+        Value::Map(vec![
+            (
+                "factor_product".into(),
+                before_after(&product_before, &product_after),
+            ),
+            (
+                "factor_sum_out".into(),
+                before_after(&sum_before, &sum_after),
+            ),
+            ("ve_query".into(), before_after(&ve_before, &ve_after)),
+            ("ve_query_pruned_ns".into(), Value::Num(ve_pruned.median_ns)),
+        ]),
+    );
+}

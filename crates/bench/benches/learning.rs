@@ -1,20 +1,31 @@
-//! Criterion benchmarks behind Figure 5: decentralized vs centralized
-//! parameter learning.
+//! Benchmarks behind Figure 5 and the K2 learning path, merged into
+//! `BENCH_perf.json`.
 //!
-//! `learning/decentralized/*` runs the crossbeam agent-fleet pool;
-//! `learning/centralized/*` the sequential reference. The figure itself
-//! reports max-vs-sum of per-node times; these benches measure the actual
-//! wall cost of both code paths on this machine.
+//! * `k2_run` — one full K2 search (true ordering, memo cache) on the
+//!   discretized eDiaMoND training set, plus a 10-restart run;
+//! * `learning` — decentralized (scoped worker pool, wall-clock = slowest
+//!   worker) vs centralized (sequential sum) parameter learning. On a
+//!   single-core host the pool cannot win on wall-clock; `host_cores` is
+//!   recorded alongside so the number reads correctly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kert_agents::runtime::{
     centralized_learn, decentralized_learn, slice_local_datasets, LearnOptions,
 };
+use kert_bayes::discretize::{BinStrategy, Discretizer};
+use kert_bayes::learn::k2::{k2_search, k2_with_random_restarts, K2Options};
 use kert_bayes::{Dag, Variable};
 use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_bench::timing::{bench, merge_bench_perf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
 use std::hint::black_box;
 
-fn setup(n: usize, rows: usize, seed: u64) -> (Vec<Variable>, Vec<kert_agents::LocalDataset>) {
+fn learning_setup(
+    n: usize,
+    rows: usize,
+    seed: u64,
+) -> (Vec<Variable>, Vec<kert_agents::LocalDataset>) {
     let mut env = Environment::random(n, ScenarioOptions::default(), seed);
     let (train, _) = env.datasets(rows, 1, seed ^ 1);
     let service_data = train.project(&(0..n).collect::<Vec<_>>()).unwrap();
@@ -29,38 +40,85 @@ fn setup(n: usize, rows: usize, seed: u64) -> (Vec<Variable>, Vec<kert_agents::L
     (variables, locals)
 }
 
-fn bench_learning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_parameter_learning");
-    group.sample_size(10);
-    for &n in &[10usize, 40, 100] {
-        let (variables, locals) = setup(n, 1080, 21);
-        group.bench_with_input(
-            BenchmarkId::new("centralized", n),
-            &(&variables, &locals),
-            |b, (vars, locals)| {
-                b.iter(|| {
-                    centralized_learn(black_box(vars), black_box(locals), LearnOptions::default())
-                        .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decentralized_pool", n),
-            &(&variables, &locals),
-            |b, (vars, locals)| {
-                b.iter(|| {
-                    decentralized_learn(
-                        black_box(vars),
-                        black_box(locals),
-                        LearnOptions::default(),
-                    )
-                    .unwrap()
-                })
-            },
-        );
-    }
-    group.finish();
-}
+fn main() {
+    println!("== learning ==");
 
-criterion_group!(benches, bench_learning);
-criterion_main!(benches);
+    // K2 on the discretized eDiaMoND training set (7 columns, 1200 rows).
+    let mut env = Environment::ediamond(ScenarioOptions::default());
+    let (train, _) = env.datasets(1200, 1, 3);
+    let disc = Discretizer::fit(&train, 5, BinStrategy::EqualFrequency).unwrap();
+    let states = disc.transform(&train).unwrap();
+    let cards = vec![5usize; states.columns()];
+    let ordering: Vec<usize> = (0..states.columns()).collect();
+
+    let k2_single = bench("k2_run/single_search", || {
+        k2_search(
+            black_box(&ordering),
+            black_box(&states),
+            &cards,
+            K2Options::default(),
+        )
+        .unwrap()
+    });
+    let k2_restarts = bench("k2_run/10_restarts_cached", || {
+        let mut rng = StdRng::seed_from_u64(9);
+        k2_with_random_restarts(
+            black_box(&states),
+            &cards,
+            K2Options::default(),
+            10,
+            &mut rng,
+        )
+        .unwrap()
+    });
+
+    // Figure-5 comparison at 40 services.
+    let (variables, locals) = learning_setup(40, 1080, 21);
+    let centralized = bench("learning/centralized_40", || {
+        centralized_learn(
+            black_box(&variables),
+            black_box(&locals),
+            LearnOptions::default(),
+        )
+        .unwrap()
+    });
+    let decentralized = bench("learning/decentralized_pool_40", || {
+        decentralized_learn(
+            black_box(&variables),
+            black_box(&locals),
+            LearnOptions::default(),
+        )
+        .unwrap()
+    });
+
+    merge_bench_perf(
+        "learning",
+        Value::Map(vec![
+            ("k2_run_ns".into(), Value::Num(k2_single.median_ns)),
+            (
+                "k2_10_restarts_ns".into(),
+                Value::Num(k2_restarts.median_ns),
+            ),
+            (
+                "centralized_learn_ns".into(),
+                Value::Num(centralized.median_ns),
+            ),
+            (
+                "decentralized_learn_ns".into(),
+                Value::Num(decentralized.median_ns),
+            ),
+            (
+                "decentralized_speedup".into(),
+                Value::Num(centralized.median_ns / decentralized.median_ns),
+            ),
+            (
+                "note".into(),
+                Value::Str(
+                    "decentralized wall-clock beats centralized only with ≥2 real cores; \
+                     see host_cores for this run"
+                        .into(),
+                ),
+            ),
+        ]),
+    );
+}

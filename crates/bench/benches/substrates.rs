@@ -1,34 +1,30 @@
-//! Criterion micro-benchmarks for the substrate layers: the simulator,
-//! the linear-algebra kernel, discretization, and K2 scoring — the cost
-//! drivers the figure-level numbers decompose into.
+//! Micro-benchmarks for the substrate layers: the simulator, the
+//! linear-algebra kernel, discretization, and K2 scoring — the cost
+//! drivers the figure-level numbers decompose into. Printed only; the
+//! committed `BENCH_perf.json` tracks the kernel-level before/after pairs
+//! from the other bench binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kert_bayes::discretize::{BinStrategy, Discretizer};
 use kert_bayes::learn::score::{gaussian_bic_family_score, k2_family_score};
 use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_bench::timing::bench;
 use kert_linalg::{Cholesky, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_simulator");
-    group.sample_size(10);
-    for &n in &[6usize, 30, 100] {
-        group.bench_with_input(BenchmarkId::new("run_1000_requests", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut env = Environment::random(n, ScenarioOptions::default(), 42);
-                let mut rng = StdRng::seed_from_u64(1);
-                black_box(env.system.run(1_000, &mut rng))
-            })
+fn main() {
+    println!("== substrates ==");
+
+    for &n in &[6usize, 30] {
+        bench(&format!("simulator/run_1000_requests_{n}"), || {
+            let mut env = Environment::random(n, ScenarioOptions::default(), 42);
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(env.system.run(1_000, &mut rng))
         });
     }
-    group.finish();
-}
 
-fn bench_linalg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_linalg");
-    for &n in &[8usize, 32, 101] {
+    for &n in &[8usize, 32] {
         // SPD matrix: covariance-like.
         let mut a = Matrix::identity(n);
         for i in 0..n {
@@ -37,47 +33,30 @@ fn bench_linalg(c: &mut Criterion) {
                 a.set(i, j, v);
             }
         }
-        group.bench_with_input(BenchmarkId::new("cholesky_factor", n), &a, |b, a| {
-            b.iter(|| Cholesky::factor(black_box(a)).unwrap())
+        bench(&format!("linalg/cholesky_factor_{n}"), || {
+            Cholesky::factor(black_box(&a)).unwrap()
         });
         let ch = Cholesky::factor(&a).unwrap();
         let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &ch, |b, ch| {
-            b.iter(|| ch.solve(black_box(rhs.clone())).unwrap())
+        bench(&format!("linalg/cholesky_solve_{n}"), || {
+            ch.solve(black_box(rhs.clone())).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_scores_and_discretization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_learning_primitives");
     let mut env = Environment::ediamond(ScenarioOptions::default());
     let (train, _) = env.datasets(1200, 1, 3);
-
-    group.bench_function("discretizer_fit_transform_1200x7", |b| {
-        b.iter(|| {
-            let disc = Discretizer::fit(black_box(&train), 5, BinStrategy::EqualFrequency)
-                .unwrap();
-            black_box(disc.transform(&train).unwrap())
-        })
+    bench("discretize/fit_transform_1200x7", || {
+        let disc = Discretizer::fit(black_box(&train), 5, BinStrategy::EqualFrequency).unwrap();
+        black_box(disc.transform(&train).unwrap())
     });
 
     let disc = Discretizer::fit(&train, 5, BinStrategy::EqualFrequency).unwrap();
     let states = disc.transform(&train).unwrap();
     let cards = vec![5usize; 7];
-    group.bench_function("k2_family_score_1200_rows", |b| {
-        b.iter(|| k2_family_score(6, black_box(&[0, 1, 3]), &states, &cards).unwrap())
+    bench("score/k2_family_score_1200_rows", || {
+        k2_family_score(6, black_box(&[0, 1, 3]), &states, &cards).unwrap()
     });
-    group.bench_function("gaussian_bic_family_score_1200_rows", |b| {
-        b.iter(|| gaussian_bic_family_score(6, black_box(&[0, 1, 3]), &train).unwrap())
+    bench("score/gaussian_bic_family_score_1200_rows", || {
+        gaussian_bic_family_score(6, black_box(&[0, 1, 3]), &train).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_simulator,
-    bench_linalg,
-    bench_scores_and_discretization
-);
-criterion_main!(benches);

@@ -52,9 +52,8 @@ pub fn naive_baseline(seed: u64) -> NaiveAblation {
     let nrt = NrtBn::build_discrete(&train, NrtOptions::default(), &mut rng).expect("builds");
     let naive = NrtBn::build_naive_discrete(&train, NrtOptions::default()).expect("builds");
 
-    let service_edges = |dag: &kert_bayes::Dag| {
-        dag.edges().filter(|&(a, b)| a < 6 && b < 6).count()
-    };
+    let service_edges =
+        |dag: &kert_bayes::Dag| dag.edges().filter(|&(a, b)| a < 6 && b < 6).count();
     NaiveAblation {
         kert_accuracy: kert.accuracy(&test).expect("finite"),
         nrt_accuracy: nrt.accuracy(&test).expect("finite"),
@@ -104,12 +103,12 @@ pub fn update_vs_reconstruct(seed: u64) -> UpdateAblation {
     };
     // Phase 1: 4 rebuild cycles of the slow regime.
     let feed = |env: &mut Environment,
-                    cycles: usize,
-                    seed: u64,
-                    window: &mut ReconstructionWindow,
-                    cumulative: &mut CumulativeUpdater,
-                    windowed_model: &mut Option<KertBn>,
-                    cumulative_model: &mut Option<KertBn>| {
+                cycles: usize,
+                seed: u64,
+                window: &mut ReconstructionWindow,
+                cumulative: &mut CumulativeUpdater,
+                windowed_model: &mut Option<KertBn>,
+                cumulative_model: &mut Option<KertBn>| {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..cycles * alpha {
             let batch = env.system.run(1, &mut rng).to_dataset(None);
@@ -122,13 +121,23 @@ pub fn update_vs_reconstruct(seed: u64) -> UpdateAblation {
         }
     };
     feed(
-        &mut env, 4, seed, &mut window, &mut cumulative, &mut windowed_model,
+        &mut env,
+        4,
+        seed,
+        &mut window,
+        &mut cumulative,
+        &mut windowed_model,
         &mut cumulative_model,
     );
     // The remote site is upgraded.
     env.scale_service(3, 0.5);
     feed(
-        &mut env, 2, seed ^ 7, &mut window, &mut cumulative, &mut windowed_model,
+        &mut env,
+        2,
+        seed ^ 7,
+        &mut window,
+        &mut cumulative,
+        &mut windowed_model,
         &mut cumulative_model,
     );
 

@@ -13,7 +13,11 @@ fn main() {
     let widths = [22, 14, 16];
     table::header(&["model", "log10 p(test)", "svc-svc edges"], &widths);
     table::row(
-        &["KERT-BN".into(), format!("{:.1}", naive.kert_accuracy), "5 (given)".into()],
+        &[
+            "KERT-BN".into(),
+            format!("{:.1}", naive.kert_accuracy),
+            "5 (given)".into(),
+        ],
         &widths,
     );
     table::row(
@@ -79,7 +83,10 @@ fn main() {
         &widths3,
     );
     table::row(
-        &["barren-pruned VE".into(), format!("{:.6}", pruning.pruned_secs)],
+        &[
+            "barren-pruned VE".into(),
+            format!("{:.6}", pruning.pruned_secs),
+        ],
         &widths3,
     );
     println!(

@@ -22,7 +22,13 @@ fn main() {
     let widths = [10, 12, 12, 14, 14, 10, 10];
     table::header(
         &[
-            "train", "kert_time", "nrt_time", "kert_log10L", "nrt_log10L", "kert_sd", "nrt_sd",
+            "train",
+            "kert_time",
+            "nrt_time",
+            "kert_log10L",
+            "nrt_log10L",
+            "kert_sd",
+            "nrt_sd",
         ],
         &widths,
     );

@@ -23,7 +23,13 @@ fn main() {
     println!("\nFigure 4 — construction time and accuracy vs environment size (36 points)");
     let widths = [10, 12, 12, 14, 14];
     table::header(
-        &["services", "kert_time", "nrt_time", "kert_log10L", "nrt_log10L"],
+        &[
+            "services",
+            "kert_time",
+            "nrt_time",
+            "kert_log10L",
+            "nrt_log10L",
+        ],
         &widths,
     );
     for p in &points {

@@ -32,7 +32,10 @@ fn main() {
                 p.n_services.to_string(),
                 table::secs(p.decentralized_time),
                 table::secs(p.centralized_time),
-                format!("{:.1}x", p.centralized_time / p.decentralized_time.max(1e-12)),
+                format!(
+                    "{:.1}x",
+                    p.centralized_time / p.decentralized_time.max(1e-12)
+                ),
             ],
             &widths,
         );

@@ -17,11 +17,7 @@ fn main() {
     table::header(&["x4_value", "prior", "posterior"], &widths);
     for ((v, p), q) in r.support.iter().zip(r.prior.iter()).zip(r.posterior.iter()) {
         table::row(
-            &[
-                format!("{v:.4}"),
-                format!("{p:.3}"),
-                format!("{q:.3}"),
-            ],
+            &[format!("{v:.4}"), format!("{p:.3}"), format!("{q:.3}")],
             &widths,
         );
     }

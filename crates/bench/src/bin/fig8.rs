@@ -19,7 +19,14 @@ fn main() {
     println!("\nFigure 8 — relative threshold-violation error ε (Eq. 5)");
     let widths = [12, 10, 10, 10, 12, 12];
     table::header(
-        &["threshold", "P_real", "P_kert", "P_nrt", "eps_kert", "eps_nrt"],
+        &[
+            "threshold",
+            "P_real",
+            "P_kert",
+            "P_nrt",
+            "eps_kert",
+            "eps_nrt",
+        ],
         &widths,
     );
     for p in &points {

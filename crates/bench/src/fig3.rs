@@ -87,12 +87,8 @@ pub fn one_rep(n_services: usize, train_size: usize, seed: u64) -> (f64, f64, f6
     let mut env = Environment::random(n_services, ScenarioOptions::default(), seed);
     let (train, test) = env.datasets(train_size, TEST_ROWS, seed ^ 0xabcd);
 
-    let kert = KertBn::build_continuous(
-        &env.knowledge,
-        &train,
-        ContinuousKertOptions::default(),
-    )
-    .expect("KERT-BN builds on scenario data");
+    let kert = KertBn::build_continuous(&env.knowledge, &train, ContinuousKertOptions::default())
+        .expect("KERT-BN builds on scenario data");
     let kert_time = kert.report().total_secs();
     let kert_acc = kert.accuracy(&test).expect("finite accuracy");
 

@@ -95,8 +95,20 @@ mod tests {
     #[test]
     fn feasibility_helper() {
         let pts = vec![
-            Fig4Point { n_services: 10, kert_time: 0.1, nrt_time: 1.0, kert_accuracy: 0.0, nrt_accuracy: 0.0 },
-            Fig4Point { n_services: 20, kert_time: 0.1, nrt_time: 5.0, kert_accuracy: 0.0, nrt_accuracy: 0.0 },
+            Fig4Point {
+                n_services: 10,
+                kert_time: 0.1,
+                nrt_time: 1.0,
+                kert_accuracy: 0.0,
+                nrt_accuracy: 0.0,
+            },
+            Fig4Point {
+                n_services: 20,
+                kert_time: 0.1,
+                nrt_time: 5.0,
+                kert_accuracy: 0.0,
+                nrt_accuracy: 0.0,
+            },
         ];
         assert_eq!(max_feasible_size(&pts, 2.0, false), Some(10));
         assert_eq!(max_feasible_size(&pts, 2.0, true), Some(20));

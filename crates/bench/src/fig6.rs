@@ -12,8 +12,8 @@
 //! from an *older* configuration in which `X₄` was slower; the probe
 //! observations come from the current (improved) system.
 
-use kert_core::{dcomp, DiscreteKertOptions, KertBn};
 use kert_core::posterior::McOptions;
+use kert_core::{dcomp, DiscreteKertOptions, KertBn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -79,7 +79,11 @@ pub fn run(seed: u64) -> Fig6Result {
 
     let (support, prior, posterior) = match (&outcome.prior, &outcome.posterior) {
         (
-            kert_core::Posterior::Discrete { support, probs: prior },
+            kert_core::Posterior::Discrete {
+                support,
+                probs: prior,
+                ..
+            },
             kert_core::Posterior::Discrete { probs: post, .. },
         ) => (support.clone(), prior.clone(), post.clone()),
         _ => unreachable!("discrete model yields discrete posteriors"),

@@ -3,8 +3,9 @@
 //! One module per evaluation artifact of the paper (Figures 3–8), each
 //! exposing a pure function that runs the experiment and returns its data
 //! series, plus a `fig*` binary that prints the series as a table and dumps
-//! JSON under `results/`. Criterion micro-benchmarks for the underlying
-//! operations live in `benches/`.
+//! JSON under `results/`. Kernel micro-benchmarks (hand-rolled harness in
+//! [`timing`]; the offline build has no criterion) live in `benches/` and
+//! merge their medians into the committed `BENCH_perf.json`.
 //!
 //! The paper reports wall-clock seconds on 2007 hardware; absolute numbers
 //! here differ, but every *shape* claim is asserted by the integration
@@ -28,6 +29,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod scenario;
 pub mod table;
+pub mod timing;
 
 pub use scenario::{Environment, ScenarioOptions};
 

@@ -12,8 +12,8 @@
 use kert_bayes::Dataset;
 use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem};
 use kert_workflow::{
-    derive_structure, ediamond_workflow, expected_visits, random_workflow, GenOptions,
-    ResourceMap, Workflow, WorkflowKnowledge,
+    derive_structure, ediamond_workflow, expected_visits, random_workflow, GenOptions, ResourceMap,
+    Workflow, WorkflowKnowledge,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,7 +112,12 @@ impl Environment {
 
     /// Generate a `(train, test)` dataset pair from fresh simulation, with
     /// measurement noise applied. Columns: `X1…Xn, D`.
-    pub fn datasets(&mut self, train_rows: usize, test_rows: usize, seed: u64) -> (Dataset, Dataset) {
+    pub fn datasets(
+        &mut self,
+        train_rows: usize,
+        test_rows: usize,
+        seed: u64,
+    ) -> (Dataset, Dataset) {
         let mut sim_rng = StdRng::seed_from_u64(seed);
         let trace = self.system.run(train_rows + test_rows, &mut sim_rng);
         let mut noise_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -206,11 +211,7 @@ mod tests {
             vec![(0, 1), (1, 2), (1, 3), (2, 4), (3, 5)]
         );
         // Remote locator dominates.
-        let max = env
-            .service_means
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let max = env.service_means.iter().cloned().fold(f64::MIN, f64::max);
         assert_eq!(env.service_means[3], max);
     }
 

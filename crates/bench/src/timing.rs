@@ -1,0 +1,149 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The offline build vendors every external crate, so criterion is out;
+//! this module provides the small slice of it the kernel benchmarks need:
+//! warm-up, batch-size calibration, a median over repeated samples, and a
+//! merged `BENCH_perf.json` at the workspace root so before/after numbers
+//! from separate bench binaries land in one committed artifact.
+//!
+//! Medians (not means) because micro-benchmarks on a shared host see
+//! one-sided noise — scheduler preemption only ever makes a sample slower.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's result: median nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (also the JSON key).
+    pub name: String,
+    /// Median per-iteration time across samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Iterations per timed sample (calibrated).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Time `f`, returning the median per-iteration nanoseconds.
+///
+/// Calibration doubles the batch size until one batch costs ≥ 2 ms (so the
+/// `Instant` overhead vanishes), then takes `KERT_BENCH_SAMPLES` samples
+/// (default 11). The closure's result is `black_box`ed to keep the
+/// optimizer honest.
+pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) -> BenchResult {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= 2_000_000 || iters >= 1 << 22 {
+            break;
+        }
+        // Jump straight toward the target batch once we have an estimate.
+        let per_iter = (elapsed / iters as u128).max(1);
+        iters = (2_500_000 / per_iter).clamp(iters as u128 * 2, 1 << 22) as u64;
+    }
+    let n_samples = crate::env_usize("KERT_BENCH_SAMPLES", 11).max(3);
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let result = BenchResult {
+        name: name.to_string(),
+        median_ns,
+        iters_per_sample: iters,
+        samples: n_samples,
+    };
+    println!(
+        "{:<44} {:>14}   ({} iters × {} samples)",
+        result.name,
+        format_ns(median_ns),
+        iters,
+        n_samples
+    );
+    result
+}
+
+/// Human-readable nanoseconds.
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Path of the committed benchmark artifact (workspace root).
+fn bench_perf_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json")
+}
+
+/// Merge one section of results into `BENCH_perf.json`.
+///
+/// Each bench binary owns a top-level key (`"inference"`, `"learning"`,
+/// `"construction"`) and replaces only its own section, so running the
+/// binaries in any order or subset keeps the others' numbers. The host
+/// core count is recorded every time: the decentralized-vs-centralized
+/// comparison only shows a wall-clock win with real parallel hardware.
+pub fn merge_bench_perf(section: &str, entries: serde::Value) {
+    use serde::Value;
+
+    let path = bench_perf_path();
+    let mut root: Vec<(String, Value)> = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::value_from_str(&s).ok())
+    {
+        Some(Value::Map(m)) => m,
+        _ => Vec::new(),
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut set = |key: &str, value: Value| {
+        if let Some(slot) = root.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            root.push((key.to_string(), value));
+        }
+    };
+    set("host_cores", Value::Num(cores as f64));
+    set(section, entries);
+    match serde_json::to_string_pretty(&Value::Map(root)) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(merged section {section:?} into {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize bench results: {e}"),
+    }
+}
+
+/// Convenience: a `(median_ns, speedup-vs-before)` JSON object.
+pub fn before_after(before: &BenchResult, after: &BenchResult) -> serde::Value {
+    use serde::Value;
+    Value::Map(vec![
+        ("before_ns".into(), Value::Num(before.median_ns)),
+        ("after_ns".into(), Value::Num(after.median_ns)),
+        (
+            "speedup".into(),
+            Value::Num(before.median_ns / after.median_ns),
+        ),
+    ])
+}

@@ -168,8 +168,14 @@ mod tests {
     fn improvement_metric_signs() {
         let out = DCompOutcome {
             target: 0,
-            prior: Posterior::Gaussian { mean: 0.0, variance: 4.0 },
-            posterior: Posterior::Gaussian { mean: 0.9, variance: 1.0 },
+            prior: Posterior::Gaussian {
+                mean: 0.0,
+                variance: 4.0,
+            },
+            posterior: Posterior::Gaussian {
+                mean: 0.9,
+                variance: 1.0,
+            },
         };
         // Actual value 1.0: posterior is closer → positive improvement.
         assert!(out.improvement_toward(1.0) > 0.0);

@@ -152,7 +152,11 @@ impl KertBn {
         options: ContinuousKertOptions,
     ) -> Result<Self> {
         let n = knowledge.n_services;
-        let k = if with_resources { knowledge.resources.len() } else { 0 };
+        let k = if with_resources {
+            knowledge.resources.len()
+        } else {
+            0
+        };
         check_dataset(train, n, k)?;
         if with_resources {
             check_resource_columns(knowledge, train)?;
@@ -242,7 +246,11 @@ impl KertBn {
         options: DiscreteKertOptions,
     ) -> Result<Self> {
         let n = knowledge.n_services;
-        let k = if with_resources { knowledge.resources.len() } else { 0 };
+        let k = if with_resources {
+            knowledge.resources.len()
+        } else {
+            0
+        };
         check_dataset(train, n, k)?;
         if with_resources {
             check_resource_columns(knowledge, train)?;
@@ -378,7 +386,11 @@ fn knowledge_dag(
     with_resources: bool,
 ) -> Result<Dag> {
     let n = knowledge.n_services;
-    let k = if with_resources { knowledge.resources.len() } else { 0 };
+    let k = if with_resources {
+        knowledge.resources.len()
+    } else {
+        0
+    };
     let mut dag = Dag::new(n + k + 1);
     for &(from, to) in &knowledge.upstream_edges {
         dag.add_edge(from, to)?;
@@ -501,7 +513,11 @@ mod tests {
         let wf = ediamond_workflow();
         let knowledge = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
         let stations = (0..6)
-            .map(|i| ServiceConfig::single(Dist::Exponential { mean: 0.04 + 0.01 * i as f64 }))
+            .map(|i| {
+                ServiceConfig::single(Dist::Exponential {
+                    mean: 0.04 + 0.01 * i as f64,
+                })
+            })
             .collect();
         let mut sys = SimSystem::new(
             &wf,
@@ -522,8 +538,7 @@ mod tests {
         let (knowledge, data) = ediamond_data(600, 1);
         let (train, test) = data.split_at(400);
         let model =
-            KertBn::build_continuous(&knowledge, &train, ContinuousKertOptions::default())
-                .unwrap();
+            KertBn::build_continuous(&knowledge, &train, ContinuousKertOptions::default()).unwrap();
         assert_eq!(model.n_services(), 6);
         assert_eq!(model.d_node(), 6);
         assert_eq!(model.network().len(), 7);
@@ -541,8 +556,7 @@ mod tests {
     fn decentralized_build_learns_the_same_model() {
         let (knowledge, data) = ediamond_data(400, 2);
         let central =
-            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default())
-                .unwrap();
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap();
         let dec = KertBn::build_continuous(
             &knowledge,
             &data,
@@ -566,8 +580,8 @@ mod tests {
     fn discrete_kert_builds_and_fits() {
         let (knowledge, data) = ediamond_data(900, 3);
         let (train, test) = data.split_at(700);
-        let model = KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default())
-            .unwrap();
+        let model =
+            KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default()).unwrap();
         assert!(model.discretizer().is_some());
         let acc = model.accuracy(&test).unwrap();
         assert!(acc.is_finite());
@@ -597,8 +611,7 @@ mod tests {
         let mut hits = 0;
         for r in 0..states.rows() {
             let row = states.row(r);
-            let parent_states: Vec<f64> =
-                d_cpd.parents().iter().map(|&p| row[p]).collect();
+            let parent_states: Vec<f64> = d_cpd.parents().iter().map(|&p| row[p]).collect();
             if d_cpd.predicted_state(&parent_states) == Some(row[6] as usize) {
                 hits += 1;
             }
@@ -613,7 +626,10 @@ mod tests {
         use kert_sim::HostLayout;
         let wf = ediamond_workflow();
         let layout = HostLayout::new(
-            vec![("db_host".into(), vec![4, 5]), ("web_host".into(), vec![0, 1])],
+            vec![
+                ("db_host".into(), vec![4, 5]),
+                ("web_host".into(), vec![0, 1]),
+            ],
             6,
         )
         .unwrap();
@@ -677,7 +693,12 @@ mod tests {
         let wf = ediamond_workflow();
         let knowledge = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
         let stations = (0..6)
-            .map(|i| ServiceConfig::single(Dist::Erlang { k: 2, mean: 0.05 + 0.02 * i as f64 }))
+            .map(|i| {
+                ServiceConfig::single(Dist::Erlang {
+                    k: 2,
+                    mean: 0.05 + 0.02 * i as f64,
+                })
+            })
             .collect();
         let mut sys = SimSystem::new(
             &wf,
@@ -693,7 +714,11 @@ mod tests {
         // Deadlines near each service's configured mean: plenty of timeouts.
         let deadlines = [0.06, 0.08, 0.10, 0.12, 0.14, 0.16];
         let counts = trace.timeout_counts(&deadlines, 0.5);
-        assert!(counts.rows() > 50, "need enough intervals: {}", counts.rows());
+        assert!(
+            counts.rows() > 50,
+            "need enough intervals: {}",
+            counts.rows()
+        );
 
         let count_expr = knowledge.count_expr.clone();
         let model = KertBn::build_continuous_metric(
@@ -725,8 +750,7 @@ mod tests {
         );
         let empty = Dataset::new(data.names().to_vec());
         assert!(
-            KertBn::build_continuous(&knowledge, &empty, ContinuousKertOptions::default())
-                .is_err()
+            KertBn::build_continuous(&knowledge, &empty, ContinuousKertOptions::default()).is_err()
         );
         assert!(KertBn::build_discrete(
             &knowledge,

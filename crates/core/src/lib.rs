@@ -39,7 +39,7 @@ pub use kert::{ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning
 pub use nrt::{NrtBn, NrtOptions};
 pub use paccel::{paccel, PAccelOutcome};
 pub use persist::{ModelKind, SavedModel};
-pub use posterior::{query_posterior, Posterior};
+pub use posterior::{query_posterior, shifted_posterior, Posterior};
 pub use report::BuildReport;
 pub use violation::{empirical_violation_probability, relative_violation_error};
 

@@ -281,7 +281,9 @@ fn run_k2<R: Rng + ?Sized>(
         ordering.shuffle(rng);
         Ok(k2_search(&ordering, data, cards, options)?)
     } else {
-        Ok(k2_with_random_restarts(data, cards, options, restarts, rng)?)
+        Ok(k2_with_random_restarts(
+            data, cards, options, restarts, rng,
+        )?)
     }
 }
 

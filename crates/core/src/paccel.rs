@@ -127,7 +127,8 @@ mod tests {
 
         // Ground truth: rerun the simulator with the remote locator's
         // service time reduced to 90%.
-        sys.set_service_time(3, Dist::Erlang { k: 4, mean: 0.36 }).unwrap();
+        sys.set_service_time(3, Dist::Erlang { k: 4, mean: 0.36 })
+            .unwrap();
         let mut rng2 = StdRng::seed_from_u64(32);
         let after = sys.run(1_200, &mut rng2);
         let observed_mean = kert_linalg::stats::mean(&after.response_times());

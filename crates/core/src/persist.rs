@@ -48,8 +48,7 @@ pub struct SavedModel {
 impl SavedModel {
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| CoreError::BadRequest(format!("serialize: {e}")))
+        serde_json::to_string(self).map_err(|e| CoreError::BadRequest(format!("serialize: {e}")))
     }
 
     /// Deserialize from a JSON string, checking the format version.
@@ -124,7 +123,11 @@ impl NrtBn {
                 "envelope holds a KERT-BN; use KertBn::from_saved".into(),
             ));
         }
-        Ok(NrtBn::from_parts(saved.network, saved.d_node, saved.discretizer))
+        Ok(NrtBn::from_parts(
+            saved.network,
+            saved.d_node,
+            saved.discretizer,
+        ))
     }
 }
 
@@ -156,8 +159,8 @@ mod tests {
         .unwrap();
         let mut rng = StdRng::seed_from_u64(60);
         let data = sys.run(500, &mut rng).to_dataset(None);
-        let kert = KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default())
-            .unwrap();
+        let kert =
+            KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap();
         let mut nrt_rng = StdRng::seed_from_u64(61);
         let nrt = NrtBn::build_continuous(&data, NrtOptions::default(), &mut nrt_rng).unwrap();
         (kert, nrt, data)

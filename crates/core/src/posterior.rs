@@ -30,10 +30,14 @@ pub enum Posterior {
     },
     /// Exact discrete posterior over bin representatives.
     Discrete {
-        /// Representative value of each state (bin midpoints).
+        /// Representative value of each state (within-bin training means).
         support: Vec<f64>,
         /// Probability of each state (sums to 1).
         probs: Vec<f64>,
+        /// Value interval covered by each state, when the producing
+        /// discretizer is known. Enables within-bin interpolation for tail
+        /// probabilities instead of the all-or-nothing midpoint rule.
+        bounds: Option<Vec<(f64, f64)>>,
     },
     /// Weighted Monte-Carlo posterior (nonlinear continuous networks).
     Samples {
@@ -49,11 +53,9 @@ impl Posterior {
     pub fn mean(&self) -> f64 {
         match self {
             Posterior::Gaussian { mean, .. } => *mean,
-            Posterior::Discrete { support, probs } => support
-                .iter()
-                .zip(probs.iter())
-                .map(|(&v, &p)| v * p)
-                .sum(),
+            Posterior::Discrete { support, probs, .. } => {
+                support.iter().zip(probs.iter()).map(|(&v, &p)| v * p).sum()
+            }
             Posterior::Samples { values, weights } => values
                 .iter()
                 .zip(weights.iter())
@@ -66,7 +68,7 @@ impl Posterior {
     pub fn variance(&self) -> f64 {
         match self {
             Posterior::Gaussian { variance, .. } => *variance,
-            Posterior::Discrete { support, probs } => {
+            Posterior::Discrete { support, probs, .. } => {
                 let m = self.mean();
                 support
                     .iter()
@@ -90,9 +92,12 @@ impl Posterior {
         self.variance().max(0.0).sqrt()
     }
 
-    /// `P(target > threshold)` under the posterior. Discrete posteriors use
-    /// the midpoint rule (a bin counts if its representative exceeds the
-    /// threshold); the bin width bounds the error.
+    /// `P(target > threshold)` under the posterior. Discrete posteriors
+    /// with known bin bounds spread each bin's mass uniformly over its
+    /// interval and integrate the part above the threshold; without bounds
+    /// they fall back to the midpoint rule (a bin counts if its
+    /// representative exceeds the threshold), whose error is a whole bin's
+    /// mass in the worst case.
     pub fn exceedance(&self, threshold: f64) -> f64 {
         match self {
             Posterior::Gaussian { mean, variance } => {
@@ -103,7 +108,29 @@ impl Posterior {
                 let z = (threshold - mean) / (sd * std::f64::consts::SQRT_2);
                 0.5 * kert_linalg::mvn::erfc(z)
             }
-            Posterior::Discrete { support, probs } => support
+            Posterior::Discrete {
+                support: _,
+                probs,
+                bounds: Some(bounds),
+            } => bounds
+                .iter()
+                .zip(probs.iter())
+                .map(|(&(lo, hi), &p)| {
+                    if threshold <= lo {
+                        p
+                    } else if threshold >= hi {
+                        0.0
+                    } else {
+                        p * (hi - threshold) / (hi - lo)
+                    }
+                })
+                .sum::<f64>()
+                .max(0.0),
+            Posterior::Discrete {
+                support,
+                probs,
+                bounds: None,
+            } => support
                 .iter()
                 .zip(probs.iter())
                 .filter(|(&v, _)| v > threshold)
@@ -145,7 +172,7 @@ impl Posterior {
                     }
                 }
             }
-            Posterior::Discrete { support, probs } => {
+            Posterior::Discrete { support, probs, .. } => {
                 for (&v, &p) in support.iter().zip(probs.iter()) {
                     if let Some(b) = clamp_bin(v) {
                         mass[b] += p;
@@ -162,6 +189,73 @@ impl Posterior {
         }
         (centers, mass)
     }
+}
+
+/// Interventional posterior for discrete models: the marginal of `target`
+/// after the *distribution* of `service` is replaced by the empirical
+/// distribution of `shifted_values` (binned through the model's own
+/// discretizer):
+///
+/// ```text
+/// P(target) = Σ_s w_s · P(target | service = s),   w_s = #{v ∈ shifted : bin(v) = s} / #shifted
+/// ```
+///
+/// Point conditioning (`query_posterior` with one observed value) answers
+/// "what if we *observe* the service at exactly v" and collapses the
+/// service's variability, which makes projected response-time distributions
+/// far too narrow. This query answers the what-if actually posed by pAccel —
+/// "what if the service's elapsed time followed this new distribution" —
+/// and keeps the variance.
+pub fn shifted_posterior(
+    network: &BayesianNetwork,
+    discretizer: &Discretizer,
+    service: usize,
+    shifted_values: &[f64],
+    target: usize,
+) -> Result<Posterior> {
+    if target >= network.len() {
+        return Err(CoreError::BadRequest(format!("no node {target}")));
+    }
+    if service >= network.len() {
+        return Err(CoreError::BadRequest(format!("no service node {service}")));
+    }
+    if service == target {
+        return Err(CoreError::BadRequest(format!(
+            "node {service} is both target and shifted service"
+        )));
+    }
+    if shifted_values.is_empty() {
+        return Err(CoreError::BadRequest(
+            "no values for the shifted service distribution".into(),
+        ));
+    }
+    let service_bins = discretizer.column(service).bins();
+    let mut weights = vec![0.0f64; service_bins];
+    for &v in shifted_values {
+        weights[discretizer.column(service).state(v)] += 1.0;
+    }
+    let total = shifted_values.len() as f64;
+
+    let column = discretizer.column(target);
+    let mut probs = vec![0.0f64; column.bins()];
+    for (s, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let mut ev = ve::Evidence::new();
+        ev.insert(service, s);
+        let conditional = ve::posterior_marginal(network, target, &ev)?;
+        for (p, &c) in probs.iter_mut().zip(conditional.iter()) {
+            *p += (w / total) * c;
+        }
+    }
+    let support = column.midpoints.clone();
+    let bounds = (0..column.bins()).map(|s| column.bounds(s)).collect();
+    Ok(Posterior::Discrete {
+        support,
+        probs,
+        bounds: Some(bounds),
+    })
 }
 
 /// Monte-Carlo budget for the likelihood-weighting fallback.
@@ -208,8 +302,14 @@ pub fn query_posterior<R: Rng + ?Sized>(
             ev.insert(node, disc.column(node).state(value));
         }
         let probs = ve::posterior_marginal(network, target, &ev)?;
-        let support = disc.column(target).midpoints.clone();
-        return Ok(Posterior::Discrete { support, probs });
+        let column = disc.column(target);
+        let support = column.midpoints.clone();
+        let bounds = (0..column.bins()).map(|s| column.bounds(s)).collect();
+        return Ok(Posterior::Discrete {
+            support,
+            probs,
+            bounds: Some(bounds),
+        });
     }
 
     if joint::is_linear_gaussian(network) {
@@ -233,7 +333,14 @@ pub fn query_posterior<R: Rng + ?Sized>(
 
     // Nonlinear continuous: likelihood weighting.
     let ev: std::collections::HashMap<usize, f64> = evidence.iter().copied().collect();
-    let samples = likelihood_weighting(network, &ev, LwOptions { samples: mc.samples }, rng)?;
+    let samples = likelihood_weighting(
+        network,
+        &ev,
+        LwOptions {
+            samples: mc.samples,
+        },
+        rng,
+    )?;
     let total = samples.total_weight();
     if total <= 0.0 {
         return Err(CoreError::BadRequest(
@@ -279,8 +386,8 @@ mod tests {
     fn linear_path_matches_textbook_posterior() {
         let bn = linear_chain();
         let mut rng = StdRng::seed_from_u64(1);
-        let post = query_posterior(&bn, None, &[(1, 2.0)], 0, McOptions::default(), &mut rng)
-            .unwrap();
+        let post =
+            query_posterior(&bn, None, &[(1, 2.0)], 0, McOptions::default(), &mut rng).unwrap();
         // Posterior: N(1, 0.5).
         assert!((post.mean() - 1.0).abs() < 1e-9);
         assert!((post.variance() - 0.5).abs() < 1e-6);
@@ -339,7 +446,10 @@ mod tests {
 
     #[test]
     fn posterior_moments_and_exceedance_consistency() {
-        let g = Posterior::Gaussian { mean: 10.0, variance: 4.0 };
+        let g = Posterior::Gaussian {
+            mean: 10.0,
+            variance: 4.0,
+        };
         assert_eq!(g.mean(), 10.0);
         assert_eq!(g.std_dev(), 2.0);
         assert!((g.exceedance(10.0) - 0.5).abs() < 1e-7);
@@ -347,10 +457,22 @@ mod tests {
         let d = Posterior::Discrete {
             support: vec![1.0, 3.0, 5.0],
             probs: vec![0.2, 0.5, 0.3],
+            bounds: None,
         };
         assert!((d.mean() - (0.2 + 1.5 + 1.5)).abs() < 1e-12);
         assert!((d.exceedance(2.0) - 0.8).abs() < 1e-12);
         assert!((d.exceedance(5.0) - 0.0).abs() < 1e-12);
+
+        // With bin bounds, tail mass interpolates within the straddled bin.
+        let db = Posterior::Discrete {
+            support: vec![1.0, 3.0, 5.0],
+            probs: vec![0.2, 0.5, 0.3],
+            bounds: Some(vec![(0.0, 2.0), (2.0, 4.0), (4.0, 6.0)]),
+        };
+        assert!((db.exceedance(0.0) - 1.0).abs() < 1e-12);
+        // Threshold 3 splits the middle bin in half: 0.25 + 0.3.
+        assert!((db.exceedance(3.0) - 0.55).abs() < 1e-12);
+        assert!((db.exceedance(6.0) - 0.0).abs() < 1e-12);
 
         let s = Posterior::Samples {
             values: vec![1.0, 2.0, 3.0],
@@ -365,6 +487,7 @@ mod tests {
         let d = Posterior::Discrete {
             support: vec![1.0, 3.0, 5.0],
             probs: vec![0.2, 0.5, 0.3],
+            bounds: None,
         };
         let (centers, mass) = d.density_on_grid(0.0, 6.0, 6);
         assert_eq!(centers.len(), 6);

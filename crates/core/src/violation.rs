@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn sweep_skips_zero_mass_thresholds() {
-        let post = Posterior::Gaussian { mean: 2.0, variance: 1.0 };
+        let post = Posterior::Gaussian {
+            mean: 2.0,
+            variance: 1.0,
+        };
         let real = [1.0, 2.0, 3.0];
         let errors = violation_error_sweep(&post, &real, &[0.0, 2.5, 10.0]);
         assert!(errors[0].is_some());
@@ -107,6 +110,7 @@ mod tests {
         let post = Posterior::Discrete {
             support: vec![1.0, 3.0],
             probs: vec![0.5, 0.5],
+            bounds: None,
         };
         let errs = violation_error_sweep(&post, &real, &[2.0]);
         assert_eq!(errs[0], Some(0.0));

@@ -138,10 +138,7 @@ impl Cholesky {
 
     /// `log |A| = 2 Σ log L[i][i]`; needed by multivariate-normal log-pdfs.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 
     /// Forward solve only: `L y = b`. Exposed for the Mahalanobis-distance

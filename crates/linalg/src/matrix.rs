@@ -354,9 +354,8 @@ mod tests {
 
     #[test]
     fn submatrix_picks_requested_entries() {
-        let a =
-            Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[10.0, 11.0, 12.0], &[20.0, 21.0, 22.0]])
-                .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[10.0, 11.0, 12.0], &[20.0, 21.0, 22.0]])
+            .unwrap();
         let s = a.submatrix(&[2, 0], &[1]);
         assert_eq!(s.rows(), 2);
         assert_eq!(s.cols(), 1);

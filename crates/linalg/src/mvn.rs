@@ -306,13 +306,8 @@ mod tests {
 
     #[test]
     fn fit_recovers_sample_moments() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 12.0],
-            &[3.0, 14.0],
-            &[4.0, 15.0],
-        ])
-        .unwrap();
+        let data =
+            Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 12.0], &[3.0, 14.0], &[4.0, 15.0]]).unwrap();
         let mvn = MultivariateNormal::fit(&data).unwrap();
         assert!((mvn.mean()[0] - 2.5).abs() < 1e-12);
         assert!((mvn.mean()[1] - 12.75).abs() < 1e-12);

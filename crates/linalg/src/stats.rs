@@ -168,13 +168,8 @@ mod tests {
 
     #[test]
     fn covariance_matrix_matches_pairwise() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.5],
-            &[3.0, 5.5],
-            &[4.0, 8.5],
-        ])
-        .unwrap();
+        let data =
+            Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.5], &[3.0, 5.5], &[4.0, 8.5]]).unwrap();
         let cov = covariance_matrix(&data);
         let x = data.col(0);
         let y = data.col(1);

@@ -83,8 +83,12 @@ impl Dist {
                 mean >= 0.0 && std_dev >= 0.0 && mean.is_finite() && std_dev.is_finite()
             }
             Dist::LogNormal { mu, sigma } => mu.is_finite() && sigma >= 0.0 && sigma.is_finite(),
-            Dist::Weibull { k, lambda } => k > 0.0 && lambda > 0.0 && k.is_finite() && lambda.is_finite(),
-            Dist::Pareto { scale, alpha } => scale > 0.0 && alpha > 1.0 && scale.is_finite() && alpha.is_finite(),
+            Dist::Weibull { k, lambda } => {
+                k > 0.0 && lambda > 0.0 && k.is_finite() && lambda.is_finite()
+            }
+            Dist::Pareto { scale, alpha } => {
+                scale > 0.0 && alpha > 1.0 && scale.is_finite() && alpha.is_finite()
+            }
         };
         if ok {
             Ok(())
@@ -162,8 +166,7 @@ fn gamma_1_plus(x: f64) -> f64 {
                 + t * (-0.897056937
                     + t * (0.918206857
                         + t * (-0.756704078
-                            + t * (0.482199394
-                                + t * (-0.193527818 + t * 0.035868343)))))));
+                            + t * (0.482199394 + t * (-0.193527818 + t * 0.035868343)))))));
     factor * g
 }
 
@@ -191,10 +194,22 @@ mod tests {
             Dist::Uniform { lo: 1.0, hi: 5.0 },
             Dist::Exponential { mean: 2.0 },
             Dist::Erlang { k: 4, mean: 2.0 },
-            Dist::Normal { mean: 10.0, std_dev: 1.0 },
-            Dist::LogNormal { mu: 0.0, sigma: 0.5 },
-            Dist::Weibull { k: 2.0, lambda: 3.0 },
-            Dist::Pareto { scale: 1.0, alpha: 3.0 },
+            Dist::Normal {
+                mean: 10.0,
+                std_dev: 1.0,
+            },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 0.5,
+            },
+            Dist::Weibull {
+                k: 2.0,
+                lambda: 3.0,
+            },
+            Dist::Pareto {
+                scale: 1.0,
+                alpha: 3.0,
+            },
         ];
         for (i, d) in cases.into_iter().enumerate() {
             let m = sample_mean(d, 100_000, 100 + i as u64);
@@ -208,7 +223,10 @@ mod tests {
 
     #[test]
     fn samples_are_nonnegative() {
-        let d = Dist::Normal { mean: 0.5, std_dev: 2.0 };
+        let d = Dist::Normal {
+            mean: 0.5,
+            std_dev: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 0.0);
@@ -230,7 +248,10 @@ mod tests {
     #[test]
     fn weibull_shape_one_is_exponential() {
         // k = 1 ⇒ Exp(λ): compare empirical CDF at the mean.
-        let w = Dist::Weibull { k: 1.0, lambda: 2.0 };
+        let w = Dist::Weibull {
+            k: 1.0,
+            lambda: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(77);
         let below = (0..50_000).filter(|_| w.sample(&mut rng) < 2.0).count();
         let frac = below as f64 / 50_000.0;
@@ -240,7 +261,10 @@ mod tests {
 
     #[test]
     fn pareto_is_heavy_tailed() {
-        let p = Dist::Pareto { scale: 1.0, alpha: 1.5 };
+        let p = Dist::Pareto {
+            scale: 1.0,
+            alpha: 1.5,
+        };
         let e = Dist::Exponential { mean: 3.0 }; // same mean
         let far = |d: Dist, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -260,12 +284,27 @@ mod tests {
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(Dist::Exponential { mean: 0.0 }.validate().is_err());
-        assert!(Dist::Weibull { k: 0.0, lambda: 1.0 }.validate().is_err());
-        assert!(Dist::Pareto { scale: 1.0, alpha: 1.0 }.validate().is_err());
+        assert!(Dist::Weibull {
+            k: 0.0,
+            lambda: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Pareto {
+            scale: 1.0,
+            alpha: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Dist::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
         assert!(Dist::Erlang { k: 0, mean: 1.0 }.validate().is_err());
         assert!(Dist::Deterministic { value: -1.0 }.validate().is_err());
-        assert!(Dist::Normal { mean: 1.0, std_dev: 0.1 }.validate().is_ok());
+        assert!(Dist::Normal {
+            mean: 1.0,
+            std_dev: 0.1
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

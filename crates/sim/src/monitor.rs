@@ -91,7 +91,10 @@ impl MonitoringAgent {
 
 /// Build one agent per service from the upstream-edge list (the same edges
 /// that define the KERT-BN structure).
-pub fn agents_from_edges(n_services: usize, edges: &[(ServiceId, ServiceId)]) -> Vec<MonitoringAgent> {
+pub fn agents_from_edges(
+    n_services: usize,
+    edges: &[(ServiceId, ServiceId)],
+) -> Vec<MonitoringAgent> {
     (0..n_services)
         .map(|s| {
             let parents = edges
@@ -108,10 +111,7 @@ pub fn agents_from_edges(n_services: usize, edges: &[(ServiceId, ServiceId)]) ->
 /// decentralized scheme's network cost (the centralized alternative ships
 /// *every* measurement to the management server: `n_services × rows`).
 pub fn total_network_values(agents: &[MonitoringAgent], window_rows: usize) -> usize {
-    agents
-        .iter()
-        .map(|a| a.parents().len() * window_rows)
-        .sum()
+    agents.iter().map(|a| a.parents().len() * window_rows).sum()
 }
 
 #[cfg(test)]

@@ -17,8 +17,14 @@ enum PlanKind {
     Task(ServiceId),
     Seq(Vec<usize>),
     Par(Vec<usize>),
-    Choice { children: Vec<usize>, probs: Vec<f64> },
-    Loop { child: usize, spec: LoopSpec },
+    Choice {
+        children: Vec<usize>,
+        probs: Vec<f64>,
+    },
+    Loop {
+        child: usize,
+        spec: LoopSpec,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -275,7 +281,11 @@ mod tests {
 
     #[test]
     fn parallel_activates_all_branches_at_once() {
-        let wf = Workflow::Par(vec![Workflow::Task(0), Workflow::Task(1), Workflow::Task(2)]);
+        let wf = Workflow::Par(vec![
+            Workflow::Task(0),
+            Workflow::Task(1),
+            Workflow::Task(2),
+        ]);
         let plan = WorkflowPlan::compile(&wf);
         let mut rng = StdRng::seed_from_u64(1);
         let mut exec = RequestExec::new(&plan);

@@ -176,11 +176,7 @@ mod tests {
         assert!(HostLayout::new(vec![("h".into(), vec![9])], 6).is_err());
         assert!(HostLayout::new(vec![("h".into(), vec![])], 6).is_err());
         assert!(HostLayout::new(vec![("".into(), vec![0])], 6).is_err());
-        assert!(HostLayout::new(
-            vec![("a".into(), vec![0]), ("b".into(), vec![0])],
-            6
-        )
-        .is_err());
+        assert!(HostLayout::new(vec![("a".into(), vec![0]), ("b".into(), vec![0])], 6).is_err());
     }
 
     #[test]

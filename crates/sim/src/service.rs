@@ -219,9 +219,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ServiceConfig { servers: 0, service_time: Dist::Deterministic { value: 1.0 } }
-            .validate()
-            .is_err());
+        assert!(ServiceConfig {
+            servers: 0,
+            service_time: Dist::Deterministic { value: 1.0 }
+        }
+        .validate()
+        .is_err());
         assert!(ServiceConfig::single(Dist::Exponential { mean: 0.2 })
             .validate()
             .is_ok());

@@ -523,6 +523,8 @@ mod tests {
         )
         .is_err());
         let mut ok = SimSystem::new(&wf, light_stations(6, 0.1), SimOptions::default()).unwrap();
-        assert!(ok.set_service_time(99, Dist::Exponential { mean: 1.0 }).is_err());
+        assert!(ok
+            .set_service_time(99, Dist::Exponential { mean: 1.0 })
+            .is_err());
     }
 }

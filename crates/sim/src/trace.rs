@@ -203,7 +203,9 @@ impl Trace {
                 assert_eq!(ns.len(), self.n_services, "name count mismatch");
                 ns.to_vec()
             }
-            None => (0..self.n_services).map(|i| format!("X{}", i + 1)).collect(),
+            None => (0..self.n_services)
+                .map(|i| format!("X{}", i + 1))
+                .collect(),
         };
         names.extend(self.resource_names.iter().cloned());
         names.push("D".to_string());

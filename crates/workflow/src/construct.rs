@@ -207,12 +207,8 @@ impl Workflow {
             match wf {
                 Workflow::Task(_) => false,
                 Workflow::Seq(parts) => parts.iter().any(|p| walk(p, under_loop)),
-                Workflow::Par(parts) => {
-                    under_loop || parts.iter().any(|p| walk(p, under_loop))
-                }
-                Workflow::Choice(branches) => {
-                    branches.iter().any(|(_, b)| walk(b, under_loop))
-                }
+                Workflow::Par(parts) => under_loop || parts.iter().any(|p| walk(p, under_loop)),
+                Workflow::Choice(branches) => branches.iter().any(|(_, b)| walk(b, under_loop)),
                 Workflow::Loop { body, .. } => walk(body, true),
             }
         }
@@ -244,13 +240,15 @@ mod tests {
         assert!(Workflow::par(vec![]).is_err());
         assert!(Workflow::choice(vec![]).is_err());
         assert!(Workflow::choice(vec![(0.5, Workflow::Task(0))]).is_err());
-        assert!(Workflow::choice(vec![(1.5, Workflow::Task(0)), (-0.5, Workflow::Task(1))])
-            .is_err());
-        assert!(Workflow::repeat(Workflow::Task(0), LoopSpec::Count(0)).is_err());
         assert!(
-            Workflow::repeat(Workflow::Task(0), LoopSpec::Geometric { continue_prob: 1.0 })
-                .is_err()
+            Workflow::choice(vec![(1.5, Workflow::Task(0)), (-0.5, Workflow::Task(1))]).is_err()
         );
+        assert!(Workflow::repeat(Workflow::Task(0), LoopSpec::Count(0)).is_err());
+        assert!(Workflow::repeat(
+            Workflow::Task(0),
+            LoopSpec::Geometric { continue_prob: 1.0 }
+        )
+        .is_err());
         assert!(Workflow::repeat(Workflow::Task(0), LoopSpec::Count(3)).is_ok());
     }
 
@@ -314,7 +312,8 @@ mod tests {
     #[test]
     fn expected_iterations() {
         assert_eq!(LoopSpec::Count(5).expected_iterations(), 5.0);
-        assert!((LoopSpec::Geometric { continue_prob: 0.5 }.expected_iterations() - 2.0).abs()
-            < 1e-12);
+        assert!(
+            (LoopSpec::Geometric { continue_prob: 0.5 }.expected_iterations() - 2.0).abs() < 1e-12
+        );
     }
 }

@@ -52,9 +52,7 @@ fn build<R: Rng + ?Sized>(services: &[usize], options: GenOptions, rng: &mut R) 
         Workflow::Task(services[0])
     } else {
         // Split the service pool into 2..=max_branches contiguous chunks.
-        let branches = rng
-            .gen_range(2..=options.max_branches)
-            .min(services.len());
+        let branches = rng.gen_range(2..=options.max_branches).min(services.len());
         let mut cut_points: Vec<usize> = (1..services.len()).collect();
         cut_points.shuffle(rng);
         let mut cuts: Vec<usize> = cut_points.into_iter().take(branches - 1).collect();

@@ -34,9 +34,12 @@ pub fn response_time_expr(workflow: &Workflow) -> Expr {
         Workflow::Seq(parts) => Expr::Add(parts.iter().map(response_time_expr).collect()),
         Workflow::Par(branches) => Expr::Max(branches.iter().map(response_time_expr).collect()),
         // One branch ran; the others measured zero. Summing is exact.
-        Workflow::Choice(branches) => {
-            Expr::Add(branches.iter().map(|(_, b)| response_time_expr(b)).collect())
-        }
+        Workflow::Choice(branches) => Expr::Add(
+            branches
+                .iter()
+                .map(|(_, b)| response_time_expr(b))
+                .collect(),
+        ),
         // Iterations accumulate into the very same measurements.
         Workflow::Loop { body, .. } => response_time_expr(body),
     }
@@ -55,10 +58,9 @@ pub fn expected_qos_expr(workflow: &Workflow) -> Expr {
                 .map(|(p, b)| (*p, expected_qos_expr(b)))
                 .collect(),
         ),
-        Workflow::Loop { body, spec } => Expr::Weighted(vec![(
-            spec.expected_iterations(),
-            expected_qos_expr(body),
-        )]),
+        Workflow::Loop { body, spec } => {
+            Expr::Weighted(vec![(spec.expected_iterations(), expected_qos_expr(body))])
+        }
     }
 }
 

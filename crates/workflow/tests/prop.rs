@@ -1,8 +1,7 @@
 //! Property-based tests for the workflow algebra.
 
 use kert_workflow::{
-    derive_structure, expected_visits, random_workflow, GenOptions, LoopSpec, ResourceMap,
-    Workflow,
+    derive_structure, expected_visits, random_workflow, GenOptions, LoopSpec, ResourceMap, Workflow,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

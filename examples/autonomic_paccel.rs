@@ -81,7 +81,13 @@ fn main() {
     // Apply the action for real and verify.
     let d_before = kert_linalg::stats::mean(&train.column(model.d_node()));
     system
-        .set_service_time(winner, Dist::Erlang { k: 4, mean: 0.8 * means[winner] })
+        .set_service_time(
+            winner,
+            Dist::Erlang {
+                k: 4,
+                mean: 0.8 * means[winner],
+            },
+        )
         .expect("service exists");
     let after = system.run(1200, &mut rng).to_dataset(None);
     let d_after = kert_linalg::stats::mean(&after.column(model.d_node()));

@@ -64,7 +64,10 @@ fn main() {
     let surge_model = build(&knowledge, &surge);
 
     println!("Mean elapsed time per service (s):\n");
-    println!("  {:<24} {:>8} {:>8} {:>8}", "service", "calm", "surge", "×");
+    println!(
+        "  {:<24} {:>8} {:>8} {:>8}",
+        "service", "calm", "surge", "×"
+    );
     #[allow(clippy::needless_range_loop)] // s indexes columns and names alike
     for s in 0..6 {
         let a = kert_linalg::stats::mean(&calm.column(s));
@@ -77,7 +80,11 @@ fn main() {
     }
     let d_calm = kert_linalg::stats::mean(&calm.column(6));
     let d_surge = kert_linalg::stats::mean(&surge.column(6));
-    println!("  {:<24} {d_calm:>8.4} {d_surge:>8.4} {:>7.1}x", "D (end-to-end)", d_surge / d_calm);
+    println!(
+        "  {:<24} {d_calm:>8.4} {d_surge:>8.4} {:>7.1}x",
+        "D (end-to-end)",
+        d_surge / d_calm
+    );
 
     // The stale model misjudges the new regime; the reconstructed one
     // tracks it — the reason the paper rebuilds models every T_CON.

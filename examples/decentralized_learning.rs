@@ -37,7 +37,12 @@ fn main() {
     );
     let knowledge = derive_structure(&workflow, n, &ResourceMap::new()).unwrap();
     let stations: Vec<ServiceConfig> = (0..n)
-        .map(|i| ServiceConfig::single(Dist::Erlang { k: 4, mean: 0.02 + 0.001 * i as f64 }))
+        .map(|i| {
+            ServiceConfig::single(Dist::Erlang {
+                k: 4,
+                mean: 0.02 + 0.001 * i as f64,
+            })
+        })
         .collect();
     let mut system = SimSystem::new(
         &workflow,
@@ -72,7 +77,13 @@ fn main() {
     let mut window = ReconstructionWindow::new(
         schedule,
         (0..n + 1)
-            .map(|i| if i < n { format!("X{}", i + 1) } else { "D".into() })
+            .map(|i| {
+                if i < n {
+                    format!("X{}", i + 1)
+                } else {
+                    "D".into()
+                }
+            })
             .collect(),
     )
     .unwrap();

@@ -93,8 +93,14 @@ fn main() {
         outcome.improvement_toward(actual)
     );
 
-    if let (Posterior::Discrete { support, probs: prior }, Posterior::Discrete { probs, .. }) =
-        (&outcome.prior, &outcome.posterior)
+    if let (
+        Posterior::Discrete {
+            support,
+            probs: prior,
+            ..
+        },
+        Posterior::Discrete { probs, .. },
+    ) = (&outcome.prior, &outcome.posterior)
     {
         println!("\n  {:>10}  {:>8}  {:>10}", "x4 (s)", "prior", "posterior");
         for ((v, p), q) in support.iter().zip(prior.iter()).zip(probs.iter()) {

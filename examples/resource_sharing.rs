@@ -56,12 +56,9 @@ fn main() {
         train.names().iter().map(String::as_str).collect::<Vec<_>>()
     );
 
-    let model = KertBn::build_discrete_with_resources(
-        &knowledge,
-        &train,
-        DiscreteKertOptions::default(),
-    )
-    .expect("model builds");
+    let model =
+        KertBn::build_discrete_with_resources(&knowledge, &train, DiscreteKertOptions::default())
+            .expect("model builds");
     println!(
         "KERT-BN with resource nodes: {} nodes; db_host's parents = {:?} (the sharing \
          services, as §3.2 prescribes).\n",

@@ -300,7 +300,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let saved = load_model(&flags)?;
     if flags.get("dot").is_some() {
         // Graphviz view of the structure — pipe into `dot -Tsvg`.
-        print!("{}", kert_bn::bayes::dot::network_to_dot(&saved.network, "kert_model"));
+        print!(
+            "{}",
+            kert_bn::bayes::dot::network_to_dot(&saved.network, "kert_model")
+        );
         return Ok(());
     }
     println!("family        : {:?}", saved.kind);
@@ -375,7 +378,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     println!("posterior of {name} given {evidence:?}:");
     println!("  mean = {:.6}", posterior.mean());
     println!("  sd   = {:.6}", posterior.std_dev());
-    if let kert_bn::model::Posterior::Discrete { support, probs } = &posterior {
+    if let kert_bn::model::Posterior::Discrete { support, probs, .. } = &posterior {
         for (v, p) in support.iter().zip(probs.iter()) {
             println!("  {v:>12.6}  {p:.4}");
         }

@@ -33,7 +33,11 @@ fn full_pipeline_ediamond() {
         "--out",
         scenario.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(scenario.exists());
 
     // Build a discrete KERT-BN.
@@ -48,7 +52,11 @@ fn full_pipeline_ediamond() {
         "--out",
         model.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Inspect it.
     let out = kertctl(&["info", "--model", model.to_str().unwrap()]);
@@ -68,7 +76,11 @@ fn full_pipeline_ediamond() {
         "--given",
         "3=0.4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("posterior of D"), "{stdout}");
     assert!(stdout.contains("mean ="), "{stdout}");
@@ -110,7 +122,11 @@ fn random_environment_and_nrt_family() {
         "--out",
         scenario.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = kertctl(&[
         "build",
@@ -123,7 +139,11 @@ fn random_environment_and_nrt_family() {
         "--out",
         model.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = kertctl(&["info", "--model", model.to_str().unwrap()]);
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -148,13 +168,7 @@ fn errors_are_reported_not_panicked() {
 
     // Bad evidence syntax.
     let model = tmp("never-built.json");
-    let out = kertctl(&[
-        "query",
-        "--model",
-        model.to_str().unwrap(),
-        "--target",
-        "0",
-    ]);
+    let out = kertctl(&["query", "--model", model.to_str().unwrap(), "--target", "0"]);
     assert!(!out.status.success());
 
     // Help succeeds.

@@ -105,8 +105,8 @@ fn decentralized_and_centralized_agree_bit_for_bit() {
 fn decentralized_built_model_scores_identically() {
     let (knowledge, trace) = environment(10, 3);
     let data = trace.to_dataset(None);
-    let central = KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default())
-        .unwrap();
+    let central =
+        KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap();
     let distributed = KertBn::build_continuous(
         &knowledge,
         &data,

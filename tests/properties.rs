@@ -137,7 +137,7 @@ proptest! {
             },
         )
         .unwrap();
-        let trace = system.run(150, &mut rng);
+        let trace = system.run(400, &mut rng);
         let sim_mean = kert_bn::linalg::stats::mean(&trace.response_times());
         let analytical = kert_bn::workflow::expected_response_time(&workflow, &means);
         prop_assert!(

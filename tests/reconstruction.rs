@@ -48,8 +48,7 @@ fn sliding_window_rebuilds_track_an_environment_change() {
         let batch = system.run(1, &mut rng).to_dataset(None);
         if let Some(train) = window.push_interval(&batch).unwrap() {
             models.push(
-                KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default())
-                    .unwrap(),
+                KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default()).unwrap(),
             );
         }
     }
@@ -58,14 +57,15 @@ fn sliding_window_rebuilds_track_an_environment_change() {
 
     // Phase 2: the remote site is upgraded (X4 twice as fast); the window
     // slides over the new regime for two more cycles.
-    system.set_service_time(3, Dist::Erlang { k: 4, mean: 0.15 }).unwrap();
+    system
+        .set_service_time(3, Dist::Erlang { k: 4, mean: 0.15 })
+        .unwrap();
     let mut fresh = None;
     for _ in 0..(2 * schedule.alpha_model) {
         let batch = system.run(1, &mut rng).to_dataset(None);
         if let Some(train) = window.push_interval(&batch).unwrap() {
             fresh = Some(
-                KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default())
-                    .unwrap(),
+                KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default()).unwrap(),
             );
         }
     }
@@ -107,7 +107,9 @@ fn reconstruction_remains_feasible_at_the_schedule() {
     let (knowledge, mut system) = ediamond_system(0.20);
     let schedule = ModelSchedule::simulation_section(12);
     let mut rng = StdRng::seed_from_u64(10);
-    let train = system.run(schedule.points_per_window(), &mut rng).to_dataset(None);
+    let train = system
+        .run(schedule.points_per_window(), &mut rng)
+        .to_dataset(None);
     let model = KertBn::build_discrete(&knowledge, &train, DiscreteKertOptions::default()).unwrap();
     assert!(schedule.is_feasible(model.report().total_secs()));
 }

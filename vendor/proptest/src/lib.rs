@@ -1,0 +1,538 @@
+//! Offline stand-in for `proptest`: the strategy combinators and macros this
+//! workspace's property tests use.
+//!
+//! Differences from upstream: no shrinking (a failing case is reported with
+//! its formatted message only), and generation is driven by a deterministic
+//! per-test seed derived from the test function's name so runs are
+//! reproducible.
+
+extern crate self as proptest;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case's body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream there is no value tree: `gen` produces a finished value
+/// directly from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn gen(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+
+    /// Build a recursive strategy: `depth` rounds of wrapping the current
+    /// strategy with `f`, each round choosing 50/50 between a base value and
+    /// a deeper one, so both shallow and deep structures are produced.
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = f(current).boxed();
+            current = Union::new(vec![base.clone(), deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut StdRng) -> T {
+        self.inner.gen(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives; backs `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].gen(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn gen(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn gen(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn gen(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification: a fixed `usize` or a half-open `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection::vec");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.elem.gen(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports mirroring upstream's `proptest::strategy` module.
+    pub use super::{BoxedStrategy, Just, Map, Strategy, Union};
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Derive a stable 64-bit seed from a test's name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: generate cases with `make_case` until `cases` of them
+/// are accepted, panicking on the first failure. `make_case` both generates
+/// inputs and runs the body.
+pub fn run_property(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut make_case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let attempt_limit = config.cases.saturating_mul(20).saturating_add(100);
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= attempt_limit,
+            "{test_name}: gave up after {attempts} attempts \
+             ({accepted}/{} cases accepted); prop_assume! rejects too much",
+            config.cases
+        );
+        match make_case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed: {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::Strategy::gen(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{} at {}:{}",
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {} at {}:{}",
+                left,
+                right,
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(usize),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(mut xs in proptest::collection::vec(0u64..10, 2..6)) {
+            xs.push(0);
+            prop_assert!(xs.len() >= 3 && xs.len() <= 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(t in tree()) {
+            prop_assert!(depth(&t) <= 5);
+        }
+
+        #[test]
+        fn oneof_and_bool_cover_arms(b in proptest::bool::ANY, k in prop_oneof![Just(1usize), Just(2usize)]) {
+            prop_assert!(k == 1 || k == 2);
+            // `b` is just exercised for coverage of both generator arms.
+            prop_assert!((b as u8) <= 1);
+        }
+    }
+
+    fn tree() -> impl Strategy<Value = Tree> {
+        (0usize..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                proptest::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::seed_for("abc"), super::seed_for("abc"));
+        assert_ne!(super::seed_for("abc"), super::seed_for("abd"));
+    }
+}

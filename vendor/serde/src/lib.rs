@@ -1,0 +1,349 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot fetch crates, so this workspace ships a
+//! self-contained replacement exposing the same *spelling* the code uses:
+//! `serde::{Serialize, Deserialize}` traits plus `#[derive(Serialize,
+//! Deserialize)]` (re-exported from the local `serde_derive` proc-macro).
+//!
+//! Unlike upstream serde's visitor architecture, serialization here goes
+//! through an in-memory JSON [`Value`] tree: `Serialize` renders into a
+//! `Value`, `Deserialize` reads back out of one. The only consumer is the
+//! local `serde_json` stand-in, so the simpler data model is sufficient.
+//! Enum representation matches serde's externally-tagged default (unit
+//! variants as strings, data variants as single-key objects).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An in-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (integers included; f64 is exact up to 2^53, far
+    /// beyond every count in this workspace).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object lookup by key (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from anything displayable.
+    pub fn new(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a JSON [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn ser(&self) -> Value;
+}
+
+/// Rebuild `Self` from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn de(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, found {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        f64::de(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| DeError::new(format!("expected integer, found {v:?}")))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError::new(format!("expected integer, found {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeError::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(x) => x.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        T::de(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn ser(&self) -> Value {
+        Value::Seq(vec![self.0.ser(), self.1.ser()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((A::de(&items[0])?, B::de(&items[1])?)),
+            other => Err(DeError::new(format!("expected 2-array, found {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn ser(&self) -> Value {
+        Value::Seq(vec![self.0.ser(), self.1.ser(), self.2.ser()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => {
+                Ok((A::de(&items[0])?, B::de(&items[1])?, C::de(&items[2])?))
+            }
+            other => Err(DeError::new(format!("expected 3-array, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn ser(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.ser())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::de(&3.25f64.ser()).unwrap(), 3.25);
+        assert_eq!(usize::de(&7usize.ser()).unwrap(), 7);
+        assert!(bool::de(&true.ser()).unwrap());
+        assert_eq!(String::de(&"hi".to_string().ser()).unwrap(), "hi");
+        assert!(usize::de(&Value::Num(1.5)).is_err());
+        assert!(usize::de(&Value::Num(-2.0)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::de(&v.ser()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::de(&o.ser()).unwrap(), None);
+        let p = (2usize, "x".to_string());
+        assert_eq!(<(usize, String)>::de(&p.ser()).unwrap(), p);
+    }
+}

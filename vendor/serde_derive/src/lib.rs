@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the workspace serde stand-in's `Serialize` /
+//! `Deserialize` traits (value-tree model, not upstream serde's visitor
+//! model). Implemented directly on `proc_macro::TokenStream` — the build
+//! environment has no `syn`/`quote` — so it supports exactly the shapes
+//! this workspace uses:
+//!
+//! * structs with named fields (any visibility),
+//! * enums with unit, tuple, and struct variants,
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with a
+//! compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing key deserializes via `Default`.
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skip one attribute (`#` `[...]`) if the iterator is positioned at one;
+/// returns the bracket group when skipped.
+fn take_attr(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<TokenStream> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Does an attribute body (`serde(default)` etc.) mark a defaulted field?
+fn attr_is_serde_default(body: &TokenStream) -> bool {
+    let mut it = body.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parse `name: Type, name: Type, …` (named fields), honouring
+/// `#[serde(default)]` and skipping doc comments.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = false;
+        while let Some(attr) = take_attr(&mut tokens) {
+            default |= attr_is_serde_default(&attr);
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: commas inside `<…>` belong to the type, commas at
+        // angle-depth zero separate fields (parens/brackets are token
+        // groups and need no tracking).
+        let mut angle_depth = 0usize;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Count the comma-separated types of a tuple-variant payload.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        any = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attr(&mut tokens).is_some() {}
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(other) => return Err(format!("expected `,` after variant, found `{other}`")),
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    while take_attr(&mut tokens).is_some() {}
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    // Walk to the body brace at angle-depth zero. Any `<` before it means
+    // generics, which this stand-in does not support.
+    let angle_depth = 0usize;
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("`{name}`: generic types are not supported"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && angle_depth == 0 => {
+                break g.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("`{name}`: tuple/unit structs are not supported"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("`{name}`: tuple structs are not supported"));
+            }
+            Some(_) => {}
+            None => return Err(format!("`{name}`: no body found")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Shape::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn fields_ser(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::ser(&{p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::Value::Map(__m) }");
+    out
+}
+
+fn fields_de(fields: &[Field], source: &str, ty_name: &str) -> String {
+    let mut out = String::from("{\n");
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::DeError::new(\"missing field `{}` in {}\"))",
+                f.name, ty_name
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match {src}.get(\"{n}\") {{ Some(__x) => ::serde::Deserialize::de(__x)?, None => {missing} }},\n",
+            n = f.name,
+            src = source,
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+                body = fields_ser(fields, "self."),
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::ser(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let binders: Vec<String> = (0..*k).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bind}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{sers}]))]),\n",
+                            bind = binders.join(", "),
+                            sers = sers.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {bind} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {body})]),\n",
+                            bind = binders.join(", "),
+                            body = fields_ser(fields, ""),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(__v, ::serde::Value::Map(_)) {{\n\
+                   return Err(::serde::DeError::new(\"expected object for {name}\"));\n\
+                 }}\n\
+                 Ok({name} {body})\n}}\n}}\n",
+                body = fields_de(fields, "__v", name),
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::de(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let gets: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Deserialize::de(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {k} => Ok({name}::{vn}({gets})),\n\
+                             _ => Err(::serde::DeError::new(\"variant {name}::{vn} expects a {k}-array\")),\n\
+                             }},\n",
+                            gets = gets.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn} {body}),\n",
+                        body = fields_de(fields, "__payload", name),
+                    )),
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::new(\"expected {name} variant tag\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive stand-in generated invalid Rust"),
+        Err(msg) => format!("compile_error!(\"serde derive stand-in: {msg}\");")
+            .parse()
+            .unwrap(),
+    }
+}
+
+/// Derive the workspace `serde::Serialize` stand-in trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the workspace `serde::Deserialize` stand-in trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
