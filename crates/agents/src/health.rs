@@ -1,0 +1,166 @@
+//! Model-health accounting for the self-healing learning runtime.
+//!
+//! A resilient rebuild always produces a *complete* network, but not every
+//! node's CPD is equally trustworthy: faults may have forced a node down
+//! the fallback ladder (fresh fit → last-good stale CPD → configured
+//! prior). [`ModelHealth`] records, per node, which rung was used, how much
+//! data backed it, and what went wrong on the way — the signal downstream
+//! consumers (dComp routing, violation assessment, pAccel) use to decide
+//! how much to trust the assembled model.
+
+use kert_sim::FaultEvent;
+use serde::{Deserialize, Serialize};
+
+/// Which rung of the fallback ladder produced a node's CPD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CpdSource {
+    /// Learned from this window's (reconciled) report.
+    Fresh,
+    /// Re-used from an earlier window.
+    Stale {
+        /// Windows since the CPD was last freshly learned.
+        age_windows: usize,
+    },
+    /// The configured prior/default CPD — no usable data ever arrived.
+    Prior,
+}
+
+impl CpdSource {
+    /// True for anything below the top rung.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, CpdSource::Fresh)
+    }
+}
+
+/// One node's share of a resilient learning round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealth {
+    /// The network node.
+    pub node: usize,
+    /// Ladder rung that produced the CPD.
+    pub source: CpdSource,
+    /// Rows that actually fed the fit (0 unless `source` is `Fresh`).
+    pub rows_used: usize,
+    /// Rows discarded by reconciliation (non-finite values, outliers).
+    pub rows_dropped: usize,
+    /// Delivery retries spent collecting the report.
+    pub retries: usize,
+    /// Faults observed on this node's report path this window.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl NodeHealth {
+    /// A healthy record: fresh fit, nothing dropped, no retries.
+    pub fn fresh(node: usize, rows_used: usize) -> Self {
+        NodeHealth {
+            node,
+            source: CpdSource::Fresh,
+            rows_used,
+            rows_dropped: 0,
+            retries: 0,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Per-node health of one assembled model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelHealth {
+    /// The window index this health report describes.
+    pub window: usize,
+    /// One record per learned node, node-ordered.
+    pub nodes: Vec<NodeHealth>,
+}
+
+impl ModelHealth {
+    /// An all-fresh report for `n` nodes trained on `rows` rows each — the
+    /// health of a conventional (fault-free) build.
+    pub fn all_fresh(n: usize, rows: usize) -> Self {
+        ModelHealth {
+            window: 0,
+            nodes: (0..n).map(|node| NodeHealth::fresh(node, rows)).collect(),
+        }
+    }
+
+    /// Nodes whose CPD did not come from a fresh fit.
+    pub fn degraded_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|h| h.source.is_degraded())
+            .map(|h| h.node)
+            .collect()
+    }
+
+    /// True if any node is running on a stale or prior CPD.
+    pub fn is_degraded(&self) -> bool {
+        self.nodes.iter().any(|h| h.source.is_degraded())
+    }
+
+    /// Fraction of nodes with a fresh CPD (1.0 for an empty report).
+    pub fn fresh_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 1.0;
+        }
+        let fresh = self
+            .nodes
+            .iter()
+            .filter(|h| h.source == CpdSource::Fresh)
+            .count();
+        fresh as f64 / self.nodes.len() as f64
+    }
+
+    /// `(fresh, stale, prior)` node counts.
+    pub fn source_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for h in &self.nodes {
+            match h.source {
+                CpdSource::Fresh => counts.0 += 1,
+                CpdSource::Stale { .. } => counts.1 += 1,
+                CpdSource::Prior => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Total faults observed across all nodes this window.
+    pub fn total_faults(&self) -> usize {
+        self.nodes.iter().map(|h| h.faults.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fresh_is_not_degraded() {
+        let h = ModelHealth::all_fresh(4, 100);
+        assert!(!h.is_degraded());
+        assert!(h.degraded_nodes().is_empty());
+        assert_eq!(h.fresh_fraction(), 1.0);
+        assert_eq!(h.source_counts(), (4, 0, 0));
+        assert_eq!(h.total_faults(), 0);
+    }
+
+    #[test]
+    fn degradation_is_detected_and_counted() {
+        let mut h = ModelHealth::all_fresh(3, 50);
+        h.nodes[1].source = CpdSource::Stale { age_windows: 2 };
+        h.nodes[2].source = CpdSource::Prior;
+        h.nodes[2].faults = vec![FaultEvent::Crashed];
+        assert!(h.is_degraded());
+        assert_eq!(h.degraded_nodes(), vec![1, 2]);
+        assert!((h.fresh_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.source_counts(), (1, 1, 1));
+        assert_eq!(h.total_faults(), 1);
+        assert!(CpdSource::Stale { age_windows: 1 }.is_degraded());
+        assert!(!CpdSource::Fresh.is_degraded());
+    }
+
+    #[test]
+    fn empty_health_is_trivially_fresh() {
+        let h = ModelHealth::default();
+        assert!(!h.is_degraded());
+        assert_eq!(h.fresh_fraction(), 1.0);
+    }
+}

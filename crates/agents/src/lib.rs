@@ -17,14 +17,27 @@
 //!   timing; plus the sequential centralized reference path.
 //! * [`scheduler`] — the periodic reconstruction scheme of §2:
 //!   `T_CON = α_model · T_DATA`, sliding window `W = K · T_CON`.
+//! * [`collect`] — the lossy server-side data plane: fetch reports with
+//!   bounded retry/backoff (simulated time), reconcile corrupted/partial
+//!   batches by global request id.
+//! * [`health`] — per-node [`ModelHealth`] accounting for resilient
+//!   rebuilds: which fallback rung produced each CPD and why.
 
+pub mod collect;
+pub mod health;
 pub mod local;
 pub mod runtime;
 pub mod scheduler;
 
+pub use collect::{
+    collect_report, intersect_row_ids, restrict_to_ids, sanitize_report, CollectStats, FaultyFleet,
+    ReportSource, RetryPolicy,
+};
+pub use health::{CpdSource, ModelHealth, NodeHealth};
 pub use local::{fit_node_from_local, LocalDataset};
 pub use runtime::{
-    centralized_learn, decentralized_learn, CentralizedResult, DecentralizedResult, LearnOptions,
+    centralized_learn, decentralized_learn, resilient_decentralized_learn, CentralizedResult,
+    CpdCache, DecentralizedResult, LearnOptions, PriorSpec, ResilientOptions, ResilientResult,
 };
 pub use scheduler::{CumulativeUpdater, ModelSchedule, ReconstructionWindow};
 
@@ -42,6 +55,8 @@ pub enum AgentError {
     BadLocalData(String),
     /// Schedule parameters out of range.
     BadSchedule(String),
+    /// A runtime invariant was broken (poisoned lock, missing task slot).
+    Internal(String),
 }
 
 impl std::fmt::Display for AgentError {
@@ -52,6 +67,7 @@ impl std::fmt::Display for AgentError {
             }
             AgentError::BadLocalData(msg) => write!(f, "bad local dataset: {msg}"),
             AgentError::BadSchedule(msg) => write!(f, "bad schedule: {msg}"),
+            AgentError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
         }
     }
 }

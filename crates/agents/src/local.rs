@@ -43,6 +43,17 @@ impl LocalDataset {
                 self.node
             )));
         }
+        for r in 0..self.data.rows() {
+            for (c, &v) in self.data.row(r).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(AgentError::BadLocalData(format!(
+                        "node {}: non-finite value {v} at row {r}, column {c} — \
+                         sanitize reports before fitting",
+                        self.node
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }

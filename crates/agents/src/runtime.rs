@@ -15,13 +15,18 @@ use std::time::{Duration, Instant};
 
 use kert_bayes::cpd::Cpd;
 use kert_bayes::learn::mle::ParamOptions;
-use kert_bayes::{Dag, Dataset, Variable};
+use kert_bayes::{Dag, Dataset, LinearGaussianCpd, TabularCpd, Variable, VariableKind};
 
+use crate::collect::{collect_report, sanitize_report, ReportSource, RetryPolicy};
+use crate::health::{CpdSource, ModelHealth, NodeHealth};
 use crate::local::{fit_node_from_local, LocalDataset};
 use crate::{AgentError, Result};
 
 /// Per-task result cell: the learned CPD and how long the fit took.
 type TaskCell = Mutex<Option<Result<(Cpd, Duration)>>>;
+
+/// Pool size when the OS won't report available parallelism.
+const FALLBACK_WORKERS: usize = 4;
 
 /// Options for both learning paths.
 #[derive(Debug, Clone, Copy, Default)]
@@ -98,7 +103,7 @@ pub fn decentralized_learn(
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
-                .unwrap_or(4)
+                .unwrap_or(FALLBACK_WORKERS)
         })
         .max(1)
         .min(n.max(1));
@@ -117,7 +122,9 @@ pub fn decentralized_learn(
                 let started = Instant::now();
                 let outcome = fit_node_from_local(variables, &locals[task], options.params)
                     .map(|cpd| (cpd, started.elapsed()));
-                *results[task].lock().expect("result cell not poisoned") = Some(outcome);
+                if let Ok(mut slot) = results[task].lock() {
+                    *slot = Some(outcome);
+                }
             });
         }
     });
@@ -125,11 +132,13 @@ pub fn decentralized_learn(
 
     let mut cpds = Vec::with_capacity(n);
     let mut node_times = Vec::with_capacity(n);
-    for cell in results {
-        let (cpd, t) = cell
+    for (task, cell) in results.into_iter().enumerate() {
+        let slot = cell
             .into_inner()
-            .expect("result cell not poisoned")
-            .expect("every task index below n is processed")?;
+            .map_err(|_| AgentError::Internal(format!("result cell for task {task} poisoned")))?;
+        let (cpd, t) = slot.ok_or_else(|| {
+            AgentError::Internal(format!("task {task} was never processed by the pool"))
+        })??;
         cpds.push(cpd);
         node_times.push(t);
     }
@@ -161,6 +170,214 @@ pub fn centralized_learn(
         cpds,
         node_times,
         centralized_time,
+    })
+}
+
+/// Last-good CPDs kept by the management server, aged per window.
+#[derive(Debug, Clone, Default)]
+pub struct CpdCache {
+    /// `entries[node]` = last fresh CPD and its age in windows.
+    entries: Vec<Option<(Cpd, usize)>>,
+}
+
+impl CpdCache {
+    /// An empty cache for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CpdCache {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Remember `cpd` as `node`'s last-good model (age 0).
+    pub fn store(&mut self, node: usize, cpd: Cpd) {
+        if node >= self.entries.len() {
+            self.entries.resize(node + 1, None);
+        }
+        self.entries[node] = Some((cpd, 0));
+    }
+
+    /// The cached CPD and its age, if any.
+    pub fn get(&self, node: usize) -> Option<(&Cpd, usize)> {
+        self.entries
+            .get(node)
+            .and_then(|e| e.as_ref())
+            .map(|(cpd, age)| (cpd, *age))
+    }
+
+    /// Advance one window: every cached CPD gets older.
+    pub fn tick(&mut self) {
+        for entry in self.entries.iter_mut().flatten() {
+            entry.1 += 1;
+        }
+    }
+}
+
+/// The zero-knowledge prior for continuous nodes: `N(mean, variance)`
+/// ignoring parents (zero coefficients). Discrete nodes fall back to a
+/// uniform CPT regardless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorSpec {
+    /// Prior mean of the elapsed time.
+    pub mean: f64,
+    /// Prior variance (wide by default — the prior should claim little).
+    pub variance: f64,
+}
+
+impl Default for PriorSpec {
+    fn default() -> Self {
+        PriorSpec {
+            mean: 0.0,
+            variance: 1.0,
+        }
+    }
+}
+
+/// Options for [`resilient_decentralized_learn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientOptions {
+    /// Parameter-learning options for the per-node fits.
+    pub params: ParamOptions,
+    /// Retry/backoff policy per report collection.
+    pub retry: RetryPolicy,
+    /// Minimum reconciled rows required for a fresh fit (a 1-row "fit"
+    /// would be numerically meaningless).
+    pub min_rows: usize,
+    /// Prior/default CPD parameters (the bottom ladder rung).
+    pub prior: PriorSpec,
+}
+
+impl Default for ResilientOptions {
+    fn default() -> Self {
+        ResilientOptions {
+            params: ParamOptions::default(),
+            retry: RetryPolicy::default(),
+            min_rows: 8,
+            prior: PriorSpec::default(),
+        }
+    }
+}
+
+/// Outcome of a resilient rebuild: a complete CPD set plus the health
+/// report saying how each CPD was obtained.
+#[derive(Debug)]
+pub struct ResilientResult {
+    /// One CPD per node, node-ordered — never missing, whatever the faults.
+    pub cpds: Vec<Cpd>,
+    /// Per-node provenance, rows used/dropped, retries, faults seen.
+    pub health: ModelHealth,
+}
+
+/// The prior/default CPD for `node` — the ladder's bottom rung.
+fn prior_cpd(variables: &[Variable], dag: &Dag, node: usize, prior: PriorSpec) -> Result<Cpd> {
+    let parents = dag.parents(node).to_vec();
+    match variables[node].kind {
+        VariableKind::Continuous => LinearGaussianCpd::new(
+            node,
+            parents.clone(),
+            prior.mean,
+            vec![0.0; parents.len()],
+            prior.variance,
+        )
+        .map(Cpd::LinearGaussian)
+        .map_err(|e| AgentError::Internal(format!("prior CPD for node {node}: {e}"))),
+        VariableKind::Discrete { cardinality } => {
+            let parent_cards: Vec<usize> = parents
+                .iter()
+                .map(|&p| variables[p].cardinality().unwrap_or(1))
+                .collect();
+            Ok(Cpd::Tabular(TabularCpd::uniform(
+                node,
+                parents,
+                cardinality,
+                parent_cards,
+            )))
+        }
+    }
+}
+
+/// Learn all CPDs from a lossy report source, healing around faults.
+///
+/// For each node the server collects the window report (bounded
+/// retry/backoff, bounded straggler patience), drops poisoned rows, and
+/// fits the CPD if enough reconciled data remains. When that fails, the
+/// node walks the **fallback ladder**:
+///
+/// 1. **fresh** fit from this window's reconciled report;
+/// 2. **stale** — the last-good cached CPD, with its age in windows;
+/// 3. **prior** — the configured default CPD.
+///
+/// The result always contains a complete, assemblable CPD set; the
+/// [`ModelHealth`] report records which rung each node landed on, so
+/// downstream consumers can compensate (route dComp around stale nodes,
+/// flag degraded predictions). Collection is sequential in node order and
+/// all randomness lives in the (seeded) source, so a rebuild is
+/// deterministic for a fixed `(source, window)`.
+pub fn resilient_decentralized_learn(
+    variables: &[Variable],
+    dag: &Dag,
+    source: &mut dyn ReportSource,
+    window: usize,
+    cache: &mut CpdCache,
+    options: &ResilientOptions,
+) -> Result<ResilientResult> {
+    let n = dag.len();
+    if source.n_agents() < n {
+        return Err(AgentError::BadLocalData(format!(
+            "{} agents cannot report for a {n}-node DAG",
+            source.n_agents()
+        )));
+    }
+    let mut cpds = Vec::with_capacity(n);
+    let mut nodes = Vec::with_capacity(n);
+    for node in 0..n {
+        let (report, stats) = collect_report(source, node, window, &options.retry);
+        let mut rows_dropped = 0usize;
+        let fresh = report.and_then(|mut report| {
+            rows_dropped = sanitize_report(&mut report);
+            let local = LocalDataset {
+                node,
+                parents: dag.parents(node).to_vec(),
+                data: report.data,
+            };
+            if local.data.rows() < options.min_rows {
+                return None;
+            }
+            // A malformed report (wrong column count for the node's
+            // parents) fails validation inside the fit; treat it like any
+            // other unusable delivery and fall down the ladder.
+            fit_node_from_local(variables, &local, options.params)
+                .ok()
+                .map(|cpd| (cpd, local.data.rows()))
+        });
+
+        let (cpd, source_kind, rows_used) = match fresh {
+            Some((cpd, rows)) => {
+                cache.store(node, cpd.clone());
+                (cpd, CpdSource::Fresh, rows)
+            }
+            None => match cache.get(node) {
+                Some((cached, age)) => (cached.clone(), CpdSource::Stale { age_windows: age }, 0),
+                None => (
+                    prior_cpd(variables, dag, node, options.prior)?,
+                    CpdSource::Prior,
+                    0,
+                ),
+            },
+        };
+        cpds.push(cpd);
+        nodes.push(NodeHealth {
+            node,
+            source: source_kind,
+            rows_used,
+            rows_dropped,
+            retries: stats.retries,
+            faults: stats.faults,
+        });
+    }
+    cache.tick();
+    Ok(ResilientResult {
+        cpds,
+        health: ModelHealth { window, nodes },
     })
 }
 

@@ -19,8 +19,14 @@
 //! * Fig 6 — dComp posterior closer to actual and narrower than the prior;
 //! * Fig 7 — pAccel projection tracking the actually-accelerated system;
 //! * Fig 8 — KERT-BN's relative threshold-violation error below NRT-BN's.
+//!
+//! Beyond the paper's figures, [`fault_sweep`] measures degraded-mode
+//! accuracy vs monitoring fault rate: resilient rebuilds always succeed,
+//! and dComp compensation recovers the crashed node's estimate relative to
+//! the stale-fallback-only model.
 
 pub mod ablations;
+pub mod fault_sweep;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

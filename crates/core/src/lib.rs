@@ -22,9 +22,13 @@
 //!   distribution after accelerating one service (§5.2).
 //! * [`violation`] — threshold-violation probabilities and the relative
 //!   error ε of Eq. 5 (§5.3).
+//! * [`autonomic`] — degraded-mode compensation: when a resilient rebuild
+//!   left nodes on stale/prior CPDs, route dComp from the healthy
+//!   observables to recover their elapsed-time estimates.
 //! * [`report`] — model-construction cost accounting shared by both
 //!   families (what Figures 3–5 plot).
 
+pub mod autonomic;
 pub mod dcomp;
 pub mod kert;
 pub mod nrt;
@@ -34,14 +38,20 @@ pub mod posterior;
 pub mod report;
 pub mod violation;
 
+pub use autonomic::{compensate_degraded, Compensation};
 pub use dcomp::{dcomp, DCompOutcome};
-pub use kert::{ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning};
+pub use kert::{
+    ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning, ResilientKertOptions,
+};
 pub use nrt::{NrtBn, NrtOptions};
-pub use paccel::{paccel, PAccelOutcome};
+pub use paccel::{paccel, paccel_model, PAccelOutcome};
 pub use persist::{ModelKind, SavedModel};
 pub use posterior::{query_posterior, shifted_posterior, Posterior};
 pub use report::BuildReport;
-pub use violation::{empirical_violation_probability, relative_violation_error};
+pub use violation::{
+    assess_violation, empirical_violation_probability, relative_violation_error,
+    ViolationAssessment,
+};
 
 /// Errors from model construction and application routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -27,6 +27,9 @@ pub struct PAccelOutcome {
     pub prior_d: Posterior,
     /// Projected response-time distribution given the acceleration.
     pub projected_d: Posterior,
+    /// True when the projection rests on a degraded model (stale/prior
+    /// CPDs) — set by [`paccel_model`], always false from raw [`paccel`].
+    pub degraded: bool,
 }
 
 impl PAccelOutcome {
@@ -66,7 +69,30 @@ pub fn paccel<R: Rng + ?Sized>(
         predicted_elapsed,
         prior_d,
         projected_d,
+        degraded: false,
     })
+}
+
+/// [`paccel`] against a [`KertBn`], propagating its degraded-mode flag so
+/// autonomic decisions know when the what-if rests on stale/prior CPDs.
+pub fn paccel_model<R: Rng + ?Sized>(
+    model: &crate::kert::KertBn,
+    service: usize,
+    predicted_elapsed: f64,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<PAccelOutcome> {
+    let mut outcome = paccel(
+        model.network(),
+        model.discretizer(),
+        model.d_node(),
+        service,
+        predicted_elapsed,
+        mc,
+        rng,
+    )?;
+    outcome.degraded = model.is_degraded();
+    Ok(outcome)
 }
 
 #[cfg(test)]

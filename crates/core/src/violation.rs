@@ -10,8 +10,53 @@
 //!
 //! computed across a sweep of thresholds (Figure 8).
 
-use crate::posterior::Posterior;
+use rand::Rng;
+
+use crate::kert::KertBn;
+use crate::posterior::{query_posterior, McOptions, Posterior};
 use crate::{CoreError, Result};
+
+/// A model-based violation assessment, annotated with the model's health.
+///
+/// Autonomic software acting on `probability` needs to know when the
+/// number rests on stale or prior CPDs — a degraded assessment may warrant
+/// wider safety margins or deferring irreversible actions.
+#[derive(Debug, Clone)]
+pub struct ViolationAssessment {
+    /// The threshold `h` assessed.
+    pub threshold: f64,
+    /// Model posterior `P(D > h | evidence)`.
+    pub probability: f64,
+    /// True if any CPD in the model came from the stale or prior rung.
+    pub degraded: bool,
+    /// The degraded service nodes (empty when healthy).
+    pub degraded_services: Vec<usize>,
+}
+
+/// Assess `P(D > threshold | evidence)` under `model`, flagging degraded
+/// mode from the model's health report.
+pub fn assess_violation<R: Rng + ?Sized>(
+    model: &KertBn,
+    evidence: &[(usize, f64)],
+    threshold: f64,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<ViolationAssessment> {
+    let posterior = query_posterior(
+        model.network(),
+        model.discretizer(),
+        evidence,
+        model.d_node(),
+        mc,
+        rng,
+    )?;
+    Ok(ViolationAssessment {
+        threshold,
+        probability: posterior.exceedance(threshold),
+        degraded: model.is_degraded(),
+        degraded_services: model.degraded_services(),
+    })
+}
 
 /// Empirical `P(D > h)` from observed response times.
 pub fn empirical_violation_probability(response_times: &[f64], threshold: f64) -> f64 {

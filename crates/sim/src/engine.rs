@@ -32,10 +32,11 @@ impl<E: PartialEq> PartialOrd for Scheduled<E> {
 impl<E: PartialEq> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        // total_cmp keeps the ordering well defined (and panic-free) even
+        // if a pathological distribution ever produced a NaN time.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are never NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

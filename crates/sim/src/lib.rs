@@ -22,6 +22,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod faults;
 pub mod monitor;
 pub mod reporting;
 pub mod request;
@@ -31,6 +32,7 @@ pub mod system;
 pub mod trace;
 
 pub use dist::Dist;
+pub use faults::{Delivery, FaultEvent, FaultInjector, FaultPlan};
 pub use monitor::{AgentReport, MonitoringAgent};
 pub use reporting::{simulate_reporting, ReportingConfig, ServerView};
 pub use resources::{Host, HostLayout};
@@ -45,6 +47,8 @@ pub enum SimError {
     BadConfig(String),
     /// A distribution parameter was invalid.
     BadDistribution(String),
+    /// A fault-injection plan was out of range.
+    BadFaultPlan(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::BadConfig(msg) => write!(f, "bad simulator config: {msg}"),
             SimError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            SimError::BadFaultPlan(msg) => write!(f, "bad fault plan: {msg}"),
         }
     }
 }

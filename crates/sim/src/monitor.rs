@@ -26,6 +26,12 @@ pub struct AgentReport {
     /// Columns: parents (ascending) then own service; rows are
     /// request-aligned across all agents.
     pub data: Dataset,
+    /// Request identity of each row (globally monotone). Reports of
+    /// different agents covering the same window carry the same ids, so a
+    /// server receiving partial reports can realign them by intersection
+    /// instead of trusting positional alignment.
+    #[serde(default)]
+    pub row_ids: Vec<u64>,
     /// Number of `f64` measurements received from parent agents (network
     /// cost accounting; own measurements are local and free).
     pub values_received: usize,
@@ -66,7 +72,16 @@ impl MonitoringAgent {
     ///
     /// Columns are `[parents…, own]` in network-node terms; callers that
     /// need network-global column indices use [`MonitoringAgent::columns`].
+    /// Row ids start at zero; use [`MonitoringAgent::report_window`] when
+    /// the window is a slice of a longer trace.
     pub fn report(&self, window: &Trace) -> AgentReport {
+        self.report_window(window, 0)
+    }
+
+    /// Like [`MonitoringAgent::report`], but rows are identified globally:
+    /// row `r` of the window gets id `first_row_id + r`. All agents slicing
+    /// the same window with the same offset produce mutually aligned ids.
+    pub fn report_window(&self, window: &Trace, first_row_id: u64) -> AgentReport {
         let cols = self.columns();
         let names: Vec<String> = cols.iter().map(|&c| format!("X{}", c + 1)).collect();
         let mut data = Dataset::new(names);
@@ -77,6 +92,7 @@ impl MonitoringAgent {
         AgentReport {
             service: self.service,
             data,
+            row_ids: (0..window.len() as u64).map(|r| first_row_id + r).collect(),
             values_received: self.parents.len() * window.len(),
         }
     }
@@ -140,7 +156,18 @@ mod tests {
         assert_eq!(report.data.rows(), 4);
         assert_eq!(report.data.get(1, 0), 1.0); // parent X1 at row 1
         assert_eq!(report.data.get(1, 1), 21.0); // own X3 at row 1
+        assert_eq!(report.row_ids, vec![0, 1, 2, 3]);
         assert_eq!(report.values_received, 4);
+    }
+
+    #[test]
+    fn windowed_reports_are_globally_aligned() {
+        let a = MonitoringAgent::new(0, vec![]);
+        let b = MonitoringAgent::new(2, vec![0]);
+        let ra = a.report_window(&demo_trace(), 100);
+        let rb = b.report_window(&demo_trace(), 100);
+        assert_eq!(ra.row_ids, vec![100, 101, 102, 103]);
+        assert_eq!(ra.row_ids, rb.row_ids);
     }
 
     #[test]

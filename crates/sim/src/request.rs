@@ -178,9 +178,15 @@ impl RequestExec {
                 }
             }
             PlanKind::Choice { children, probs } => {
+                // Validation guarantees non-empty branch lists; degrade to
+                // a no-op activation rather than panicking if that
+                // invariant is ever violated upstream.
+                let Some(&last) = children.last() else {
+                    return;
+                };
                 let u: f64 = rng.gen();
                 let mut acc = 0.0;
-                let mut chosen = *children.last().expect("validated non-empty");
+                let mut chosen = last;
                 for (&c, &p) in children.iter().zip(probs.iter()) {
                     acc += p;
                     if u < acc {

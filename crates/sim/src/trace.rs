@@ -124,6 +124,21 @@ impl Trace {
         out
     }
 
+    /// Split into consecutive windows of `rows_per_window` rows — the
+    /// per-construction-interval slices the monitoring agents report on.
+    /// The final window may be shorter; it is kept only if non-empty.
+    pub fn windows(&self, rows_per_window: usize) -> Vec<Trace> {
+        assert!(rows_per_window > 0, "windows need at least one row");
+        self.rows
+            .chunks(rows_per_window)
+            .map(|chunk| {
+                let mut w = Trace::with_resources(self.n_services, self.resource_names.clone());
+                w.rows.extend_from_slice(chunk);
+                w
+            })
+            .collect()
+    }
+
     /// Aggregate the trace into the §3.3 *timeout-count* metric: per
     /// `t_data`-long interval, count how many requests saw each service's
     /// elapsed time exceed its deadline (`deadlines[s]`), plus the
@@ -326,6 +341,19 @@ mod tests {
         for r in 0..clean.rows() {
             assert_eq!(same.row(r), clean.row(r));
         }
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let t = demo();
+        let ws = t.windows(3);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].len(), 3);
+        assert_eq!(ws[1].len(), 1);
+        assert_eq!(ws[1].rows()[0].completed_at, 7.2);
+        // Exact division leaves no ragged tail.
+        assert_eq!(t.windows(2).len(), 2);
+        assert!(Trace::new(2).windows(5).is_empty());
     }
 
     #[test]

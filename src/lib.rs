@@ -15,9 +15,9 @@
 //! | [`linalg`] | `kert-linalg` | dense matrices, Cholesky/LU, least squares, multivariate normals |
 //! | [`bayes`] | `kert-bayes` | the Bayesian-network engine: CPDs, K2, inference, discretization |
 //! | [`workflow`] | `kert-workflow` | workflow constructs, Cardoso reduction, structure derivation |
-//! | [`sim`] | `kert-sim` | discrete-event service-system simulator + monitoring infrastructure |
-//! | [`agents`] | `kert-agents` | decentralized parameter learning, reconstruction scheduling |
-//! | [`model`] | `kert-core` | KERT-BN, the NRT-BN baseline, dComp, pAccel, violation metrics |
+//! | [`sim`] | `kert-sim` | discrete-event service-system simulator, monitoring agents, fault injection |
+//! | [`agents`] | `kert-agents` | decentralized parameter learning, self-healing fallback ladder, scheduling |
+//! | [`model`] | `kert-core` | KERT-BN, the NRT-BN baseline, dComp, pAccel, degraded-mode compensation |
 //!
 //! ## Quickstart
 //!
@@ -53,13 +53,18 @@ pub use kert_workflow as workflow;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use kert_agents::{ModelSchedule, ReconstructionWindow};
+    pub use kert_agents::{
+        CpdSource, FaultyFleet, ModelHealth, ModelSchedule, ReconstructionWindow,
+    };
     pub use kert_bayes::{BayesianNetwork, Dataset, Expr};
     pub use kert_core::{
-        dcomp, paccel, ContinuousKertOptions, DiscreteKertOptions, KertBn, NrtBn, NrtOptions,
-        ParamLearning, Posterior,
+        assess_violation, compensate_degraded, dcomp, paccel, ContinuousKertOptions,
+        DiscreteKertOptions, KertBn, NrtBn, NrtOptions, ParamLearning, Posterior,
+        ResilientKertOptions,
     };
-    pub use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem, Trace};
+    pub use kert_sim::{
+        Dist, FaultInjector, FaultPlan, ServiceConfig, SimOptions, SimSystem, Trace,
+    };
     pub use kert_workflow::{
         derive_structure, ediamond_workflow, LoopSpec, ResourceMap, Workflow, WorkflowKnowledge,
     };
