@@ -440,7 +440,6 @@ impl Factor {
 /// configuration and re-encodes into the operands. They serve as
 /// differential oracles for the property tests and as the "before" side of
 /// the kernel benchmarks — never as the production path.
-#[doc(hidden)]
 pub mod naive {
     use super::Factor;
     use crate::cpd::{config_count, config_index, decode_config, Cpd};

@@ -24,3 +24,12 @@ pub use ve::{
     posterior_marginal, posterior_marginal_pruned, posterior_marginal_pruned_with,
     posterior_marginal_with, EliminationHeuristic, Evidence,
 };
+
+/// The pre-optimization per-entry decode/encode factor kernels and the
+/// greedy-ordering VE built on them — the "before" side of the kernel
+/// benchmarks and the independent comparison path for the conformance
+/// crate's differential harness.
+pub mod naive {
+    pub use super::factor::naive::{from_cpd, product, reduce, sum_out};
+    pub use super::ve::naive::posterior_marginal;
+}

@@ -187,6 +187,30 @@ impl BayesianNetwork {
         Ok(total)
     }
 
+    /// Log-probability (natural log) of one full assignment, `row[i]` being
+    /// the value of node `i` — the per-row factorized sum of Eq. 3.
+    ///
+    /// This is the oracle hook the conformance crate's joint-enumeration
+    /// oracle sums over: it touches only per-CPD `log_prob`, none of the
+    /// factor-kernel or VE machinery under test.
+    pub fn log_joint(&self, row: &[f64]) -> Result<f64> {
+        if row.len() != self.len() {
+            return Err(BayesError::InvalidData(format!(
+                "assignment has {} values, network has {} nodes",
+                row.len(),
+                self.len()
+            )));
+        }
+        let mut total = 0.0;
+        let mut parent_buf: Vec<f64> = Vec::with_capacity(8);
+        for (i, cpd) in self.cpds.iter().enumerate() {
+            parent_buf.clear();
+            parent_buf.extend(cpd.parents().iter().map(|&p| row[p]));
+            total += cpd.log_prob(row[i], &parent_buf);
+        }
+        Ok(total)
+    }
+
     /// The paper's data-fitting accuracy metric: `log₁₀ p(TestData | BN)`.
     pub fn log10_likelihood(&self, data: &Dataset) -> Result<f64> {
         Ok(self.log_likelihood(data)? / std::f64::consts::LN_10)

@@ -3,6 +3,7 @@
 #![allow(clippy::needless_range_loop)] // index loops over coupled structures
 
 use kert_bayes::cpd::{config_count, config_index, decode_config, Cpd, TabularCpd};
+use kert_bayes::discretize::{BinStrategy, ColumnBins, Discretizer};
 use kert_bayes::infer::factor::{naive as naive_factor, Factor};
 use kert_bayes::infer::ve::{
     naive as naive_ve, posterior_marginal, posterior_marginal_with, EliminationHeuristic, Evidence,
@@ -22,6 +23,14 @@ fn prob_row(n: usize) -> impl Strategy<Value = Vec<f64>> {
         }
         v
     })
+}
+
+/// Strategy: either binning strategy.
+fn bin_strategy() -> impl Strategy<Value = BinStrategy> {
+    prop_oneof![
+        Just(BinStrategy::EqualWidth),
+        Just(BinStrategy::EqualFrequency),
+    ]
 }
 
 /// Strategy: a random expression over up to `n_vars` variables, depth ≤ 3.
@@ -296,5 +305,79 @@ proptest! {
         let ones = (0..n).filter(|_| bn.sample_row(&mut rng)[1] == 1.0).count();
         let freq = ones as f64 / n as f64;
         prop_assert!((freq - exact[1]).abs() < 0.02, "{freq} vs {}", exact[1]);
+    }
+
+    /// Discretization invariant 1: bin boundaries are strictly increasing
+    /// (so every state is reachable) and every training point maps to a
+    /// valid state whose representative lies inside the training range.
+    #[test]
+    fn bin_edges_are_monotone_and_every_point_lands_in_a_bin(
+        values in proptest::collection::vec(-50.0f64..50.0, 10..80),
+        bins in 2usize..7,
+        strategy in bin_strategy(),
+    ) {
+        let cb = ColumnBins::fit(&values, bins, strategy).unwrap();
+        prop_assert_eq!(cb.bins(), bins);
+        prop_assert_eq!(cb.edges.len(), bins - 1);
+        for w in cb.edges.windows(2) {
+            prop_assert!(w[1] > w[0], "edges not strictly increasing: {:?}", cb.edges);
+        }
+        for &v in &values {
+            let s = cb.state(v);
+            prop_assert!(s < bins, "value {v} mapped to state {s} of {bins}");
+        }
+        // `state` is monotone in the value, and representatives stay in the
+        // observed range (they are within-bin training means).
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for w in sorted.windows(2) {
+            prop_assert!(cb.state(w[0]) <= cb.state(w[1]));
+        }
+        for s in 0..bins {
+            let m = cb.midpoint(s);
+            prop_assert!(m >= cb.lo && m <= cb.hi, "midpoint {m} outside [{}, {}]", cb.lo, cb.hi);
+        }
+    }
+
+    /// Discretization invariant 2: the full discretize → CPT → likelihood
+    /// pipeline is bit-for-bit deterministic across two independent runs on
+    /// the same data — no iteration-order or accumulation nondeterminism.
+    #[test]
+    fn discretize_cpt_likelihood_pipeline_is_deterministic(
+        raw in proptest::collection::vec((0.0f64..10.0, 0.0f64..5.0), 30..80),
+        bins in 2usize..5,
+        strategy in bin_strategy(),
+    ) {
+        let rows: Vec<Vec<f64>> = raw.iter().map(|&(a, b)| vec![a, 0.5 * a + b]).collect();
+        let run = || {
+            let data =
+                Dataset::from_rows(vec!["x".into(), "d".into()], rows.clone()).unwrap();
+            let disc = Discretizer::fit(&data, bins, strategy).unwrap();
+            let states = disc.transform(&data).unwrap();
+            let cpt = fit_tabular(
+                1,
+                &[0],
+                &states,
+                &[bins, bins],
+                ParamOptions { dirichlet_alpha: 0.5 },
+            )
+            .unwrap();
+            let ll: f64 = (0..states.rows())
+                .map(|r| {
+                    let row = states.row(r);
+                    cpt.prob(row[1] as usize, &[row[0] as usize]).ln()
+                })
+                .sum();
+            (disc, cpt, ll)
+        };
+        let (d1, c1, l1) = run();
+        let (d2, c2, l2) = run();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(l1.to_bits(), l2.to_bits(), "likelihood differs: {l1} vs {l2}");
+        prop_assert_eq!(bits(c1.table()), bits(c2.table()));
+        for c in 0..2 {
+            prop_assert_eq!(bits(&d1.column(c).edges), bits(&d2.column(c).edges));
+            prop_assert_eq!(bits(&d1.column(c).midpoints), bits(&d2.column(c).midpoints));
+        }
     }
 }

@@ -20,12 +20,12 @@ use kert_core::posterior::{query_posterior, McOptions};
 use kert_core::{DiscreteKertOptions, KertBn, NrtBn, NrtOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
 /// Results of the naive-baseline ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NaiveAblation {
     /// `log₁₀ p(test)` of the knowledge-enhanced model.
     pub kert_accuracy: f64,
@@ -64,7 +64,7 @@ pub fn naive_baseline(seed: u64) -> NaiveAblation {
 }
 
 /// Results of the update-vs-reconstruct ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UpdateAblation {
     /// |predicted mean D − actual| for the windowed reconstruction.
     pub windowed_error: f64,
@@ -178,7 +178,7 @@ fn env_knowledge() -> kert_workflow::WorkflowKnowledge {
 }
 
 /// Results of the inference-pruning ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PruningAblation {
     /// Seconds per full-network VE query.
     pub full_secs: f64,

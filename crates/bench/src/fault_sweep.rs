@@ -30,7 +30,7 @@ use kert_sim::monitor::agents_from_edges;
 use kert_sim::{FaultInjector, FaultPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -47,7 +47,7 @@ pub const CRASHED_SERVICE: usize = 3;
 pub const STALE_FACTOR: f64 = 1.4;
 
 /// One point of the sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultSweepPoint {
     /// The injected fault rate.
     pub fault_rate: f64,
@@ -76,7 +76,7 @@ pub struct FaultSweepPoint {
 }
 
 /// The committed sweep result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultSweepResult {
     /// Master seed of the run.
     pub seed: u64,

@@ -8,7 +8,7 @@
 use kert_core::{ContinuousKertOptions, KertBn, NrtBn, NrtOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -20,7 +20,7 @@ pub const TEST_ROWS: usize = 100;
 pub const TRAIN_SIZES: [usize; 7] = [36, 108, 216, 432, 648, 864, 1080];
 
 /// One point of the Figure-3 series (averaged over repetitions).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig3Point {
     /// Training-set size (data points).
     pub train_size: usize,

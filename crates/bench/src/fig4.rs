@@ -8,7 +8,7 @@
 //! KERT-BN stays flat; KERT-BN is also more accurate at this tiny training
 //! size for every environment size.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::fig3;
 
@@ -18,7 +18,7 @@ pub const TRAIN_SIZE: usize = 36;
 pub const SERVICE_COUNTS: [usize; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
 
 /// One point of the Figure-4 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig4Point {
     /// Number of services in the environment.
     pub n_services: usize,

@@ -9,7 +9,7 @@
 
 use kert_agents::runtime::{centralized_learn, slice_local_datasets, LearnOptions};
 use kert_bayes::{Dag, Variable};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -19,7 +19,7 @@ pub const MODELS_PER_SIZE: usize = 20;
 pub const TRAIN_SIZE: usize = 1080;
 
 /// One point of the Figure-5 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig5Point {
     /// Number of services.
     pub n_services: usize,
@@ -108,7 +108,7 @@ mod tests {
                     cen / dec.max(1e-12)
                 })
                 .collect();
-            speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            speedups.sort_by(|a, b| a.total_cmp(b));
             speedups[2]
         };
         let speedup_small = median_speedup(6);

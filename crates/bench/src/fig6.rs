@@ -16,7 +16,7 @@ use kert_core::posterior::McOptions;
 use kert_core::{dcomp, DiscreteKertOptions, KertBn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -26,7 +26,7 @@ pub const TRAIN_SIZE: usize = 1200;
 pub const HIDDEN_SERVICE: usize = 3;
 
 /// The Figure-6 result: prior and posterior distributions of `X₄`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig6Result {
     /// Bin representative values (elapsed-time midpoints).
     pub support: Vec<f64>,

@@ -12,7 +12,7 @@ use kert_core::posterior::McOptions;
 use kert_core::{paccel, DiscreteKertOptions, KertBn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -24,7 +24,7 @@ pub const ACCELERATED_SERVICE: usize = 3;
 pub const FACTOR: f64 = 0.9;
 
 /// The Figure-7 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig7Result {
     /// Grid of response-time values for the plotted densities.
     pub grid: Vec<f64>,

@@ -13,7 +13,7 @@ use kert_core::violation::{default_thresholds, empirical_violation_probability};
 use kert_core::{DiscreteKertOptions, KertBn, NrtBn, NrtOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Environment, ScenarioOptions};
 
@@ -33,7 +33,7 @@ pub const NRT_RESTARTS: usize = 10;
 pub const BINS: usize = 10;
 
 /// One threshold's errors.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig8Point {
     /// The response-time threshold `h`.
     pub threshold: f64,

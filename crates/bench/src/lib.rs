@@ -34,6 +34,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod scenario;
+pub mod shape;
 pub mod table;
 pub mod timing;
 

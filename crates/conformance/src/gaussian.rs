@@ -1,0 +1,264 @@
+//! Closed-form linear-Gaussian oracle for continuous KERT-BNs.
+//!
+//! A linear-Gaussian network is the structural-equation system
+//! `X = b₀ + B·X + ε`, `ε ~ N(0, S)` with `S` diagonal and `B` strictly
+//! lower-triangular in topological order. Its exact joint is
+//!
+//! ```text
+//! μ = (I − B)⁻¹ b₀          Σ = (I − B)⁻¹ S (I − B)⁻ᵀ
+//! ```
+//!
+//! This module computes that joint by LU solve/inverse — deliberately *not*
+//! the topological mean/covariance recursion of `kert_bayes::joint`, and
+//! conditions it through `kert_linalg::mvn::condition_dense`'s LU Schur
+//! complement — deliberately *not* the Cholesky fast path. Two independent
+//! routes to the same posterior make the ≤1e-9 agreement check meaningful.
+
+use kert_bayes::cpd::{Cpd, DetNoise};
+use kert_bayes::BayesianNetwork;
+use kert_linalg::mvn::{condition_dense, std_normal_cdf};
+use kert_linalg::{Lu, Matrix};
+
+/// Linear-Gaussian view of one CPD from its public accessors:
+/// `(intercept, coefficients over parents, noise variance)`.
+fn linear_view(cpd: &Cpd) -> Result<(f64, Vec<f64>, f64), String> {
+    match cpd {
+        Cpd::LinearGaussian(lg) => Ok((lg.intercept(), lg.coeffs().to_vec(), lg.variance())),
+        Cpd::Deterministic(det) => match det.noise() {
+            DetNoise::Gaussian { sigma } => {
+                let (b0, coeffs) = det
+                    .local_expr()
+                    .linear_coefficients(det.parents().len())
+                    .map_err(|e| format!("nonlinear deterministic CPD: {e}"))?;
+                // Same variance floor the fast path applies in its
+                // Gaussian reduction — a modeling decision, not part of
+                // the inference algorithms under test.
+                Ok((b0, coeffs, (sigma * sigma).max(1e-12)))
+            }
+            DetNoise::Discrete { .. } => Err("discrete deterministic CPD".into()),
+        },
+        Cpd::Tabular(_) => Err("tabular CPD in a Gaussian oracle".into()),
+    }
+}
+
+/// A `(mean, variance)` pair describing one Gaussian posterior.
+pub type MeanVar = (f64, f64);
+
+/// The oracle: the exact joint normal of a linear-Gaussian network.
+#[derive(Debug, Clone)]
+pub struct GaussianOracle {
+    mean: Vec<f64>,
+    cov: Matrix,
+}
+
+impl GaussianOracle {
+    /// Assemble the joint from the structural-equation form; errors on any
+    /// CPD without a linear-Gaussian view.
+    pub fn from_network(network: &BayesianNetwork) -> Result<Self, String> {
+        let n = network.len();
+        if n == 0 {
+            return Err("empty network".into());
+        }
+        let mut i_minus_b = Matrix::identity(n);
+        let mut b0 = vec![0.0_f64; n];
+        let mut noise = Matrix::zeros(n, n);
+        for (i, slot) in b0.iter_mut().enumerate() {
+            let cpd = network.cpd(i);
+            let (intercept, coeffs, var) = linear_view(cpd)?;
+            *slot = intercept;
+            noise.set(i, i, var);
+            for (&p, &c) in cpd.parents().iter().zip(coeffs.iter()) {
+                i_minus_b.set(i, p, -c);
+            }
+        }
+        let lu = Lu::factor(&i_minus_b).map_err(|e| format!("I − B factorization: {e}"))?;
+        let mean = lu.solve(&b0).map_err(|e| format!("mean solve: {e}"))?;
+        let a = lu.inverse().map_err(|e| format!("(I − B)⁻¹: {e}"))?;
+        let cov = a
+            .mul(&noise)
+            .and_then(|sn| sn.mul(&a.transpose()))
+            .map_err(|e| format!("Σ assembly: {e}"))?;
+        Ok(GaussianOracle { mean, cov })
+    }
+
+    /// Exact joint mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Exact joint covariance.
+    pub fn cov(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// Exact posterior `(mean, variance)` of `target` given point
+    /// evidence. Empty evidence yields the marginal.
+    pub fn posterior(
+        &self,
+        evidence: &[(usize, f64)],
+        target: usize,
+    ) -> Result<(f64, f64), String> {
+        let n = self.mean.len();
+        if target >= n {
+            return Err(format!("no node {target}"));
+        }
+        if evidence.iter().any(|&(node, _)| node == target) {
+            return Err(format!("target {target} is observed"));
+        }
+        if evidence.is_empty() {
+            return Ok((self.mean[target], self.cov.get(target, target)));
+        }
+        let idx: Vec<usize> = evidence.iter().map(|&(node, _)| node).collect();
+        let vals: Vec<f64> = evidence.iter().map(|&(_, v)| v).collect();
+        let (free, post_mean, post_cov) = condition_dense(&self.mean, &self.cov, &idx, &vals)
+            .map_err(|e| format!("conditioning: {e}"))?;
+        let pos = free
+            .iter()
+            .position(|&f| f == target)
+            .expect("target is unobserved, so it is free");
+        Ok((post_mean[pos], post_cov.get(pos, pos)))
+    }
+
+    /// Exact dComp: `(prior, posterior)` as `(mean, variance)` pairs for
+    /// the hidden `target` given the observed measurement means.
+    pub fn dcomp(
+        &self,
+        observed: &[(usize, f64)],
+        target: usize,
+    ) -> Result<(MeanVar, MeanVar), String> {
+        Ok((
+            self.posterior(&[], target)?,
+            self.posterior(observed, target)?,
+        ))
+    }
+
+    /// Exact pAccel: `(prior D, projected D)` as `(mean, variance)` pairs
+    /// with `service` pinned to `predicted_elapsed`.
+    pub fn paccel(
+        &self,
+        d_node: usize,
+        service: usize,
+        predicted_elapsed: f64,
+    ) -> Result<(MeanVar, MeanVar), String> {
+        Ok((
+            self.posterior(&[], d_node)?,
+            self.posterior(&[(service, predicted_elapsed)], d_node)?,
+        ))
+    }
+
+    /// Exact Eq.-5 ingredient `P(target > threshold | evidence)` by the
+    /// Gaussian tail: `Φ((μ − h)/σ)`.
+    pub fn violation_probability(
+        &self,
+        evidence: &[(usize, f64)],
+        target: usize,
+        threshold: f64,
+    ) -> Result<f64, String> {
+        let (mean, variance) = self.posterior(evidence, target)?;
+        let sd = variance.max(0.0).sqrt();
+        if sd <= 0.0 {
+            return Ok(if mean > threshold { 1.0 } else { 0.0 });
+        }
+        Ok(std_normal_cdf((mean - threshold) / sd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kert_bayes::cpd::{DeterministicCpd, LinearGaussianCpd};
+    use kert_bayes::{Dag, Expr, Variable};
+
+    /// X0 ~ N(1, 2); X1 ~ N(3·X0 + 0.5, 1); D = X0 + X1 + N(0, 1e-8).
+    fn linear_net() -> BayesianNetwork {
+        let vars = vec![
+            Variable::continuous("X0"),
+            Variable::continuous("X1"),
+            Variable::continuous("D"),
+        ];
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        let det = DeterministicCpd::from_network_expr(
+            2,
+            &Expr::Add(vec![Expr::Var(0), Expr::Var(1)]),
+            DetNoise::Gaussian { sigma: 1e-4 },
+        )
+        .unwrap();
+        let cpds = vec![
+            Cpd::LinearGaussian(LinearGaussianCpd::root(0, 1.0, 2.0)),
+            Cpd::LinearGaussian(LinearGaussianCpd::new(1, vec![0], 0.5, vec![3.0], 1.0).unwrap()),
+            Cpd::Deterministic(det),
+        ];
+        BayesianNetwork::new(vars, dag, cpds).unwrap()
+    }
+
+    #[test]
+    fn joint_moments_match_hand_computation() {
+        let oracle = GaussianOracle::from_network(&linear_net()).unwrap();
+        // μ0 = 1, μ1 = 3.5, μD = 4.5; Var0 = 2, Cov01 = 6, Var1 = 19,
+        // CovD0 = 8, CovD1 = 25, VarD = 33 (+1e-8 noise).
+        crate::assert_close!(oracle.mean()[0], 1.0);
+        crate::assert_close!(oracle.mean()[1], 3.5);
+        crate::assert_close!(oracle.mean()[2], 4.5);
+        crate::assert_close!(oracle.cov().get(0, 0), 2.0);
+        crate::assert_close!(oracle.cov().get(0, 1), 6.0);
+        crate::assert_close!(oracle.cov().get(1, 1), 19.0);
+        crate::assert_close!(oracle.cov().get(2, 0), 8.0);
+        crate::assert_close!(oracle.cov().get(2, 1), 25.0);
+        crate::assert_close!(oracle.cov().get(2, 2), 33.0, 1e-6);
+    }
+
+    #[test]
+    fn bivariate_conditioning_matches_textbook() {
+        // X1 | X0 = 2: μ = 0.5 + 3·2 = 6.5, σ² = 1 (the CPD itself).
+        let oracle = GaussianOracle::from_network(&linear_net()).unwrap();
+        let (m, v) = oracle.posterior(&[(0, 2.0)], 1).unwrap();
+        crate::assert_close!(m, 6.5);
+        crate::assert_close!(v, 1.0);
+    }
+
+    #[test]
+    fn violation_probability_is_a_gaussian_tail() {
+        let oracle = GaussianOracle::from_network(&linear_net()).unwrap();
+        // P(X0 > μ0) = 0.5 at the mean.
+        crate::assert_close!(
+            oracle.violation_probability(&[], 0, 1.0).unwrap(),
+            0.5,
+            1e-7
+        );
+        let lo = oracle.violation_probability(&[], 0, 3.0).unwrap();
+        let hi = oracle.violation_probability(&[], 0, -1.0).unwrap();
+        assert!(lo < 0.1 && hi > 0.9);
+    }
+
+    #[test]
+    fn nonlinear_networks_are_rejected() {
+        let vars = vec![
+            Variable::continuous("a"),
+            Variable::continuous("b"),
+            Variable::continuous("d"),
+        ];
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        let det = DeterministicCpd::from_network_expr(
+            2,
+            &Expr::Max(vec![Expr::Var(0), Expr::Var(1)]),
+            DetNoise::Gaussian { sigma: 0.1 },
+        )
+        .unwrap();
+        let bn = BayesianNetwork::new(
+            vars,
+            dag,
+            vec![
+                Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.0, 1.0)),
+                Cpd::LinearGaussian(LinearGaussianCpd::root(1, 0.0, 1.0)),
+                Cpd::Deterministic(det),
+            ],
+        )
+        .unwrap();
+        assert!(GaussianOracle::from_network(&bn).is_err());
+    }
+}

@@ -13,7 +13,7 @@ use kert_bayes::discretize::Discretizer;
 use kert_bayes::BayesianNetwork;
 use rand::Rng;
 
-use crate::posterior::{query_posterior, McOptions, Posterior};
+use crate::posterior::{query_posterior, query_posterior_via, Engine, McOptions, Posterior};
 use crate::Result;
 
 /// The result of a dComp query: prior and posterior of the hidden node.
@@ -57,6 +57,26 @@ pub fn dcomp<R: Rng + ?Sized>(
 ) -> Result<DCompOutcome> {
     let prior = query_posterior(network, discretizer, &[], target, mc, rng)?;
     let posterior = query_posterior(network, discretizer, observed, target, mc, rng)?;
+    Ok(DCompOutcome {
+        target,
+        prior,
+        posterior,
+    })
+}
+
+/// [`dcomp`] with the inference engine pinned — the oracle-comparable
+/// entry point the conformance crate drives each fast path through.
+pub fn dcomp_via<R: Rng + ?Sized>(
+    network: &BayesianNetwork,
+    discretizer: Option<&Discretizer>,
+    observed: &[(usize, f64)],
+    target: usize,
+    engine: Engine,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<DCompOutcome> {
+    let prior = query_posterior_via(network, discretizer, &[], target, engine, mc, rng)?;
+    let posterior = query_posterior_via(network, discretizer, observed, target, engine, mc, rng)?;
     Ok(DCompOutcome {
         target,
         prior,

@@ -39,18 +39,18 @@ pub mod report;
 pub mod violation;
 
 pub use autonomic::{compensate_degraded, Compensation};
-pub use dcomp::{dcomp, DCompOutcome};
+pub use dcomp::{dcomp, dcomp_via, DCompOutcome};
 pub use kert::{
     ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning, ResilientKertOptions,
 };
 pub use nrt::{NrtBn, NrtOptions};
-pub use paccel::{paccel, paccel_model, PAccelOutcome};
+pub use paccel::{paccel, paccel_model, paccel_via, PAccelOutcome};
 pub use persist::{ModelKind, SavedModel};
-pub use posterior::{query_posterior, shifted_posterior, Posterior};
+pub use posterior::{query_posterior, query_posterior_via, shifted_posterior, Engine, Posterior};
 pub use report::BuildReport;
 pub use violation::{
     assess_violation, empirical_violation_probability, relative_violation_error,
-    ViolationAssessment,
+    violation_probability_via, ViolationAssessment,
 };
 
 /// Errors from model construction and application routines.

@@ -13,7 +13,7 @@ use kert_bayes::discretize::Discretizer;
 use kert_bayes::BayesianNetwork;
 use rand::Rng;
 
-use crate::posterior::{query_posterior, McOptions, Posterior};
+use crate::posterior::{query_posterior, query_posterior_via, Engine, McOptions, Posterior};
 use crate::Result;
 
 /// The result of a pAccel what-if query.
@@ -61,6 +61,38 @@ pub fn paccel<R: Rng + ?Sized>(
         discretizer,
         &[(service, predicted_elapsed)],
         d_node,
+        mc,
+        rng,
+    )?;
+    Ok(PAccelOutcome {
+        service,
+        predicted_elapsed,
+        prior_d,
+        projected_d,
+        degraded: false,
+    })
+}
+
+/// [`paccel`] with the inference engine pinned — the oracle-comparable
+/// entry point the conformance crate drives each fast path through.
+#[allow(clippy::too_many_arguments)]
+pub fn paccel_via<R: Rng + ?Sized>(
+    network: &BayesianNetwork,
+    discretizer: Option<&Discretizer>,
+    d_node: usize,
+    service: usize,
+    predicted_elapsed: f64,
+    engine: Engine,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<PAccelOutcome> {
+    let prior_d = query_posterior_via(network, discretizer, &[], d_node, engine, mc, rng)?;
+    let projected_d = query_posterior_via(
+        network,
+        discretizer,
+        &[(service, predicted_elapsed)],
+        d_node,
+        engine,
         mc,
         rng,
     )?;

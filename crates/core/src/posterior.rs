@@ -10,6 +10,7 @@
 //!   likelihood weighting — the case Matlab BNT could not handle.
 
 use kert_bayes::discretize::Discretizer;
+use kert_bayes::infer::gibbs::{gibbs_posterior_chains, GibbsOptions};
 use kert_bayes::infer::sampling::{likelihood_weighting, LwOptions};
 use kert_bayes::infer::ve;
 use kert_bayes::joint;
@@ -271,16 +272,42 @@ impl Default for McOptions {
     }
 }
 
-/// Posterior of `target` given point observations `evidence` (raw
-/// measurement values; discrete models bin them internally).
-pub fn query_posterior<R: Rng + ?Sized>(
-    network: &BayesianNetwork,
-    discretizer: Option<&Discretizer>,
-    evidence: &[(usize, f64)],
-    target: usize,
-    mc: McOptions,
-    rng: &mut R,
-) -> Result<Posterior> {
+/// Explicit inference-engine selection for [`query_posterior_via`].
+///
+/// [`query_posterior`] picks the engine automatically from the model
+/// family; the conformance layer instead needs to drive *every* fast path
+/// through the same public entry point the autonomic loop uses, so each
+/// engine can be pinned and compared against the matching oracle.
+#[derive(Debug, Clone, Copy)]
+pub enum Engine {
+    /// The automatic dispatch of [`query_posterior`].
+    Auto,
+    /// Exact variable elimination over the full factor set with the given
+    /// ordering heuristic (discrete models only).
+    VariableElimination(ve::EliminationHeuristic),
+    /// Exact variable elimination with barren-node pruning (discrete
+    /// models only).
+    PrunedVariableElimination(ve::EliminationHeuristic),
+    /// The pre-optimization greedy-ordering VE over the naive factor
+    /// kernels (discrete models only).
+    NaiveVariableElimination,
+    /// Multi-chain Gibbs sampling (discrete models only); deterministic
+    /// per `base_seed`.
+    Gibbs {
+        /// Per-chain sweep budget.
+        options: GibbsOptions,
+        /// Number of independent chains pooled.
+        chains: usize,
+        /// Master seed the chain seeds are spread from.
+        base_seed: u64,
+    },
+    /// Exact joint-Gaussian conditioning (linear continuous models only).
+    GaussianConditioning,
+    /// Likelihood weighting (continuous models).
+    LikelihoodWeighting,
+}
+
+fn check_query(network: &BayesianNetwork, evidence: &[(usize, f64)], target: usize) -> Result<()> {
     if target >= network.len() {
         return Err(CoreError::BadRequest(format!("no node {target}")));
     }
@@ -294,22 +321,161 @@ pub fn query_posterior<R: Rng + ?Sized>(
             )));
         }
     }
+    Ok(())
+}
+
+/// Bin raw evidence values through the model's discretizer.
+fn binned_evidence(disc: &Discretizer, evidence: &[(usize, f64)]) -> ve::Evidence {
+    let mut ev = ve::Evidence::new();
+    for &(node, value) in evidence {
+        ev.insert(node, disc.column(node).state(value));
+    }
+    ev
+}
+
+/// Wrap a VE/Gibbs probability vector as a [`Posterior::Discrete`] over
+/// the target's bin representatives.
+fn discrete_posterior(disc: &Discretizer, target: usize, probs: Vec<f64>) -> Posterior {
+    let column = disc.column(target);
+    let support = column.midpoints.clone();
+    let bounds = (0..column.bins()).map(|s| column.bounds(s)).collect();
+    Posterior::Discrete {
+        support,
+        probs,
+        bounds: Some(bounds),
+    }
+}
+
+/// [`query_posterior`] with the inference engine pinned instead of chosen
+/// automatically. Engines that do not apply to the model family (e.g. VE
+/// on a continuous model) return `BadRequest`.
+pub fn query_posterior_via<R: Rng + ?Sized>(
+    network: &BayesianNetwork,
+    discretizer: Option<&Discretizer>,
+    evidence: &[(usize, f64)],
+    target: usize,
+    engine: Engine,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Posterior> {
+    check_query(network, evidence, target)?;
+    fn need_disc(d: Option<&Discretizer>) -> Result<&Discretizer> {
+        d.ok_or_else(|| {
+            CoreError::BadRequest("discrete engine requires a discretized model".into())
+        })
+    }
+    match engine {
+        Engine::Auto => query_posterior(network, discretizer, evidence, target, mc, rng),
+        Engine::VariableElimination(h) => {
+            let disc = need_disc(discretizer)?;
+            let ev = binned_evidence(disc, evidence);
+            let probs = ve::posterior_marginal_with(network, target, &ev, h)?;
+            Ok(discrete_posterior(disc, target, probs))
+        }
+        Engine::PrunedVariableElimination(h) => {
+            let disc = need_disc(discretizer)?;
+            let ev = binned_evidence(disc, evidence);
+            let probs = ve::posterior_marginal_pruned_with(network, target, &ev, h)?;
+            Ok(discrete_posterior(disc, target, probs))
+        }
+        Engine::NaiveVariableElimination => {
+            let disc = need_disc(discretizer)?;
+            let ev = binned_evidence(disc, evidence);
+            let probs = ve::naive::posterior_marginal(network, target, &ev)?;
+            Ok(discrete_posterior(disc, target, probs))
+        }
+        Engine::Gibbs {
+            options,
+            chains,
+            base_seed,
+        } => {
+            let disc = need_disc(discretizer)?;
+            let ev = binned_evidence(disc, evidence);
+            let probs = gibbs_posterior_chains(network, target, &ev, options, chains, base_seed)?;
+            Ok(discrete_posterior(disc, target, probs))
+        }
+        Engine::GaussianConditioning => {
+            if !joint::is_linear_gaussian(network) {
+                return Err(CoreError::BadRequest(
+                    "Gaussian conditioning requires a linear-Gaussian model".into(),
+                ));
+            }
+            let mvn = joint::to_joint_gaussian(network)?;
+            if evidence.is_empty() {
+                return Ok(Posterior::Gaussian {
+                    mean: mvn.mean()[target],
+                    variance: mvn.cov().get(target, target),
+                });
+            }
+            let idx: Vec<usize> = evidence.iter().map(|&(n, _)| n).collect();
+            let vals: Vec<f64> = evidence.iter().map(|&(_, v)| v).collect();
+            let cond = mvn.condition(&idx, &vals)?;
+            let mean = cond
+                .mean_of(target)
+                .ok_or_else(|| CoreError::BadRequest(format!("target {target} was observed")))?;
+            let variance = cond.variance_of(target).expect("checked above");
+            Ok(Posterior::Gaussian { mean, variance })
+        }
+        Engine::LikelihoodWeighting => {
+            if discretizer.is_some() {
+                return Err(CoreError::BadRequest(
+                    "likelihood weighting runs on continuous models".into(),
+                ));
+            }
+            lw_posterior(network, evidence, target, mc, rng)
+        }
+    }
+}
+
+fn lw_posterior<R: Rng + ?Sized>(
+    network: &BayesianNetwork,
+    evidence: &[(usize, f64)],
+    target: usize,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Posterior> {
+    let ev: std::collections::HashMap<usize, f64> = evidence.iter().copied().collect();
+    let samples = likelihood_weighting(
+        network,
+        &ev,
+        LwOptions {
+            samples: mc.samples,
+        },
+        rng,
+    )?;
+    let total = samples.total_weight();
+    if total <= 0.0 {
+        return Err(CoreError::BadRequest(
+            "evidence has zero likelihood under the model; check the observed values".into(),
+        ));
+    }
+    // Extract the target column with normalized weights, sorted by value.
+    let mut pairs: Vec<(f64, f64)> = samples
+        .iter_node(target)
+        .map(|(v, w)| (v, w / total))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (values, weights) = pairs.into_iter().unzip();
+    Ok(Posterior::Samples { values, weights })
+}
+
+/// Posterior of `target` given point observations `evidence` (raw
+/// measurement values; discrete models bin them internally).
+pub fn query_posterior<R: Rng + ?Sized>(
+    network: &BayesianNetwork,
+    discretizer: Option<&Discretizer>,
+    evidence: &[(usize, f64)],
+    target: usize,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Posterior> {
+    check_query(network, evidence, target)?;
 
     if let Some(disc) = discretizer {
         // Discrete path: exact variable elimination.
-        let mut ev = ve::Evidence::new();
-        for &(node, value) in evidence {
-            ev.insert(node, disc.column(node).state(value));
-        }
+        let ev = binned_evidence(disc, evidence);
         let probs = ve::posterior_marginal(network, target, &ev)?;
-        let column = disc.column(target);
-        let support = column.midpoints.clone();
-        let bounds = (0..column.bins()).map(|s| column.bounds(s)).collect();
-        return Ok(Posterior::Discrete {
-            support,
-            probs,
-            bounds: Some(bounds),
-        });
+        return Ok(discrete_posterior(disc, target, probs));
     }
 
     if joint::is_linear_gaussian(network) {
@@ -332,29 +498,7 @@ pub fn query_posterior<R: Rng + ?Sized>(
     }
 
     // Nonlinear continuous: likelihood weighting.
-    let ev: std::collections::HashMap<usize, f64> = evidence.iter().copied().collect();
-    let samples = likelihood_weighting(
-        network,
-        &ev,
-        LwOptions {
-            samples: mc.samples,
-        },
-        rng,
-    )?;
-    let total = samples.total_weight();
-    if total <= 0.0 {
-        return Err(CoreError::BadRequest(
-            "evidence has zero likelihood under the model; check the observed values".into(),
-        ));
-    }
-    // Extract the target column with normalized weights, sorted by value.
-    let mut pairs: Vec<(f64, f64)> = samples
-        .iter_node(target)
-        .map(|(v, w)| (v, w / total))
-        .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite samples"));
-    let (values, weights) = pairs.into_iter().unzip();
-    Ok(Posterior::Samples { values, weights })
+    lw_posterior(network, evidence, target, mc, rng)
 }
 
 #[cfg(test)]
@@ -450,8 +594,8 @@ mod tests {
             mean: 10.0,
             variance: 4.0,
         };
-        assert_eq!(g.mean(), 10.0);
-        assert_eq!(g.std_dev(), 2.0);
+        kert_conformance::assert_close!(g.mean(), 10.0);
+        kert_conformance::assert_close!(g.std_dev(), 2.0);
         assert!((g.exceedance(10.0) - 0.5).abs() < 1e-7);
 
         let d = Posterior::Discrete {

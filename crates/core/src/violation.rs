@@ -58,6 +58,33 @@ pub fn assess_violation<R: Rng + ?Sized>(
     })
 }
 
+/// `P(target > threshold | evidence)` with the inference engine pinned —
+/// the oracle-comparable entry point the conformance crate drives each
+/// fast path through. Unlike [`assess_violation`] it takes the network
+/// parts directly, so it also serves models without a [`KertBn`] wrapper.
+#[allow(clippy::too_many_arguments)]
+pub fn violation_probability_via<R: Rng + ?Sized>(
+    network: &kert_bayes::BayesianNetwork,
+    discretizer: Option<&kert_bayes::discretize::Discretizer>,
+    evidence: &[(usize, f64)],
+    target: usize,
+    threshold: f64,
+    engine: crate::posterior::Engine,
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<f64> {
+    let posterior = crate::posterior::query_posterior_via(
+        network,
+        discretizer,
+        evidence,
+        target,
+        engine,
+        mc,
+        rng,
+    )?;
+    Ok(posterior.exceedance(threshold))
+}
+
 /// Empirical `P(D > h)` from observed response times.
 pub fn empirical_violation_probability(response_times: &[f64], threshold: f64) -> f64 {
     if response_times.is_empty() {
@@ -122,16 +149,16 @@ mod tests {
     #[test]
     fn empirical_probability_counts_strict_exceedances() {
         let d = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(empirical_violation_probability(&d, 2.0), 0.5);
-        assert_eq!(empirical_violation_probability(&d, 0.0), 1.0);
-        assert_eq!(empirical_violation_probability(&d, 4.0), 0.0);
-        assert_eq!(empirical_violation_probability(&[], 1.0), 0.0);
+        kert_conformance::assert_close!(empirical_violation_probability(&d, 2.0), 0.5);
+        kert_conformance::assert_close!(empirical_violation_probability(&d, 0.0), 1.0);
+        kert_conformance::assert_close!(empirical_violation_probability(&d, 4.0), 0.0, 1e-12);
+        kert_conformance::assert_close!(empirical_violation_probability(&[], 1.0), 0.0, 1e-12);
     }
 
     #[test]
     fn relative_error_formula() {
         assert!((relative_violation_error(0.12, 0.10).unwrap() - 0.2).abs() < 1e-12);
-        assert_eq!(relative_violation_error(0.10, 0.10).unwrap(), 0.0);
+        kert_conformance::assert_close!(relative_violation_error(0.10, 0.10).unwrap(), 0.0, 1e-12);
         assert!(relative_violation_error(0.1, 0.0).is_err());
     }
 

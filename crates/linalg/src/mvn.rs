@@ -212,6 +212,74 @@ impl ConditionedGaussian {
     }
 }
 
+/// Gaussian conditioning on raw `(mean, covariance)` data through an LU
+/// factorization of `Σ_bb` — the same Schur-complement formulas as
+/// [`MultivariateNormal::condition`], reached by a *different*
+/// factorization with no code shared beyond the matrix type.
+///
+/// Exists for the conformance layer: an oracle that conditions through the
+/// very Cholesky it is meant to check would be circular. Returns
+/// `(free_indices, posterior_mean, posterior_cov)` over the unobserved
+/// components, in ascending original index order.
+pub fn condition_dense(
+    mean: &[f64],
+    cov: &Matrix,
+    obs_idx: &[usize],
+    obs_val: &[f64],
+) -> Result<(Vec<usize>, Vec<f64>, Matrix)> {
+    let n = mean.len();
+    if cov.rows() != n || cov.cols() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "condition_dense: mean dim {n} vs covariance {}x{}",
+            cov.rows(),
+            cov.cols()
+        )));
+    }
+    if obs_idx.len() != obs_val.len() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "condition_dense: {} indices vs {} values",
+            obs_idx.len(),
+            obs_val.len()
+        )));
+    }
+    let observed: std::collections::HashSet<usize> = obs_idx.iter().copied().collect();
+    if observed.len() != obs_idx.len() || obs_idx.iter().any(|&i| i >= n) {
+        return Err(LinalgError::ShapeMismatch(
+            "condition_dense: duplicate or out-of-range observation indices".into(),
+        ));
+    }
+    let free: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+    if free.is_empty() {
+        return Err(LinalgError::ShapeMismatch(
+            "condition_dense: all components observed".into(),
+        ));
+    }
+
+    let sigma_bb = cov.submatrix(obs_idx, obs_idx);
+    let sigma_ab = cov.submatrix(&free, obs_idx);
+    let sigma_aa = cov.submatrix(&free, &free);
+    let lu = crate::lu::Lu::factor(&sigma_bb)?;
+
+    let delta: Vec<f64> = obs_idx
+        .iter()
+        .zip(obs_val.iter())
+        .map(|(&i, &v)| v - mean[i])
+        .collect();
+    let w = lu.solve(&delta)?;
+    let shift = sigma_ab.mul_vec(&w)?;
+    let post_mean: Vec<f64> = free
+        .iter()
+        .zip(shift.iter())
+        .map(|(&i, s)| mean[i] + s)
+        .collect();
+
+    // Σ_{a|b} = Σ_aa − Σ_ab Σ_bb⁻¹ Σ_ba, with Σ_bb⁻¹ from the LU.
+    let k = lu.inverse()?.mul(&cov.submatrix(obs_idx, &free))?;
+    let mut post_cov = sigma_aa.sub(&sigma_ab.mul(&k)?)?;
+    post_cov.symmetrize();
+    Ok((free, post_mean, post_cov))
+}
+
 /// Complementary error function, Abramowitz & Stegun 7.1.26 rational
 /// approximation (|error| < 1.5e-7 — ample for threshold-violation
 /// probabilities quoted to two digits).

@@ -137,4 +137,52 @@ proptest! {
         let m = trace.response_times().iter().sum::<f64>() / 400.0;
         prop_assert!((m - mean).abs() < 0.25 * mean, "measured {m} vs configured {mean}");
     }
+
+    /// Single-service round-trip through the Cardoso reduction: for
+    /// `Task(0)` the reduced `f` is the identity, so every simulated
+    /// request satisfies `D = X₀` exactly.
+    #[test]
+    fn single_service_simulation_is_the_identity(
+        mean in 0.01f64..0.2,
+        seed in 0u64..200,
+    ) {
+        let wf = Workflow::Task(0);
+        let f = response_time_expr(&wf);
+        let mut sys = system_for(&wf, 1, mean, mean * 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(50, &mut rng);
+        for row in trace.rows() {
+            prop_assert!((row.response_time - row.elapsed[0]).abs() < 1e-12);
+            prop_assert!((f.eval(&row.elapsed) - row.response_time).abs() < 1e-12);
+        }
+    }
+
+    /// Nested choices through the simulator: exactly one innermost branch
+    /// runs per request, untaken branches measure zero, and the reduction
+    /// identity `D = f(𝕏)` holds exactly.
+    #[test]
+    fn nested_choice_simulation_matches_reduction(
+        seed in 0u64..200,
+        p in 0.1f64..0.9,
+        q in 0.1f64..0.9,
+    ) {
+        let inner = Workflow::Choice(vec![
+            (q, Workflow::Task(0)),
+            (1.0 - q, Workflow::Task(1)),
+        ]);
+        let wf = Workflow::Seq(vec![
+            Workflow::Choice(vec![(p, inner), (1.0 - p, Workflow::Task(2))]),
+            Workflow::Task(3),
+        ]);
+        let f = response_time_expr(&wf);
+        let mut sys = system_for(&wf, 4, 0.03, 0.4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(40, &mut rng);
+        for row in trace.rows() {
+            // Exactly one of the three choice leaves ran.
+            let ran = row.elapsed[..3].iter().filter(|&&e| e > 0.0).count();
+            prop_assert_eq!(ran, 1, "elapsed: {:?}", row.elapsed);
+            prop_assert!((f.eval(&row.elapsed) - row.response_time).abs() < 1e-9);
+        }
+    }
 }

@@ -36,6 +36,31 @@ impl Default for GenOptions {
     }
 }
 
+impl GenOptions {
+    /// Sequence-only compositions: the response expression is a plain sum,
+    /// so a continuous KERT-BN built on it is exactly linear-Gaussian —
+    /// the family the conformance crate's closed-form oracle can solve.
+    pub fn sequential_only() -> Self {
+        GenOptions {
+            parallel_prob: 0.0,
+            choice_prob: 0.0,
+            loop_prob: 0.0,
+            max_branches: 4,
+        }
+    }
+
+    /// Sequence/parallel mix without choices or loops — small instances
+    /// whose expectation the simulator identity still pins down exactly,
+    /// exercising the `max` (nonlinear) path.
+    pub fn seq_par_only() -> Self {
+        GenOptions {
+            choice_prob: 0.0,
+            loop_prob: 0.0,
+            ..GenOptions::default()
+        }
+    }
+}
+
 /// Generate a random workflow using services `0..n` exactly once each.
 ///
 /// Deterministic for a fixed RNG state; `n = 0` panics (no empty

@@ -70,7 +70,7 @@ pub fn rank_by_impact(workflow: &Workflow, means: &[f64], factor: f64) -> Vec<(u
     let mut impacts: Vec<(usize, f64)> = (0..means.len())
         .map(|s| (s, acceleration_impact(workflow, means, s, factor)))
         .collect();
-    impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    impacts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     impacts
 }
 

@@ -109,4 +109,73 @@ proptest! {
         prop_assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
         prop_assert!((e - (p * a + (1.0 - p) * b)).abs() < 1e-12);
     }
+
+    /// Nested choices: branch probabilities multiply through the nesting,
+    /// so a two-level choice reduces to its flattened three-way mixture.
+    #[test]
+    fn nested_choices_reduce_to_the_flattened_mixture(
+        a in 0.0f64..10.0,
+        b in 0.0f64..10.0,
+        c in 0.0f64..10.0,
+        p in 0.05f64..0.95,
+        q in 0.05f64..0.95,
+    ) {
+        let inner =
+            Workflow::choice(vec![(q, Workflow::Task(0)), (1.0 - q, Workflow::Task(1))]).unwrap();
+        let outer = Workflow::choice(vec![(p, inner), (1.0 - p, Workflow::Task(2))]).unwrap();
+        prop_assert!(outer.validate(3).is_ok());
+        let e = kert_workflow::expected_response_time(&outer, &[a, b, c]);
+        let flat = p * (q * a + (1.0 - q) * b) + (1.0 - p) * c;
+        prop_assert!((e - flat).abs() < 1e-12, "nested {e} vs flattened {flat}");
+        // The realized reduction still reads all three leaves (untaken
+        // branches measure zero), so its variable set is unchanged.
+        prop_assert_eq!(
+            kert_workflow::response_time_expr(&outer).variables(),
+            vec![0, 1, 2]
+        );
+    }
+
+    /// Zero-iteration loops are rejected everywhere: by the checked
+    /// constructor and by `validate` on hand-built trees at any depth.
+    #[test]
+    fn zero_iteration_loops_are_rejected(depth in 0usize..3, s in 0usize..4) {
+        prop_assert!(Workflow::repeat(Workflow::Task(s), LoopSpec::Count(0)).is_err());
+        let mut wf = Workflow::Loop {
+            body: Box::new(Workflow::Task(s)),
+            spec: LoopSpec::Count(0),
+        };
+        for _ in 0..depth {
+            wf = Workflow::Seq(vec![Workflow::Task(s), wf]);
+        }
+        prop_assert!(wf.validate(4).is_err());
+        // …while every positive count is accepted at the same position.
+        let mut ok = Workflow::Loop {
+            body: Box::new(Workflow::Task(s)),
+            spec: LoopSpec::Count(1),
+        };
+        for _ in 0..depth {
+            ok = Workflow::Seq(vec![Workflow::Task(s), ok]);
+        }
+        prop_assert!(ok.validate(4).is_ok());
+    }
+
+    /// Single-service workflows round-trip through the Cardoso reduction:
+    /// the derived response expression is the identity on that service,
+    /// the structure has no upstream edges, and wrapping in a count-`k`
+    /// loop scales the *expected* reduction by exactly `k` while leaving
+    /// the realized (accumulated-measurement) reduction untouched.
+    #[test]
+    fn single_service_workflows_round_trip(v in 0.0f64..100.0, k in 1usize..5) {
+        let wf = Workflow::Task(0);
+        prop_assert!(wf.validate(1).is_ok());
+        let know = derive_structure(&wf, 1, &ResourceMap::new()).unwrap();
+        prop_assert!(know.upstream_edges.is_empty());
+        prop_assert!((know.response_expr.eval(&[v]) - v).abs() < 1e-12);
+        let looped = Workflow::repeat(Workflow::Task(0), LoopSpec::Count(k)).unwrap();
+        let expected = kert_workflow::expected_response_time(&looped, &[v]);
+        prop_assert!((expected - k as f64 * v).abs() < 1e-9);
+        prop_assert!(
+            (kert_workflow::response_time_expr(&looped).eval(&[v]) - v).abs() < 1e-12
+        );
+    }
 }
