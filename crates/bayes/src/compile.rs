@@ -1,0 +1,757 @@
+//! Compile-once junction-tree inference for discrete networks.
+//!
+//! Variable elimination pays its full cost on every query; the autonomic
+//! loop (dComp over every unobservable service, pAccel candidate sets,
+//! threshold sweeps) asks *many* marginals of *one* fixed KERT-BN. This
+//! module compiles the network once — moralize, triangulate with the same
+//! min-fill heuristic VE uses ([`crate::infer::ve`]), build a clique tree
+//! satisfying the running-intersection property — and then answers every
+//! node marginal by Shafer-Shenoy message passing at O(clique) cost.
+//!
+//! Two properties make the compiled engine fast in steady state:
+//!
+//! * **Incremental evidence.** Evidence is entered by zeroing the
+//!   inconsistent entries of the observed node's home-clique potential.
+//!   Only messages directed *away* from that clique are invalidated, and
+//!   messages are recomputed lazily, farthest-first, toward the queried
+//!   clique — so an enter → query → retract cycle over pAccel candidates
+//!   re-propagates only along the affected subtree.
+//! * **Zero-alloc queries.** All factor scratch flows through the
+//!   [`QueryWorkspace`] held by [`JtState`]; once the pools are warm, a
+//!   calibrated marginal read-off allocates nothing.
+//!
+//! The tree and the mutable propagation state are split ([`JunctionTree`]
+//! vs [`JtState`]) so one compilation can serve several query streams, and
+//! so the immutable tree can be shared across threads.
+
+use std::collections::BTreeSet;
+
+use crate::infer::factor::{strides, Factor, QueryWorkspace};
+use crate::infer::ve::{elimination_ordering, EliminationHeuristic};
+use crate::network::BayesianNetwork;
+use crate::{BayesError, Result};
+
+/// An undirected edge of the clique tree with its separator scope.
+#[derive(Debug, Clone)]
+struct TreeEdge {
+    a: usize,
+    b: usize,
+    /// `cliques[a] ∩ cliques[b]`, ascending.
+    separator: Vec<usize>,
+}
+
+/// A neighbour entry in a clique's adjacency list.
+#[derive(Debug, Clone, Copy)]
+struct Neighbor {
+    clique: usize,
+    edge: usize,
+}
+
+/// A compiled clique tree (junction forest for disconnected networks).
+///
+/// Immutable after [`JunctionTree::compile`]; all evidence and message
+/// state lives in a [`JtState`] obtained from [`JunctionTree::new_state`].
+#[derive(Debug)]
+pub struct JunctionTree {
+    /// Cardinality per network node.
+    cards: Vec<usize>,
+    /// Maximal cliques of the triangulated moral graph (scopes ascending).
+    cliques: Vec<Vec<usize>>,
+    /// Row-major strides per clique, aligned with the clique scope.
+    clique_strides: Vec<Vec<usize>>,
+    /// Max-weight spanning forest over separator sizes.
+    edges: Vec<TreeEdge>,
+    /// Adjacency list per clique.
+    neighbors: Vec<Vec<Neighbor>>,
+    /// Evidence-free clique potentials over the *full* clique scope (a
+    /// ones table multiplied by every CPD factor assigned to the clique),
+    /// so evidence zeroing always finds its variable in scope.
+    base: Vec<Factor>,
+    /// Per node: the smallest-table clique containing it (queries and
+    /// evidence for the node route through this clique).
+    node_home: Vec<usize>,
+}
+
+/// Mutable propagation state over one [`JunctionTree`]: current evidence,
+/// evidence-adjusted clique potentials, the directed-message cache, and
+/// the factor workspace every kernel call draws from.
+#[derive(Debug)]
+pub struct JtState {
+    /// Observed state per network node.
+    evidence: Vec<Option<usize>>,
+    /// Evidence-adjusted potential per clique; `None` = use the base.
+    potentials: Vec<Option<Factor>>,
+    /// Directed messages: slots `2e` (a→b) and `2e + 1` (b→a) for edge `e`.
+    /// `None` marks an invalidated (or never computed) message.
+    messages: Vec<Option<Factor>>,
+    /// Pooled scratch for every factor kernel call.
+    ws: QueryWorkspace,
+    /// Guard against mixing states across trees.
+    n_cliques: usize,
+}
+
+fn is_subset(small: &[usize], big: &[usize]) -> bool {
+    // Both ascending.
+    let mut bi = 0;
+    'outer: for &s in small {
+        while bi < big.len() {
+            match big[bi].cmp(&s) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn intersect(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+impl JunctionTree {
+    /// Compile `network` into a calibrated-query-ready clique tree.
+    ///
+    /// Moralization falls out of the CPD family scopes; triangulation uses
+    /// the min-fill elimination order shared with VE (same tie-breaking,
+    /// so compilation is deterministic); the tree is the max-weight
+    /// spanning forest over separator sizes, which satisfies the running
+    /// intersection property on a triangulated graph.
+    pub fn compile(network: &BayesianNetwork) -> Result<Self> {
+        let n = network.len();
+        let cards: Vec<usize> = network
+            .variables()
+            .iter()
+            .map(|v| v.cardinality().unwrap_or(0))
+            .collect();
+        if cards.contains(&0) {
+            return Err(BayesError::InvalidData(
+                "junction-tree compilation requires an all-discrete network".into(),
+            ));
+        }
+        let factors: Vec<Factor> = network
+            .cpds()
+            .iter()
+            .map(|c| Factor::from_cpd(c, &cards))
+            .collect::<Result<_>>()?;
+
+        // Triangulate: eliminate every node in min-fill order on the moral
+        // graph, recording {v} ∪ live-neighbours(v) as a candidate clique
+        // and adding the induced fill edges.
+        let all: Vec<usize> = (0..n).collect();
+        let order = elimination_ordering(&factors, &all, EliminationHeuristic::MinFill);
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for f in &factors {
+            for &a in f.vars() {
+                adj[a].extend(f.vars().iter().copied().filter(|&b| b != a));
+            }
+        }
+        let mut eliminated = vec![false; n];
+        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for &v in &order {
+            let neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+            let mut clique = neigh.clone();
+            clique.push(v);
+            clique.sort_unstable();
+            for (i, &u) in neigh.iter().enumerate() {
+                for &w in &neigh[i + 1..] {
+                    adj[u].insert(w);
+                    adj[w].insert(u);
+                }
+            }
+            eliminated[v] = true;
+            candidates.push(clique);
+        }
+        // Keep only maximal candidates (the cliques of the triangulation).
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        for c in candidates {
+            if cliques.iter().any(|k| is_subset(&c, k)) {
+                continue;
+            }
+            cliques.retain(|k| !is_subset(k, &c));
+            cliques.push(c);
+        }
+        let m = cliques.len();
+
+        // Max-weight spanning forest over separator sizes (Kruskal with
+        // deterministic (-weight, i, j) ordering). On a triangulated graph
+        // this forest satisfies the running intersection property.
+        let mut cand_edges: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let w = intersect(&cliques[i], &cliques[j]).len();
+                if w > 0 {
+                    cand_edges.push((w, i, j));
+                }
+            }
+        }
+        cand_edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut edges: Vec<TreeEdge> = Vec::with_capacity(m.saturating_sub(1));
+        let mut neighbors: Vec<Vec<Neighbor>> = vec![Vec::new(); m];
+        for (_, i, j) in cand_edges {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri == rj {
+                continue;
+            }
+            parent[ri] = rj;
+            let e = edges.len();
+            neighbors[i].push(Neighbor { clique: j, edge: e });
+            neighbors[j].push(Neighbor { clique: i, edge: e });
+            edges.push(TreeEdge {
+                a: i,
+                b: j,
+                separator: intersect(&cliques[i], &cliques[j]),
+            });
+        }
+
+        // Base potentials: a ones table over the full clique scope times
+        // every CPD factor assigned to (the first clique covering) it.
+        let mut base: Vec<Factor> = cliques
+            .iter()
+            .map(|scope| {
+                let scope_cards: Vec<usize> = scope.iter().map(|&v| cards[v]).collect();
+                let total: usize = scope_cards.iter().product();
+                Factor::new(scope.clone(), scope_cards, vec![1.0; total])
+            })
+            .collect::<Result<_>>()?;
+        for f in factors {
+            let home = (0..m)
+                .find(|&i| is_subset(f.vars(), &cliques[i]))
+                .ok_or_else(|| {
+                    BayesError::Numerical(format!("junction tree lost factor scope {:?}", f.vars()))
+                })?;
+            base[home] = base[home].product(&f);
+        }
+
+        let clique_strides: Vec<Vec<usize>> = base.iter().map(|f| strides(f.cards())).collect();
+        let node_home: Vec<usize> = (0..n)
+            .map(|v| {
+                (0..m)
+                    .filter(|&i| cliques[i].binary_search(&v).is_ok())
+                    .min_by_key(|&i| (base[i].values().len(), i))
+                    .expect("every node appears in its own elimination clique")
+            })
+            .collect();
+
+        Ok(JunctionTree {
+            cards,
+            cliques,
+            clique_strides,
+            edges,
+            neighbors,
+            base,
+            node_home,
+        })
+    }
+
+    /// Number of cliques.
+    pub fn n_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Scope of clique `i` (ascending node indices).
+    pub fn clique_scope(&self, i: usize) -> &[usize] {
+        &self.cliques[i]
+    }
+
+    /// Number of tree edges (cliques − connected components).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Endpoints and separator of tree edge `e`.
+    pub fn edge(&self, e: usize) -> (usize, usize, &[usize]) {
+        let te = &self.edges[e];
+        (te.a, te.b, &te.separator)
+    }
+
+    /// Induced width: largest clique size minus one.
+    pub fn width(&self) -> usize {
+        self.cliques.iter().map(Vec::len).max().unwrap_or(1) - 1
+    }
+
+    /// Fresh propagation state: no evidence, no cached messages.
+    pub fn new_state(&self) -> JtState {
+        JtState {
+            evidence: vec![None; self.cards.len()],
+            potentials: vec![None; self.cliques.len()],
+            messages: vec![None; 2 * self.edges.len()],
+            ws: QueryWorkspace::new(),
+            n_cliques: self.cliques.len(),
+        }
+    }
+
+    fn check_state(&self, state: &JtState) -> Result<()> {
+        if state.n_cliques != self.cliques.len() {
+            return Err(BayesError::InvalidData(
+                "JtState was built for a different junction tree".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Directed message slot for `from` sending across edge `e`.
+    fn msg_id(&self, e: usize, from: usize) -> usize {
+        2 * e + usize::from(self.edges[e].a != from)
+    }
+
+    /// Enter (or change) evidence `node = state`, invalidating only the
+    /// messages directed away from the node's home clique.
+    pub fn set_evidence(&self, st: &mut JtState, node: usize, state: usize) -> Result<()> {
+        self.check_state(st)?;
+        if node >= self.cards.len() {
+            return Err(BayesError::InvalidNode(node));
+        }
+        if state >= self.cards[node] {
+            return Err(BayesError::InvalidData(format!(
+                "evidence state {state} out of range for node {node}"
+            )));
+        }
+        if st.evidence[node] == Some(state) {
+            return Ok(());
+        }
+        st.evidence[node] = Some(state);
+        self.refresh_clique(st, self.node_home[node]);
+        Ok(())
+    }
+
+    /// Retract evidence on `node` (no-op when none is set).
+    pub fn retract_evidence(&self, st: &mut JtState, node: usize) -> Result<()> {
+        self.check_state(st)?;
+        if node >= self.cards.len() {
+            return Err(BayesError::InvalidNode(node));
+        }
+        if st.evidence[node].take().is_some() {
+            self.refresh_clique(st, self.node_home[node]);
+        }
+        Ok(())
+    }
+
+    /// Retract all evidence.
+    pub fn clear_evidence(&self, st: &mut JtState) -> Result<()> {
+        self.check_state(st)?;
+        let homes: BTreeSet<usize> = (0..self.cards.len())
+            .filter(|&v| st.evidence[v].is_some())
+            .map(|v| self.node_home[v])
+            .collect();
+        st.evidence.fill(None);
+        for c in homes {
+            self.refresh_clique(st, c);
+        }
+        Ok(())
+    }
+
+    /// Rebuild clique `c`'s evidence-adjusted potential and invalidate the
+    /// outgoing message subtree. Evidence is applied by zeroing every base
+    /// table entry whose coordinate for an observed home node disagrees
+    /// with the observed state; the adds downstream then simply skip the
+    /// zeroed mass, bit-for-bit equivalent to reducing then re-expanding.
+    fn refresh_clique(&self, st: &mut JtState, c: usize) {
+        if let Some(old) = st.potentials[c].take() {
+            st.ws.recycle(old);
+        }
+        let scope = &self.cliques[c];
+        let pinned: Vec<(usize, usize)> = scope
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| self.node_home[v] == c)
+            .filter_map(|(pos, &v)| st.evidence[v].map(|s| (pos, s)))
+            .collect();
+        if !pinned.is_empty() {
+            let mut pot = self.base[c].clone_using(&mut st.ws);
+            let values = pot.values_mut();
+            for (pos, s) in pinned {
+                let stride = self.clique_strides[c][pos];
+                let card = self.base[c].cards()[pos];
+                let super_block = stride * card;
+                for start in (0..values.len()).step_by(super_block) {
+                    for k in 0..card {
+                        if k == s {
+                            continue;
+                        }
+                        let off = start + k * stride;
+                        values[off..off + stride].fill(0.0);
+                    }
+                }
+            }
+            st.potentials[c] = Some(pot);
+        }
+        self.invalidate_from(st, c);
+    }
+
+    /// Invalidate every cached message directed away from clique `c`,
+    /// pruning where a message is already invalid: validation only ever
+    /// computes a message after all the messages it depends on, so an
+    /// invalid message implies everything downstream of it is invalid too.
+    fn invalidate_from(&self, st: &mut JtState, c: usize) {
+        let mut stack: Vec<(usize, usize)> = vec![(c, usize::MAX)];
+        while let Some((i, from_edge)) = stack.pop() {
+            for &Neighbor { clique: j, edge: e } in &self.neighbors[i] {
+                if e == from_edge {
+                    continue;
+                }
+                let mid = self.msg_id(e, i);
+                if let Some(msg) = st.messages[mid].take() {
+                    st.ws.recycle(msg);
+                    stack.push((j, e));
+                }
+            }
+        }
+    }
+
+    /// Ensure every message flowing toward clique `root` is valid,
+    /// computing missing ones farthest-first (Shafer-Shenoy collect pass).
+    fn ensure_messages_into(&self, st: &mut JtState, root: usize) {
+        let mut order: Vec<(usize, usize)> = Vec::new(); // (from, edge toward root)
+        let mut queue: Vec<(usize, usize)> = vec![(root, usize::MAX)];
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (i, from_edge) = queue[qi];
+            qi += 1;
+            for &Neighbor { clique: j, edge: e } in &self.neighbors[i] {
+                if e == from_edge {
+                    continue;
+                }
+                order.push((j, e));
+                queue.push((j, e));
+            }
+        }
+        let JtState {
+            potentials,
+            messages,
+            ws,
+            ..
+        } = st;
+        for &(from, e) in order.iter().rev() {
+            let mid = self.msg_id(e, from);
+            if messages[mid].is_some() {
+                continue;
+            }
+            let msg = self.compute_message(potentials, messages, ws, from, e);
+            messages[mid] = Some(msg);
+        }
+    }
+
+    /// m_{from→to} = Σ_{C_from ∖ S} ψ_from · Π_{k ≠ to} m_{k→from}.
+    fn compute_message(
+        &self,
+        potentials: &[Option<Factor>],
+        messages: &[Option<Factor>],
+        ws: &mut QueryWorkspace,
+        from: usize,
+        edge: usize,
+    ) -> Factor {
+        let base = potentials[from].as_ref().unwrap_or(&self.base[from]);
+        let mut prod = base.clone_using(ws);
+        for &Neighbor {
+            clique: _,
+            edge: e2,
+        } in &self.neighbors[from]
+        {
+            if e2 == edge {
+                continue;
+            }
+            let inbound = self.msg_id(e2, self.other_end(e2, from));
+            let m = messages[inbound]
+                .as_ref()
+                .expect("message dependencies are computed farthest-first");
+            let next = prod.product_ws(m, ws);
+            ws.recycle(prod);
+            prod = next;
+        }
+        let sep = &self.edges[edge].separator;
+        for &v in &self.cliques[from] {
+            if sep.binary_search(&v).is_err() {
+                prod = prod.sum_out_owned_ws(v, ws);
+            }
+        }
+        prod
+    }
+
+    fn other_end(&self, e: usize, this: usize) -> usize {
+        let te = &self.edges[e];
+        if te.a == this {
+            te.b
+        } else {
+            te.a
+        }
+    }
+
+    /// Posterior marginal `P(target | evidence)` read off the target's home
+    /// clique after a lazy collect pass. Observed targets return the point
+    /// mass on their observed state (matching VE's convention).
+    pub fn marginal(&self, st: &mut JtState, target: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.marginal_into(st, target, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`JunctionTree::marginal`] writing into a caller buffer.
+    pub fn marginal_into(&self, st: &mut JtState, target: usize, out: &mut Vec<f64>) -> Result<()> {
+        self.check_state(st)?;
+        if target >= self.cards.len() {
+            return Err(BayesError::InvalidNode(target));
+        }
+        if let Some(s) = st.evidence[target] {
+            out.clear();
+            out.resize(self.cards[target], 0.0);
+            out[s] = 1.0;
+            return Ok(());
+        }
+        let home = self.node_home[target];
+        self.ensure_messages_into(st, home);
+
+        let mut belief = {
+            let JtState { potentials, ws, .. } = &mut *st;
+            potentials[home]
+                .as_ref()
+                .unwrap_or(&self.base[home])
+                .clone_using(ws)
+        };
+        for &Neighbor { clique: _, edge: e } in &self.neighbors[home] {
+            let inbound = self.msg_id(e, self.other_end(e, home));
+            // Split-borrow: the message is read-only, the workspace mutable.
+            let JtState { messages, ws, .. } = &mut *st;
+            let m = messages[inbound]
+                .as_ref()
+                .expect("collect pass just validated every inbound message");
+            let next = belief.product_ws(m, ws);
+            ws.recycle(belief);
+            belief = next;
+        }
+        for &v in &self.cliques[home] {
+            if v != target {
+                belief = belief.sum_out_owned_ws(v, &mut st.ws);
+            }
+        }
+        let z = belief.normalize();
+        if z <= 0.0 {
+            st.ws.recycle(belief);
+            return Err(BayesError::Numerical(
+                "evidence has zero probability under the model".into(),
+            ));
+        }
+        if belief.vars() != [target] {
+            return Err(BayesError::Numerical(format!(
+                "junction-tree read-off left scope {:?}, expected [{target}]",
+                belief.vars()
+            )));
+        }
+        out.clear();
+        out.extend_from_slice(belief.values());
+        st.ws.recycle(belief);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::{Cpd, TabularCpd};
+    use crate::graph::Dag;
+    use crate::infer::ve::{posterior_marginal, Evidence};
+    use crate::variable::Variable;
+
+    fn sprinkler() -> BayesianNetwork {
+        let vars = vec![
+            Variable::discrete("cloudy", 2),
+            Variable::discrete("sprinkler", 2),
+            Variable::discrete("rain", 2),
+            Variable::discrete("wet", 2),
+        ];
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let cpds = vec![
+            Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap()),
+            Cpd::Tabular(
+                TabularCpd::new(1, vec![0], 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap(),
+            ),
+            Cpd::Tabular(
+                TabularCpd::new(2, vec![0], 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap(),
+            ),
+            Cpd::Tabular(
+                TabularCpd::new(
+                    3,
+                    vec![1, 2],
+                    2,
+                    vec![2, 2],
+                    vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+                )
+                .unwrap(),
+            ),
+        ];
+        BayesianNetwork::new(vars, dag, cpds).unwrap()
+    }
+
+    #[test]
+    fn structure_satisfies_family_coverage_and_running_intersection() {
+        let bn = sprinkler();
+        let jt = JunctionTree::compile(&bn).unwrap();
+        // Every CPD family is covered by some clique.
+        for cpd in bn.cpds() {
+            let mut family = cpd.parents().to_vec();
+            family.push(cpd.child());
+            family.sort_unstable();
+            assert!(
+                (0..jt.n_cliques()).any(|i| is_subset(&family, jt.clique_scope(i))),
+                "family {family:?} not covered"
+            );
+        }
+        // Separators are exact intersections.
+        for e in 0..jt.n_edges() {
+            let (a, b, sep) = jt.edge(e);
+            assert_eq!(sep, intersect(jt.clique_scope(a), jt.clique_scope(b)));
+        }
+        // Running intersection: the cliques containing each node form a
+        // connected subtree (count via edges whose separator holds it).
+        for v in 0..bn.len() {
+            let holding = (0..jt.n_cliques())
+                .filter(|&i| jt.clique_scope(i).contains(&v))
+                .count();
+            let connecting = (0..jt.n_edges())
+                .filter(|&e| jt.edge(e).2.contains(&v))
+                .count();
+            assert_eq!(
+                connecting,
+                holding - 1,
+                "node {v} induces a disconnected clique subtree"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_match_variable_elimination() {
+        let bn = sprinkler();
+        let jt = JunctionTree::compile(&bn).unwrap();
+        let mut st = jt.new_state();
+        // Priors.
+        for t in 0..4 {
+            let got = jt.marginal(&mut st, t).unwrap();
+            let want = posterior_marginal(&bn, t, &Evidence::new()).unwrap();
+            for (a, b) in got.iter().zip(&want) {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "prior target {t}: {got:?} vs {want:?}"
+                );
+            }
+        }
+        // Posterior given wet grass (classic exact values).
+        jt.set_evidence(&mut st, 3, 1).unwrap();
+        let ps = jt.marginal(&mut st, 1).unwrap();
+        assert!((ps[1] - 0.4298).abs() < 1e-3, "{ps:?}");
+        let pr = jt.marginal(&mut st, 2).unwrap();
+        assert!((pr[1] - 0.7079).abs() < 1e-3, "{pr:?}");
+        let mut ev = Evidence::new();
+        ev.insert(3, 1);
+        for t in 0..3 {
+            let got = jt.marginal(&mut st, t).unwrap();
+            let want = posterior_marginal(&bn, t, &ev).unwrap();
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "target {t}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_enter_retract_reenter_matches_fresh_state() {
+        let bn = sprinkler();
+        let jt = JunctionTree::compile(&bn).unwrap();
+        let mut st = jt.new_state();
+        // Warm the caches with a different query first.
+        jt.set_evidence(&mut st, 2, 1).unwrap();
+        let _ = jt.marginal(&mut st, 0).unwrap();
+        jt.retract_evidence(&mut st, 2).unwrap();
+        jt.set_evidence(&mut st, 3, 1).unwrap();
+        let incremental = jt.marginal(&mut st, 1).unwrap();
+
+        let mut fresh = jt.new_state();
+        jt.set_evidence(&mut fresh, 3, 1).unwrap();
+        let direct = jt.marginal(&mut fresh, 1).unwrap();
+        assert_eq!(incremental, direct, "stale message survived retraction");
+
+        // Re-entering the same evidence is a no-op for the caches.
+        jt.set_evidence(&mut st, 3, 1).unwrap();
+        assert_eq!(jt.marginal(&mut st, 1).unwrap(), direct);
+        jt.clear_evidence(&mut st).unwrap();
+        let prior = jt.marginal(&mut st, 1).unwrap();
+        let want = posterior_marginal(&bn, 1, &Evidence::new()).unwrap();
+        for (a, b) in prior.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn observed_target_is_a_point_mass() {
+        let bn = sprinkler();
+        let jt = JunctionTree::compile(&bn).unwrap();
+        let mut st = jt.new_state();
+        jt.set_evidence(&mut st, 2, 1).unwrap();
+        assert_eq!(jt.marginal(&mut st, 2).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let bn = sprinkler();
+        let a = JunctionTree::compile(&bn).unwrap();
+        let b = JunctionTree::compile(&bn).unwrap();
+        assert_eq!(a.cliques, b.cliques);
+        for (fa, fb) in a.base.iter().zip(&b.base) {
+            assert_eq!(fa.values(), fb.values());
+        }
+        let mut sa = a.new_state();
+        let mut sb = b.new_state();
+        a.set_evidence(&mut sa, 3, 1).unwrap();
+        b.set_evidence(&mut sb, 3, 1).unwrap();
+        assert_eq!(
+            a.marginal(&mut sa, 1).unwrap(),
+            b.marginal(&mut sb, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_reported() {
+        let bn = sprinkler();
+        let jt = JunctionTree::compile(&bn).unwrap();
+        let mut st = jt.new_state();
+        assert!(jt.set_evidence(&mut st, 99, 0).is_err());
+        assert!(jt.set_evidence(&mut st, 2, 9).is_err());
+        assert!(jt.marginal(&mut st, 99).is_err());
+
+        // Non-discrete networks don't compile.
+        let vars = vec![Variable::continuous("x")];
+        let dag = Dag::new(1);
+        let cpds = vec![Cpd::LinearGaussian(
+            crate::cpd::LinearGaussianCpd::new(0, vec![], 0.0, vec![], 1.0).unwrap(),
+        )];
+        let cont = BayesianNetwork::new(vars, dag, cpds).unwrap();
+        assert!(JunctionTree::compile(&cont).is_err());
+    }
+}

@@ -17,30 +17,89 @@
 use crate::cpd::{config_count, Cpd, DetNoise, PROB_FLOOR};
 use crate::{BayesError, Result};
 
-/// Row-major strides for a cardinality vector: `strides[p]` is how far the
-/// linear index moves when position `p` increments (last position fastest).
-fn strides(cards: &[usize]) -> Vec<usize> {
-    let mut out = vec![1usize; cards.len()];
+/// Row-major strides for a cardinality vector, written into a reusable
+/// buffer: `out[p]` is how far the linear index moves when position `p`
+/// increments (last position fastest).
+fn strides_into(cards: &[usize], out: &mut Vec<usize>) {
+    out.clear();
+    out.resize(cards.len(), 1);
     for p in (0..cards.len().saturating_sub(1)).rev() {
         out[p] = out[p + 1] * cards[p + 1];
     }
+}
+
+/// Row-major strides for a cardinality vector (allocating convenience).
+pub(crate) fn strides(cards: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    strides_into(cards, &mut out);
     out
+}
+
+/// Reusable scratch for the factor kernels: pools of value and index
+/// buffers that the workspace-threaded kernels (`product_ws`, `sum_out_ws`,
+/// `reduce_ws`) draw their stride tables, odometer counters, and output
+/// tables from. A factor whose buffers came from a workspace can be handed
+/// back with [`QueryWorkspace::recycle`], so a steady-state query loop —
+/// one VE run or junction-tree propagation after another against the same
+/// network — reaches a fixed point where no kernel call allocates.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    f64_pool: Vec<Vec<f64>>,
+    usize_pool: Vec<Vec<usize>>,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace; buffers accumulate as factors are recycled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_f64(&mut self) -> Vec<f64> {
+        let mut b = self.f64_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    fn take_usize(&mut self) -> Vec<usize> {
+        let mut b = self.usize_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    fn put_f64(&mut self, b: Vec<f64>) {
+        if b.capacity() > 0 {
+            self.f64_pool.push(b);
+        }
+    }
+
+    fn put_usize(&mut self, b: Vec<usize>) {
+        if b.capacity() > 0 {
+            self.usize_pool.push(b);
+        }
+    }
+
+    /// Reclaim a no-longer-needed factor's buffers for future kernel calls.
+    pub fn recycle(&mut self, f: Factor) {
+        self.put_usize(f.vars);
+        self.put_usize(f.cards);
+        self.put_f64(f.values);
+    }
 }
 
 /// Odometer over `cards` tracking one or more linear indices via per-slot
 /// stride tables. `advance` steps to the next configuration in natural
-/// (last-fastest) order, updating every tracked index incrementally.
+/// (last-fastest) order, updating every tracked index incrementally. The
+/// counter slots are borrowed so workspace-threaded kernels can pool them.
 struct Odometer<'a> {
     cards: &'a [usize],
-    counters: Vec<usize>,
+    counters: &'a mut [usize],
 }
 
 impl<'a> Odometer<'a> {
-    fn new(cards: &'a [usize]) -> Self {
-        Odometer {
-            cards,
-            counters: vec![0usize; cards.len()],
-        }
+    fn new(cards: &'a [usize], counters: &'a mut [usize]) -> Self {
+        debug_assert_eq!(cards.len(), counters.len());
+        counters.fill(0);
+        Odometer { cards, counters }
     }
 
     /// Advance to the next configuration; `indices[k]` moves by
@@ -188,7 +247,8 @@ impl Factor {
                 }
                 let table = t.table();
                 let mut values = Vec::with_capacity(total);
-                let mut odo = Odometer::new(&scope_cards);
+                let mut counters = vec![0usize; scope_cards.len()];
+                let mut odo = Odometer::new(&scope_cards, &mut counters);
                 let mut idx = [0usize];
                 for _ in 0..total {
                     values.push(table[idx[0]].max(PROB_FLOOR));
@@ -220,7 +280,8 @@ impl Factor {
                     let miss = (leak / (*card as f64 - 1.0)).max(1e-12);
                     let mut values = vec![0.0; total];
                     let mut mids = vec![0.0; parents.len()];
-                    let mut odo = Odometer::new(&pcards);
+                    let mut counters = vec![0usize; pcards.len()];
+                    let mut odo = Odometer::new(&pcards, &mut counters);
                     let mut idx = [0usize];
                     for _ in 0..config_count(&pcards) {
                         for (k, m) in parent_mids.iter().enumerate() {
@@ -243,11 +304,39 @@ impl Factor {
         }
     }
 
+    /// Mutable raw values — crate-internal so the junction-tree engine can
+    /// zero evidence-inconsistent entries in place.
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Clone this factor using buffers drawn from `ws`.
+    pub fn clone_using(&self, ws: &mut QueryWorkspace) -> Factor {
+        let mut vars = ws.take_usize();
+        vars.extend_from_slice(&self.vars);
+        let mut cards = ws.take_usize();
+        cards.extend_from_slice(&self.cards);
+        let mut values = ws.take_f64();
+        values.extend_from_slice(&self.values);
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
     /// Product of two factors over the union of their scopes.
     pub fn product(&self, other: &Factor) -> Factor {
+        self.product_ws(other, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::product`] with every scratch buffer (merged scope, stride
+    /// tables, odometer counters, output table) drawn from `ws` — identical
+    /// arithmetic, zero allocation once the pool is warm.
+    pub fn product_ws(&self, other: &Factor, ws: &mut QueryWorkspace) -> Factor {
         // Merge scopes.
-        let mut vars: Vec<usize> = Vec::with_capacity(self.vars.len() + other.vars.len());
-        let mut cards: Vec<usize> = Vec::new();
+        let mut vars = ws.take_usize();
+        let mut cards = ws.take_usize();
         {
             let (mut i, mut j) = (0, 0);
             while i < self.vars.len() || j < other.vars.len() {
@@ -281,36 +370,46 @@ impl Factor {
         // positions absent from that operand): walking the merged table in
         // natural order then keeps both source indices current with a
         // couple of adds per entry instead of a decode + two re-encodes.
-        let strides_a = strides(&self.cards);
-        let strides_b = strides(&other.cards);
-        let stride_a: Vec<usize> = vars
-            .iter()
-            .map(|v| {
+        let mut strides_a = ws.take_usize();
+        strides_into(&self.cards, &mut strides_a);
+        let mut strides_b = ws.take_usize();
+        strides_into(&other.cards, &mut strides_b);
+        let mut stride_a = ws.take_usize();
+        let mut stride_b = ws.take_usize();
+        for v in &vars {
+            stride_a.push(
                 self.vars
                     .binary_search(v)
                     .map(|p| strides_a[p])
-                    .unwrap_or(0)
-            })
-            .collect();
-        let stride_b: Vec<usize> = vars
-            .iter()
-            .map(|v| {
+                    .unwrap_or(0),
+            );
+            stride_b.push(
                 other
                     .vars
                     .binary_search(v)
                     .map(|p| strides_b[p])
-                    .unwrap_or(0)
-            })
-            .collect();
+                    .unwrap_or(0),
+            );
+        }
 
         let total = config_count(&cards);
-        let mut values = Vec::with_capacity(total);
-        let mut odo = Odometer::new(&cards);
-        let mut idx = [0usize; 2];
-        for _ in 0..total {
-            values.push(self.values[idx[0]] * other.values[idx[1]]);
-            odo.advance(&[&stride_a, &stride_b], &mut idx);
+        let mut values = ws.take_f64();
+        values.reserve(total);
+        let mut counters = ws.take_usize();
+        counters.resize(cards.len(), 0);
+        {
+            let mut odo = Odometer::new(&cards, &mut counters);
+            let mut idx = [0usize; 2];
+            for _ in 0..total {
+                values.push(self.values[idx[0]] * other.values[idx[1]]);
+                odo.advance(&[&stride_a, &stride_b], &mut idx);
+            }
         }
+        ws.put_usize(strides_a);
+        ws.put_usize(strides_b);
+        ws.put_usize(stride_a);
+        ws.put_usize(stride_b);
+        ws.put_usize(counters);
         Factor {
             vars,
             cards,
@@ -324,32 +423,47 @@ impl Factor {
     /// the output slot whose index is tracked incrementally (the summed
     /// position simply contributes stride 0).
     pub fn sum_out(&self, var: usize) -> Factor {
+        self.sum_out_ws(var, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::sum_out`] with all scratch drawn from `ws`.
+    pub fn sum_out_ws(&self, var: usize, ws: &mut QueryWorkspace) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
-            return self.clone();
+            return self.clone_using(ws);
         };
-        let mut vars = self.vars.clone();
-        let mut cards = self.cards.clone();
+        let mut vars = ws.take_usize();
+        vars.extend_from_slice(&self.vars);
         vars.remove(pos);
+        let mut cards = ws.take_usize();
+        cards.extend_from_slice(&self.cards);
         cards.remove(pos);
 
-        let out_strides = strides(&cards);
+        let mut out_strides = ws.take_usize();
+        strides_into(&cards, &mut out_strides);
         // Output stride per input position; the removed position moves the
         // output index by nothing.
-        let scatter: Vec<usize> = (0..self.vars.len())
-            .map(|ip| match ip.cmp(&pos) {
-                std::cmp::Ordering::Less => out_strides[ip],
-                std::cmp::Ordering::Equal => 0,
-                std::cmp::Ordering::Greater => out_strides[ip - 1],
-            })
-            .collect();
+        let mut scatter = ws.take_usize();
+        scatter.extend((0..self.vars.len()).map(|ip| match ip.cmp(&pos) {
+            std::cmp::Ordering::Less => out_strides[ip],
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => out_strides[ip - 1],
+        }));
 
-        let mut values = vec![0.0; config_count(&cards)];
-        let mut odo = Odometer::new(&self.cards);
-        let mut idx = [0usize];
-        for &v in &self.values {
-            values[idx[0]] += v;
-            odo.advance(&[&scatter], &mut idx);
+        let mut values = ws.take_f64();
+        values.resize(config_count(&cards), 0.0);
+        let mut counters = ws.take_usize();
+        counters.resize(self.cards.len(), 0);
+        {
+            let mut odo = Odometer::new(&self.cards, &mut counters);
+            let mut idx = [0usize];
+            for &v in &self.values {
+                values[idx[0]] += v;
+                odo.advance(&[&scatter], &mut idx);
+            }
         }
+        ws.put_usize(out_strides);
+        ws.put_usize(scatter);
+        ws.put_usize(counters);
         Factor {
             vars,
             cards,
@@ -361,7 +475,13 @@ impl Factor {
     /// variable is the slowest-varying position the table is folded block
     /// by block into its own front and truncated — no new allocation at
     /// all. Other positions fall back to [`Factor::sum_out`].
-    pub fn sum_out_owned(mut self, var: usize) -> Factor {
+    pub fn sum_out_owned(self, var: usize) -> Factor {
+        self.sum_out_owned_ws(var, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::sum_out_owned`] with the non-leading-position fallback
+    /// drawing its scratch from `ws` (and recycling the consumed factor).
+    pub fn sum_out_owned_ws(mut self, var: usize, ws: &mut QueryWorkspace) -> Factor {
         match self.vars.binary_search(&var) {
             Ok(0) => {
                 self.vars.remove(0);
@@ -376,7 +496,11 @@ impl Factor {
                 self.values.truncate(block);
                 self
             }
-            Ok(_) => self.sum_out(var),
+            Ok(_) => {
+                let out = self.sum_out_ws(var, ws);
+                ws.recycle(self);
+                out
+            }
             Err(_) => self,
         }
     }
@@ -387,34 +511,49 @@ impl Factor {
     /// One linear pass over the output table, gathering from the input at
     /// an incrementally tracked index offset by the fixed state.
     pub fn reduce(&self, var: usize, state: usize) -> Factor {
+        self.reduce_ws(var, state, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::reduce`] with all scratch drawn from `ws`.
+    pub fn reduce_ws(&self, var: usize, state: usize, ws: &mut QueryWorkspace) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
-            return self.clone();
+            return self.clone_using(ws);
         };
-        let mut vars = self.vars.clone();
-        let mut cards = self.cards.clone();
+        let mut vars = ws.take_usize();
+        vars.extend_from_slice(&self.vars);
         vars.remove(pos);
+        let mut cards = ws.take_usize();
+        cards.extend_from_slice(&self.cards);
         cards.remove(pos);
 
-        let in_strides = strides(&self.cards);
+        let mut in_strides = ws.take_usize();
+        strides_into(&self.cards, &mut in_strides);
         // Input stride per output position (the fixed position is skipped).
-        let gather: Vec<usize> = (0..vars.len())
-            .map(|op| {
-                if op < pos {
-                    in_strides[op]
-                } else {
-                    in_strides[op + 1]
-                }
-            })
-            .collect();
+        let mut gather = ws.take_usize();
+        gather.extend((0..vars.len()).map(|op| {
+            if op < pos {
+                in_strides[op]
+            } else {
+                in_strides[op + 1]
+            }
+        }));
 
         let total = config_count(&cards);
-        let mut values = Vec::with_capacity(total);
-        let mut odo = Odometer::new(&cards);
-        let mut idx = [state * in_strides[pos]];
-        for _ in 0..total {
-            values.push(self.values[idx[0]]);
-            odo.advance(&[&gather], &mut idx);
+        let mut values = ws.take_f64();
+        values.reserve(total);
+        let mut counters = ws.take_usize();
+        counters.resize(cards.len(), 0);
+        {
+            let mut odo = Odometer::new(&cards, &mut counters);
+            let mut idx = [state * in_strides[pos]];
+            for _ in 0..total {
+                values.push(self.values[idx[0]]);
+                odo.advance(&[&gather], &mut idx);
+            }
         }
+        ws.put_usize(in_strides);
+        ws.put_usize(gather);
+        ws.put_usize(counters);
         Factor {
             vars,
             cards,
@@ -709,6 +848,38 @@ mod tests {
                 p.reduce(var, 1).values(),
                 naive::reduce(&p, var, 1).values()
             );
+        }
+    }
+
+    #[test]
+    fn workspace_kernels_match_plain_kernels_bitwise() {
+        let values: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) * 0.125).collect();
+        let f = Factor::new(vec![0, 2, 4], vec![2, 2, 3], values).unwrap();
+        let g = Factor::new(vec![1, 2], vec![3, 2], (1..=6).map(f64::from).collect()).unwrap();
+        let mut ws = QueryWorkspace::new();
+        // Two passes: the second runs entirely on warm (recycled) buffers.
+        for _ in 0..2 {
+            let p = f.product(&g);
+            let p_ws = f.product_ws(&g, &mut ws);
+            assert_eq!(p_ws.vars(), p.vars());
+            assert_eq!(p_ws.cards(), p.cards());
+            assert_eq!(p_ws.values(), p.values());
+            for &var in p.vars() {
+                let s_ws = p_ws.sum_out_ws(var, &mut ws);
+                assert_eq!(s_ws.values(), p.sum_out(var).values());
+                ws.recycle(s_ws);
+                let o_ws = p_ws.clone_using(&mut ws).sum_out_owned_ws(var, &mut ws);
+                assert_eq!(o_ws.values(), p.clone().sum_out_owned(var).values());
+                ws.recycle(o_ws);
+                let r_ws = p_ws.reduce_ws(var, 1, &mut ws);
+                assert_eq!(r_ws.values(), p.reduce(var, 1).values());
+                ws.recycle(r_ws);
+            }
+            // Absent-variable paths go through clone_using.
+            let same = p_ws.sum_out_ws(99, &mut ws);
+            assert_eq!(same.values(), p.values());
+            ws.recycle(same);
+            ws.recycle(p_ws);
         }
     }
 

@@ -17,12 +17,13 @@ pub mod gibbs;
 pub mod sampling;
 pub mod ve;
 
-pub use factor::Factor;
+pub use factor::{Factor, QueryWorkspace};
 pub use gibbs::{gibbs_posterior, gibbs_posterior_chains, GibbsOptions};
 pub use sampling::{likelihood_weighting, LwOptions, WeightedSamples};
 pub use ve::{
     posterior_marginal, posterior_marginal_pruned, posterior_marginal_pruned_with,
-    posterior_marginal_with, EliminationHeuristic, Evidence,
+    posterior_marginal_pruned_with_ws, posterior_marginal_with, posterior_marginal_with_ws,
+    EliminationHeuristic, Evidence,
 };
 
 /// The pre-optimization per-entry decode/encode factor kernels and the

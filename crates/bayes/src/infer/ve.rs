@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use crate::infer::factor::Factor;
+use crate::infer::factor::{Factor, QueryWorkspace};
 use crate::network::BayesianNetwork;
 use crate::{BayesError, Result};
 
@@ -52,6 +52,25 @@ pub fn posterior_marginal_with(
     target: usize,
     evidence: &Evidence,
     heuristic: EliminationHeuristic,
+) -> Result<Vec<f64>> {
+    posterior_marginal_with_ws(
+        network,
+        target,
+        evidence,
+        heuristic,
+        &mut QueryWorkspace::new(),
+    )
+}
+
+/// [`posterior_marginal_with`] drawing all factor scratch from a caller-held
+/// [`QueryWorkspace`], so repeated queries against one network stop
+/// allocating once the pool is warm. Identical arithmetic and results.
+pub fn posterior_marginal_with_ws(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+    heuristic: EliminationHeuristic,
+    ws: &mut QueryWorkspace,
 ) -> Result<Vec<f64>> {
     let n = network.len();
     if target >= n {
@@ -98,7 +117,9 @@ pub fn posterior_marginal_with(
     for cpd in network.cpds() {
         let mut f = Factor::from_cpd(cpd, &cards)?;
         for (&node, &state) in evidence {
-            f = f.reduce(node, state);
+            let reduced = f.reduce_ws(node, state, ws);
+            ws.recycle(f);
+            f = reduced;
         }
         factors.push(f);
     }
@@ -107,7 +128,7 @@ pub fn posterior_marginal_with(
     let to_eliminate: Vec<usize> = (0..n)
         .filter(|i| *i != target && !evidence.contains_key(i))
         .collect();
-    eliminate_and_normalize(factors, to_eliminate, target, heuristic)
+    eliminate_and_normalize(factors, to_eliminate, target, heuristic, ws)
 }
 
 /// Like [`posterior_marginal`], but first prunes *barren* nodes — nodes
@@ -136,6 +157,24 @@ pub fn posterior_marginal_pruned_with(
     target: usize,
     evidence: &Evidence,
     heuristic: EliminationHeuristic,
+) -> Result<Vec<f64>> {
+    posterior_marginal_pruned_with_ws(
+        network,
+        target,
+        evidence,
+        heuristic,
+        &mut QueryWorkspace::new(),
+    )
+}
+
+/// [`posterior_marginal_pruned_with`] drawing all factor scratch from a
+/// caller-held [`QueryWorkspace`].
+pub fn posterior_marginal_pruned_with_ws(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+    heuristic: EliminationHeuristic,
+    ws: &mut QueryWorkspace,
 ) -> Result<Vec<f64>> {
     let n = network.len();
     if target >= n {
@@ -187,14 +226,16 @@ pub fn posterior_marginal_pruned_with(
         }
         let mut f = Factor::from_cpd(cpd, &cards)?;
         for (&node, &state) in evidence {
-            f = f.reduce(node, state);
+            let reduced = f.reduce_ws(node, state, ws);
+            ws.recycle(f);
+            f = reduced;
         }
         factors.push(f);
     }
     let to_eliminate: Vec<usize> = (0..n)
         .filter(|&i| relevant[i] && i != target && !evidence.contains_key(&i))
         .collect();
-    eliminate_and_normalize(factors, to_eliminate, target, heuristic)
+    eliminate_and_normalize(factors, to_eliminate, target, heuristic, ws)
 }
 
 /// Compute the full elimination order up front on the interaction graph of
@@ -203,7 +244,10 @@ pub fn posterior_marginal_pruned_with(
 /// picks the variable creating the fewest new edges, min-degree the one
 /// with the fewest neighbours. Ties break on (cost, degree, node index) so
 /// the order — and therefore every downstream float — is deterministic.
-fn elimination_ordering(
+///
+/// Crate-visible so the junction-tree compiler ([`crate::compile`]) can
+/// triangulate with the very same heuristic and tie-breaking.
+pub(crate) fn elimination_ordering(
     factors: &[Factor],
     to_eliminate: &[usize],
     heuristic: EliminationHeuristic,
@@ -280,6 +324,7 @@ fn eliminate_and_normalize(
     to_eliminate: Vec<usize>,
     target: usize,
     heuristic: EliminationHeuristic,
+    ws: &mut QueryWorkspace,
 ) -> Result<Vec<f64>> {
     for var in elimination_ordering(&factors, &to_eliminate, heuristic) {
         let (with_var, without_var): (Vec<Factor>, Vec<Factor>) =
@@ -287,14 +332,20 @@ fn eliminate_and_normalize(
         factors = without_var;
         let mut combined = Factor::unit();
         for f in with_var {
-            combined = combined.product(&f);
+            let next = combined.product_ws(&f, ws);
+            ws.recycle(combined);
+            ws.recycle(f);
+            combined = next;
         }
-        factors.push(combined.sum_out_owned(var));
+        factors.push(combined.sum_out_owned_ws(var, ws));
     }
 
     let mut result = Factor::unit();
     for f in factors {
-        result = result.product(&f);
+        let next = result.product_ws(&f, ws);
+        ws.recycle(result);
+        ws.recycle(f);
+        result = next;
     }
     let z = result.normalize();
     if z <= 0.0 {
@@ -308,7 +359,9 @@ fn eliminate_and_normalize(
             result.vars()
         )));
     }
-    Ok(result.values().to_vec())
+    let out = result.values().to_vec();
+    ws.recycle(result);
+    Ok(out)
 }
 
 /// Posterior mean of a discrete node under a state-value map (e.g. bin
@@ -603,6 +656,40 @@ mod tests {
                 for (a, b) in pp.iter().zip(reference.iter()) {
                     assert!((a - b).abs() < 1e-12);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn a_shared_workspace_across_queries_changes_nothing() {
+        // Pooled buffers must be invisible: every query through one warm
+        // workspace is bitwise equal to a fresh-allocation run.
+        let bn = sprinkler();
+        let mut ev = Evidence::new();
+        ev.insert(3, 1);
+        let mut ws = QueryWorkspace::new();
+        for _pass in 0..3 {
+            for target in 0..3 {
+                let fresh = posterior_marginal(&bn, target, &ev).unwrap();
+                let pooled = posterior_marginal_with_ws(
+                    &bn,
+                    target,
+                    &ev,
+                    EliminationHeuristic::MinFill,
+                    &mut ws,
+                )
+                .unwrap();
+                assert_eq!(fresh, pooled);
+                let fresh_pruned = posterior_marginal_pruned(&bn, target, &ev).unwrap();
+                let pooled_pruned = posterior_marginal_pruned_with_ws(
+                    &bn,
+                    target,
+                    &ev,
+                    EliminationHeuristic::MinFill,
+                    &mut ws,
+                )
+                .unwrap();
+                assert_eq!(fresh_pruned, pooled_pruned);
             }
         }
     }

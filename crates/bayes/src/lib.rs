@@ -29,6 +29,7 @@
 //! `Send + Sync` (CPDs use `Arc` internally) so the decentralized learning
 //! runtime can learn node CPDs on worker threads without cloning datasets.
 
+pub mod compile;
 pub mod cpd;
 pub mod dataset;
 pub mod discretize;
@@ -42,6 +43,7 @@ pub mod network;
 pub mod special;
 pub mod variable;
 
+pub use compile::{JtState, JunctionTree};
 pub use cpd::{Cpd, DeterministicCpd, LinearGaussianCpd, TabularCpd};
 pub use dataset::Dataset;
 pub use expr::Expr;

@@ -8,8 +8,12 @@
 //! * `factor_sum_out` — linear scatter pass vs decode + inner state sweep;
 //! * `ve_query` — a dComp-style posterior on the discrete eDiaMoND
 //!   KERT-BN: min-fill ordering + stride kernels vs greedy per-step
-//!   ordering + naive kernels.
+//!   ordering + naive kernels;
+//! * `junction_tree` — the compiled engine: one-time compilation cost,
+//!   steady-state calibrated marginal reads, and a 10-query dComp-style
+//!   batch against re-running per-query VE from scratch.
 
+use kert_bayes::compile::JunctionTree;
 use kert_bayes::infer::factor::{naive as naive_factor, Factor};
 use kert_bayes::infer::ve::{self, naive as naive_ve, Evidence};
 use kert_bench::scenario::{Environment, ScenarioOptions};
@@ -87,6 +91,60 @@ fn main() {
         assert!((a - b).abs() < 1e-12, "optimized VE diverged from naive VE");
     }
 
+    // Compiled junction tree on the same model. Compilation is the one-time
+    // cost a control period amortizes; the calibrated-marginal read is the
+    // steady-state query with evidence already propagated.
+    let jt_compile = bench("jt/compile", || {
+        JunctionTree::compile(black_box(bn)).unwrap()
+    });
+    let tree = JunctionTree::compile(bn).unwrap();
+    let mut pins: Vec<(usize, usize)> = evidence.iter().map(|(&n, &s)| (n, s)).collect();
+    pins.sort_unstable();
+    let mut calibrated = tree.new_state();
+    for &(node, s) in &pins {
+        tree.set_evidence(&mut calibrated, node, s).unwrap();
+    }
+    tree.marginal(&mut calibrated, 3).unwrap(); // calibrate once
+    let jt_marginal = bench("jt/calibrated_marginal", || {
+        tree.marginal(black_box(&mut calibrated), 3).unwrap()
+    });
+
+    // 10-query dComp-style batch: fresh evidence each control period, then
+    // the posterior of every hidden service (round-robin to 10 queries).
+    // Per-query VE rebuilds the factor stack from the network every time;
+    // the compiled engine enters evidence incrementally into a reusable
+    // state and reads each marginal off the calibrated tree.
+    let hidden: Vec<usize> = (0..bn.len())
+        .filter(|n| !evidence.contains_key(n))
+        .collect();
+    let batch_targets: Vec<usize> = (0..10).map(|i| hidden[i % hidden.len()]).collect();
+    let ve_batch = bench("batch_dcomp_10/per_query_ve", || {
+        batch_targets
+            .iter()
+            .map(|&t| ve::posterior_marginal(black_box(bn), t, black_box(&evidence)).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let mut batch_state = tree.new_state();
+    let jt_batch = bench("batch_dcomp_10/junction_tree", || {
+        tree.clear_evidence(&mut batch_state).unwrap();
+        for &(node, s) in &pins {
+            tree.set_evidence(&mut batch_state, node, s).unwrap();
+        }
+        batch_targets
+            .iter()
+            .map(|&t| tree.marginal(black_box(&mut batch_state), t).unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    // Sanity: the compiled engine must agree with VE on every batch query.
+    for &t in &batch_targets {
+        let want = ve::posterior_marginal(bn, t, &evidence).unwrap();
+        let got = tree.marginal(&mut batch_state, t).unwrap();
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-9, "junction tree diverged from VE");
+        }
+    }
+
     merge_bench_perf(
         "inference",
         Value::Map(vec![
@@ -100,6 +158,20 @@ fn main() {
             ),
             ("ve_query".into(), before_after(&ve_before, &ve_after)),
             ("ve_query_pruned_ns".into(), Value::Num(ve_pruned.median_ns)),
+        ]),
+    );
+    merge_bench_perf(
+        "junction_tree",
+        Value::Map(vec![
+            ("jt_compile_ns".into(), Value::Num(jt_compile.median_ns)),
+            (
+                "jt_calibrated_marginal_ns".into(),
+                Value::Num(jt_marginal.median_ns),
+            ),
+            (
+                "jt_batch_dcomp_ns".into(),
+                before_after(&ve_batch, &jt_batch),
+            ),
         ]),
     );
 }

@@ -4,9 +4,12 @@
 //! * `k2_run` — one full K2 search (true ordering, memo cache) on the
 //!   discretized eDiaMoND training set, plus a 10-restart run;
 //! * `learning` — decentralized (scoped worker pool, wall-clock = slowest
-//!   worker) vs centralized (sequential sum) parameter learning. On a
-//!   single-core host the pool cannot win on wall-clock; `host_cores` is
-//!   recorded alongside so the number reads correctly.
+//!   worker) vs centralized (sequential sum) parameter learning. Two
+//!   speedups are reported: the *simulated* one (Σ vs max of per-node
+//!   learning times — the paper's each-agent-on-its-own-host claim, which
+//!   is independent of this host's core count) and the *wall-clock* one
+//!   (what the worker pool achieves here; on a single-core host it cannot
+//!   win, so `host_cores` is recorded alongside).
 
 use kert_agents::runtime::{
     centralized_learn, decentralized_learn, slice_local_datasets, LearnOptions,
@@ -15,7 +18,7 @@ use kert_bayes::discretize::{BinStrategy, Discretizer};
 use kert_bayes::learn::k2::{k2_search, k2_with_random_restarts, K2Options};
 use kert_bayes::{Dag, Variable};
 use kert_bench::scenario::{Environment, ScenarioOptions};
-use kert_bench::timing::{bench, merge_bench_perf};
+use kert_bench::timing::{bench, merge_bench_perf, simulated_speedup};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Value;
@@ -91,6 +94,13 @@ fn main() {
         .unwrap()
     });
 
+    // The per-node learning times from one sequential pass give the
+    // host-core-independent speedup: latency of the slowest agent vs the
+    // sum of all agents (each agent learns on its own machine).
+    let sequential = centralized_learn(&variables, &locals, LearnOptions::default()).unwrap();
+    let sim_speedup = simulated_speedup(&sequential.node_times);
+    println!("learning/simulated_speedup_40            {sim_speedup:>10.2}x  (Σ/max node times)");
+
     merge_bench_perf(
         "learning",
         Value::Map(vec![
@@ -108,14 +118,19 @@ fn main() {
                 Value::Num(decentralized.median_ns),
             ),
             (
-                "decentralized_speedup".into(),
+                "decentralized_simulated_speedup".into(),
+                Value::Num(sim_speedup),
+            ),
+            (
+                "decentralized_wall_speedup".into(),
                 Value::Num(centralized.median_ns / decentralized.median_ns),
             ),
             (
                 "note".into(),
                 Value::Str(
-                    "decentralized wall-clock beats centralized only with ≥2 real cores; \
-                     see host_cores for this run"
+                    "simulated_speedup = Σ/max of per-node learning times (one agent per \
+                     host, the paper's architecture claim); wall_speedup is this host's \
+                     worker pool and beats 1x only with ≥2 real cores — see host_cores"
                         .into(),
                 ),
             ),

@@ -3,9 +3,10 @@
 //! autonomic loop uses.
 //!
 //! * Discrete: stride-kernel VE (plain and pruned, all three ordering
-//!   heuristics) and the naive greedy VE against the joint-enumeration
-//!   oracle at `1e-9`; multi-chain Gibbs against the same oracle through
-//!   the [`StatGate`] statistical-equivalence gate.
+//!   heuristics), the naive greedy VE, and the compiled junction tree
+//!   against the joint-enumeration oracle at `1e-9`; multi-chain Gibbs
+//!   against the same oracle through the [`StatGate`]
+//!   statistical-equivalence gate.
 //! * Continuous: the Cholesky joint-conditioning path (both the automatic
 //!   dispatch and the pinned engine) and the dComp/pAccel/Eq.-5 entry
 //!   points against the closed-form [`GaussianOracle`] at ≤1e-9 relative
@@ -76,6 +77,19 @@ fn discrete_fast_paths(
         ve::naive::posterior_marginal(network, target, evidence)
             .map_err(|e| format!("naive: {e}"))?,
     ));
+    out.push(("junction-tree", {
+        let tree = kert_bayes::compile::JunctionTree::compile(network)
+            .map_err(|e| format!("junction-tree: {e}"))?;
+        let mut state = tree.new_state();
+        let mut pins: Vec<(usize, usize)> = evidence.iter().map(|(&n, &s)| (n, s)).collect();
+        pins.sort_unstable();
+        for (node, s) in pins {
+            tree.set_evidence(&mut state, node, s)
+                .map_err(|e| format!("junction-tree: {e}"))?;
+        }
+        tree.marginal(&mut state, target)
+            .map_err(|e| format!("junction-tree: {e}"))?
+    }));
     Ok(out)
 }
 
@@ -235,6 +249,8 @@ fn check_moments(
 ///   Gaussian-conditioning engine *and* the automatic dispatch, vs the
 ///   structural-equation oracle, at ≤1e-9 relative error on means;
 /// * pAccel projections and the Eq.-5 violation probability likewise;
+/// * the compiled junction tree on the discrete companion model against
+///   the enumeration oracle at ≤1e-9 absolute probability gap;
 /// * Gibbs on the discrete companion model against the enumeration
 ///   oracle through the statistical-equivalence gate.
 pub fn run_continuous_differential(
@@ -349,6 +365,37 @@ pub fn run_continuous_differential(
         let exact_probs = enum_oracle
             .posterior_marginal(disc_net, target, &ev)
             .map_err(|e| format!("instance {i} discrete oracle: {e}"))?;
+
+        // The compiled junction tree is exact — gate it at 1e-9 against
+        // the enumeration oracle through the same public pinned-engine
+        // entry point the autonomic loop uses.
+        let jt = query_posterior_via(
+            disc_net,
+            Some(disc),
+            &observed,
+            target,
+            Engine::JunctionTree,
+            mc,
+            &mut rng,
+        )
+        .map_err(|e| format!("instance {i} junction-tree: {e}"))?;
+        let Posterior::Discrete {
+            probs: jt_probs, ..
+        } = jt
+        else {
+            return Err(format!(
+                "instance {i}: junction tree returned a non-discrete posterior"
+            ));
+        };
+        let jt_gap = max_abs_diff(&jt_probs, &exact_probs);
+        if jt_gap > 1e-9 {
+            return Err(format!(
+                "instance {i} (seed {inst_seed}) junction tree disagrees with \
+                 enumeration oracle: max |Δ| = {jt_gap:e} > 1e-9"
+            ));
+        }
+        worst = worst.max(jt_gap);
+
         let gibbs = query_posterior_via(
             disc_net,
             Some(disc),

@@ -15,10 +15,11 @@ fn conf_seed() -> u64 {
         .unwrap_or(1)
 }
 
-/// Stride-kernel VE (three heuristics, plain and pruned) and the naive
-/// greedy reference all match the joint-enumeration oracle to 1e-9 on
-/// random discrete networks; the first few instances also push multi-chain
-/// Gibbs through the statistical-equivalence gate.
+/// Stride-kernel VE (three heuristics, plain and pruned), the naive
+/// greedy reference, and the compiled junction tree all match the
+/// joint-enumeration oracle to 1e-9 on random discrete networks; the
+/// first few instances also push multi-chain Gibbs through the
+/// statistical-equivalence gate.
 #[test]
 fn discrete_fast_paths_match_enumeration_oracle() {
     let report = run_discrete_differential(conf_seed(), 25, 6).unwrap_or_else(|e| panic!("{e}"));
@@ -35,7 +36,8 @@ fn discrete_fast_paths_match_enumeration_oracle() {
 /// dComp, pAccel, and the Eq.-5 violation probability agree with the
 /// structural-equation Gaussian oracle to ≤1e-9 relative error on 100
 /// random exactly-solvable instances; each instance's discrete companion
-/// also gates Gibbs against the enumeration oracle.
+/// also gates the junction-tree engine (≤1e-9) and Gibbs against the
+/// enumeration oracle.
 #[test]
 fn continuous_fast_paths_match_gaussian_oracle_on_100_instances() {
     let report = run_continuous_differential(conf_seed(), 100).unwrap_or_else(|e| panic!("{e}"));

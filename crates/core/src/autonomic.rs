@@ -10,7 +10,7 @@
 
 use rand::Rng;
 
-use crate::dcomp::{dcomp, DCompOutcome};
+use crate::dcomp::{dcomp_all, DCompOutcome};
 use crate::kert::KertBn;
 use crate::posterior::McOptions;
 use crate::Result;
@@ -54,17 +54,14 @@ pub fn compensate_degraded<R: Rng + ?Sized>(
         .copied()
         .filter(|(node, _)| !degraded.contains(node))
         .collect();
+    // All degraded services share the same healthy evidence, so the whole
+    // sweep is one batched dComp: discrete models compile the junction
+    // tree once and propagate the evidence once for every service.
+    let outcomes = dcomp_all(model, &healthy_obs, &degraded, mc, rng)?;
     degraded
         .into_iter()
-        .map(|service| {
-            let outcome = dcomp(
-                model.network(),
-                model.discretizer(),
-                &healthy_obs,
-                service,
-                mc,
-                rng,
-            )?;
+        .zip(outcomes)
+        .map(|(service, outcome)| {
             let source = model
                 .health()
                 .nodes

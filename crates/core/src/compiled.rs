@@ -1,0 +1,328 @@
+//! Compile-once query engine for discrete KERT-BNs.
+//!
+//! The autonomic loop asks the *same model* many questions per control
+//! period: one dComp posterior per unobservable service, one pAccel
+//! projection per acceleration candidate, one violation probability per
+//! SLA threshold. Rebuilding the variable-elimination factor stack for
+//! every query repeats the moralization/triangulation work each time.
+//! [`CompiledKert`] instead compiles the network into a junction tree once
+//! ([`kert_bayes::compile::JunctionTree`]) and answers each query by
+//! incremental evidence propagation over the calibrated tree, reusing one
+//! [`kert_bayes::infer::QueryWorkspace`] so steady-state queries allocate
+//! nothing.
+//!
+//! Build one with [`KertBn::compile`]; the batch entry points in
+//! [`crate::dcomp`], [`crate::paccel`] and [`crate::violation`] route
+//! through it automatically for discrete models.
+
+use kert_bayes::compile::{JtState, JunctionTree};
+use kert_bayes::discretize::Discretizer;
+
+use crate::dcomp::DCompOutcome;
+use crate::kert::KertBn;
+use crate::paccel::PAccelOutcome;
+use crate::posterior::{check_query, discrete_posterior, Posterior};
+use crate::{CoreError, Result};
+
+/// A discrete [`KertBn`] compiled into a calibrated junction tree, with a
+/// mutable evidence state and reusable query workspace.
+///
+/// All query methods take `&mut self` because evidence entry and message
+/// propagation mutate the cached state; the compiled tree itself is
+/// immutable and shared across all queries.
+pub struct CompiledKert<'m> {
+    model: &'m KertBn,
+    tree: JunctionTree,
+    state: JtState,
+}
+
+impl KertBn {
+    /// Compile this model for batched querying. Requires a discrete model
+    /// (junction-tree propagation runs over tabular CPDs); continuous
+    /// models return `BadRequest` — use the per-query entry points, which
+    /// dispatch to Gaussian conditioning or likelihood weighting.
+    pub fn compile(&self) -> Result<CompiledKert<'_>> {
+        CompiledKert::new(self)
+    }
+}
+
+impl<'m> CompiledKert<'m> {
+    fn new(model: &'m KertBn) -> Result<Self> {
+        if model.discretizer().is_none() {
+            return Err(CoreError::BadRequest(
+                "junction-tree compilation requires a discrete model".into(),
+            ));
+        }
+        let tree = JunctionTree::compile(model.network())?;
+        let state = tree.new_state();
+        Ok(CompiledKert { model, tree, state })
+    }
+
+    /// The model this engine was compiled from.
+    pub fn model(&self) -> &'m KertBn {
+        self.model
+    }
+
+    /// Induced width of the compiled tree (largest clique size minus
+    /// one) — the quantity that governs per-query cost.
+    pub fn width(&self) -> usize {
+        self.tree.width()
+    }
+
+    fn disc(&self) -> &'m Discretizer {
+        self.model.discretizer().expect("checked at compile")
+    }
+
+    /// Replace the current evidence set with `evidence` (raw measurement
+    /// values, binned through the model's discretizer). Entry order is
+    /// deterministic (sorted by node) so repeated calls with permuted
+    /// slices propagate identically.
+    pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
+        self.tree.clear_evidence(&mut self.state)?;
+        let disc = self.disc();
+        let mut pins: Vec<(usize, usize)> = evidence
+            .iter()
+            .map(|&(node, value)| {
+                if node >= self.model.network().len() {
+                    return Err(CoreError::BadRequest(format!("no evidence node {node}")));
+                }
+                Ok((node, disc.column(node).state(value)))
+            })
+            .collect::<Result<_>>()?;
+        pins.sort_unstable();
+        for (node, s) in pins {
+            self.tree.set_evidence(&mut self.state, node, s)?;
+        }
+        Ok(())
+    }
+
+    /// Posterior of `target` under the evidence currently entered.
+    pub fn posterior(&mut self, target: usize) -> Result<Posterior> {
+        if target >= self.model.network().len() {
+            return Err(CoreError::BadRequest(format!("no node {target}")));
+        }
+        let probs = self.tree.marginal(&mut self.state, target)?;
+        Ok(discrete_posterior(self.disc(), target, probs))
+    }
+
+    /// Batched dComp: prior and posterior of every `target` given one
+    /// shared evidence set. Equivalent to calling [`crate::dcomp::dcomp`]
+    /// per target, but the network is compiled once, the observed evidence
+    /// is propagated once, and the per-target work is a single collect pass
+    /// toward each target's home clique.
+    pub fn dcomp_all(
+        &mut self,
+        observed: &[(usize, f64)],
+        targets: &[usize],
+    ) -> Result<Vec<DCompOutcome>> {
+        for &target in targets {
+            check_query(self.model.network(), observed, target)?;
+        }
+        self.set_evidence(&[])?;
+        let priors: Vec<Posterior> = targets
+            .iter()
+            .map(|&t| self.posterior(t))
+            .collect::<Result<_>>()?;
+        self.set_evidence(observed)?;
+        targets
+            .iter()
+            .zip(priors)
+            .map(|(&target, prior)| {
+                Ok(DCompOutcome {
+                    target,
+                    prior,
+                    posterior: self.posterior(target)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Batched pAccel: one projection per `(service, predicted_elapsed)`
+    /// candidate against a single shared prior. Between candidates only
+    /// the service's own pin changes, so each projection re-propagates
+    /// just the affected subtree.
+    pub fn paccel_batch(&mut self, candidates: &[(usize, f64)]) -> Result<Vec<PAccelOutcome>> {
+        let d_node = self.model.d_node();
+        for &(service, value) in candidates {
+            check_query(self.model.network(), &[(service, value)], d_node)?;
+        }
+        self.set_evidence(&[])?;
+        let prior_d = self.posterior(d_node)?;
+        let degraded = self.model.is_degraded();
+        candidates
+            .iter()
+            .map(|&(service, predicted_elapsed)| {
+                let s = self.disc().column(service).state(predicted_elapsed);
+                self.tree.set_evidence(&mut self.state, service, s)?;
+                let projected_d = self.posterior(d_node)?;
+                self.tree.retract_evidence(&mut self.state, service)?;
+                Ok(PAccelOutcome {
+                    service,
+                    predicted_elapsed,
+                    prior_d: prior_d.clone(),
+                    projected_d,
+                    degraded,
+                })
+            })
+            .collect()
+    }
+
+    /// `P(D > h | evidence)` for every threshold in `thresholds`: one
+    /// posterior query, many exceedance reads.
+    pub fn violation_sweep(
+        &mut self,
+        evidence: &[(usize, f64)],
+        thresholds: &[f64],
+    ) -> Result<Vec<f64>> {
+        let d_node = self.model.d_node();
+        check_query(self.model.network(), evidence, d_node)?;
+        self.set_evidence(evidence)?;
+        let posterior = self.posterior(d_node)?;
+        Ok(thresholds
+            .iter()
+            .map(|&h| posterior.exceedance(h))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcomp::dcomp;
+    use crate::kert::{ContinuousKertOptions, DiscreteKertOptions};
+    use crate::paccel::paccel_model;
+    use crate::posterior::McOptions;
+    use crate::violation::assess_violation;
+    use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem};
+    use kert_workflow::{derive_structure, ediamond_workflow, ResourceMap, WorkflowKnowledge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rows: usize, seed: u64) -> (WorkflowKnowledge, kert_bayes::Dataset) {
+        let wf = ediamond_workflow();
+        let knowledge = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
+        let means = [0.05, 0.05, 0.04, 0.35, 0.04, 0.10];
+        let stations = means
+            .iter()
+            .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+            .collect();
+        let mut sys = SimSystem::new(
+            &wf,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 0.5 },
+                warmup: 50,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(rows, &mut rng);
+        (knowledge, trace.to_dataset(None))
+    }
+
+    fn discrete_model() -> KertBn {
+        let (knowledge, data) = setup(600, 61);
+        KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn dcomp_all_matches_per_query_dcomp() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        let observed = vec![(0usize, 0.05), (1, 0.06), (6, 0.6)];
+        let targets = [2usize, 3, 4];
+        let batch = compiled.dcomp_all(&observed, &targets).unwrap();
+        assert_eq!(batch.len(), targets.len());
+        let mut rng = StdRng::seed_from_u64(5);
+        for out in &batch {
+            let single = dcomp(
+                model.network(),
+                model.discretizer(),
+                &observed,
+                out.target,
+                McOptions::default(),
+                &mut rng,
+            )
+            .unwrap();
+            assert!((out.prior.mean() - single.prior.mean()).abs() < 1e-9);
+            assert!((out.posterior.mean() - single.posterior.mean()).abs() < 1e-9);
+            assert!((out.posterior.variance() - single.posterior.variance()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paccel_batch_matches_paccel_model() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        let candidates = vec![(3usize, 0.3), (0, 0.04), (3, 0.2)];
+        let batch = compiled.paccel_batch(&candidates).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for (out, &(service, pred)) in batch.iter().zip(&candidates) {
+            let single =
+                paccel_model(&model, service, pred, McOptions::default(), &mut rng).unwrap();
+            assert_eq!(out.service, service);
+            assert!((out.prior_d.mean() - single.prior_d.mean()).abs() < 1e-9);
+            assert!((out.projected_d.mean() - single.projected_d.mean()).abs() < 1e-9);
+            assert_eq!(out.degraded, single.degraded);
+        }
+    }
+
+    #[test]
+    fn violation_sweep_matches_assess_violation() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        let evidence = vec![(3usize, 0.4)];
+        let thresholds = [0.4, 0.6, 0.8];
+        let probs = compiled.violation_sweep(&evidence, &thresholds).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for (&h, &p) in thresholds.iter().zip(&probs) {
+            let single =
+                assess_violation(&model, &evidence, h, McOptions::default(), &mut rng).unwrap();
+            assert!((p - single.probability).abs() < 1e-9, "h={h}");
+        }
+    }
+
+    #[test]
+    fn evidence_is_order_insensitive_and_resettable() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        compiled.set_evidence(&[(0, 0.05), (1, 0.06)]).unwrap();
+        let a = compiled.posterior(6).unwrap();
+        compiled.set_evidence(&[(1, 0.06), (0, 0.05)]).unwrap();
+        let b = compiled.posterior(6).unwrap();
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        // Clearing restores the prior.
+        compiled.set_evidence(&[]).unwrap();
+        let prior = compiled.posterior(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let fresh = crate::posterior::query_posterior(
+            model.network(),
+            model.discretizer(),
+            &[],
+            6,
+            McOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!((prior.mean() - fresh.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_models_are_rejected() {
+        let (knowledge, data) = setup(300, 62);
+        let model =
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap();
+        assert!(matches!(model.compile(), Err(CoreError::BadRequest(_))));
+    }
+
+    #[test]
+    fn invalid_queries_are_reported() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        assert!(compiled.posterior(99).is_err());
+        assert!(compiled.set_evidence(&[(99, 1.0)]).is_err());
+        // Target also observed.
+        assert!(compiled.dcomp_all(&[(2, 0.05)], &[2]).is_err());
+        assert!(compiled.paccel_batch(&[(6, 0.5)]).is_err());
+    }
+}

@@ -13,6 +13,7 @@ use kert_bayes::discretize::Discretizer;
 use kert_bayes::BayesianNetwork;
 use rand::Rng;
 
+use crate::kert::KertBn;
 use crate::posterior::{query_posterior, query_posterior_via, Engine, McOptions, Posterior};
 use crate::Result;
 
@@ -62,6 +63,36 @@ pub fn dcomp<R: Rng + ?Sized>(
         prior,
         posterior,
     })
+}
+
+/// Batched dComp: prior and posterior of every `target` under one shared
+/// evidence set. Discrete models compile the network into a junction tree
+/// once ([`crate::compiled::CompiledKert`]) and answer every query off the
+/// calibrated tree; continuous models fall back to one [`dcomp`] per
+/// target, preserving that path's semantics (and RNG stream) exactly.
+pub fn dcomp_all<R: Rng + ?Sized>(
+    model: &KertBn,
+    observed: &[(usize, f64)],
+    targets: &[usize],
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Vec<DCompOutcome>> {
+    if model.discretizer().is_some() {
+        return model.compile()?.dcomp_all(observed, targets);
+    }
+    targets
+        .iter()
+        .map(|&target| {
+            dcomp(
+                model.network(),
+                model.discretizer(),
+                observed,
+                target,
+                mc,
+                rng,
+            )
+        })
+        .collect()
 }
 
 /// [`dcomp`] with the inference engine pinned — the oracle-comparable

@@ -16,6 +16,9 @@
 //! * [`posterior`] — unified posterior queries over either model family
 //!   (exact Gaussian conditioning, discrete variable elimination, or
 //!   likelihood weighting for nonlinear continuous nets).
+//! * [`compiled`] — compile-once junction-tree engine for discrete models:
+//!   batched dComp/pAccel/violation queries with incremental evidence over
+//!   one calibrated tree.
 //! * [`dcomp`] — **dComp**: estimate an unobservable service's elapsed-time
 //!   distribution from the observable services (§5.1).
 //! * [`paccel`] — **pAccel**: project the end-to-end response-time
@@ -29,6 +32,7 @@
 //!   families (what Figures 3–5 plot).
 
 pub mod autonomic;
+pub mod compiled;
 pub mod dcomp;
 pub mod kert;
 pub mod nrt;
@@ -39,18 +43,19 @@ pub mod report;
 pub mod violation;
 
 pub use autonomic::{compensate_degraded, Compensation};
-pub use dcomp::{dcomp, dcomp_via, DCompOutcome};
+pub use compiled::CompiledKert;
+pub use dcomp::{dcomp, dcomp_all, dcomp_via, DCompOutcome};
 pub use kert::{
     ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning, ResilientKertOptions,
 };
 pub use nrt::{NrtBn, NrtOptions};
-pub use paccel::{paccel, paccel_model, paccel_via, PAccelOutcome};
+pub use paccel::{paccel, paccel_candidates, paccel_model, paccel_via, PAccelOutcome};
 pub use persist::{ModelKind, SavedModel};
 pub use posterior::{query_posterior, query_posterior_via, shifted_posterior, Engine, Posterior};
 pub use report::BuildReport;
 pub use violation::{
-    assess_violation, empirical_violation_probability, relative_violation_error,
-    violation_probability_via, ViolationAssessment,
+    assess_violation, assess_violation_sweep, empirical_violation_probability,
+    relative_violation_error, violation_probability_via, ViolationAssessment,
 };
 
 /// Errors from model construction and application routines.

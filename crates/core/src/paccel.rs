@@ -127,6 +127,27 @@ pub fn paccel_model<R: Rng + ?Sized>(
     Ok(outcome)
 }
 
+/// Batched pAccel: one projection per `(service, predicted_elapsed)`
+/// candidate — the form the autonomic planner consumes when ranking
+/// acceleration actions. Discrete models run all candidates over one
+/// compiled junction tree ([`crate::compiled::CompiledKert`]), sharing the
+/// prior and re-propagating only each candidate's pin; continuous models
+/// fall back to one [`paccel_model`] call per candidate.
+pub fn paccel_candidates<R: Rng + ?Sized>(
+    model: &crate::kert::KertBn,
+    candidates: &[(usize, f64)],
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Vec<PAccelOutcome>> {
+    if model.discretizer().is_some() {
+        return model.compile()?.paccel_batch(candidates);
+    }
+    candidates
+        .iter()
+        .map(|&(service, predicted)| paccel_model(model, service, predicted, mc, rng))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -291,6 +291,11 @@ pub enum Engine {
     /// The pre-optimization greedy-ordering VE over the naive factor
     /// kernels (discrete models only).
     NaiveVariableElimination,
+    /// Compiled junction-tree propagation (discrete models only): moralize,
+    /// triangulate with min-fill, calibrate by Shafer-Shenoy message
+    /// passing, read the marginal off the target's home clique. Exact, and
+    /// the batched engine behind [`crate::compiled::CompiledKert`].
+    JunctionTree,
     /// Multi-chain Gibbs sampling (discrete models only); deterministic
     /// per `base_seed`.
     Gibbs {
@@ -307,7 +312,11 @@ pub enum Engine {
     LikelihoodWeighting,
 }
 
-fn check_query(network: &BayesianNetwork, evidence: &[(usize, f64)], target: usize) -> Result<()> {
+pub(crate) fn check_query(
+    network: &BayesianNetwork,
+    evidence: &[(usize, f64)],
+    target: usize,
+) -> Result<()> {
     if target >= network.len() {
         return Err(CoreError::BadRequest(format!("no node {target}")));
     }
@@ -335,7 +344,7 @@ fn binned_evidence(disc: &Discretizer, evidence: &[(usize, f64)]) -> ve::Evidenc
 
 /// Wrap a VE/Gibbs probability vector as a [`Posterior::Discrete`] over
 /// the target's bin representatives.
-fn discrete_posterior(disc: &Discretizer, target: usize, probs: Vec<f64>) -> Posterior {
+pub(crate) fn discrete_posterior(disc: &Discretizer, target: usize, probs: Vec<f64>) -> Posterior {
     let column = disc.column(target);
     let support = column.midpoints.clone();
     let bounds = (0..column.bins()).map(|s| column.bounds(s)).collect();
@@ -382,6 +391,20 @@ pub fn query_posterior_via<R: Rng + ?Sized>(
             let disc = need_disc(discretizer)?;
             let ev = binned_evidence(disc, evidence);
             let probs = ve::naive::posterior_marginal(network, target, &ev)?;
+            Ok(discrete_posterior(disc, target, probs))
+        }
+        Engine::JunctionTree => {
+            let disc = need_disc(discretizer)?;
+            let ev = binned_evidence(disc, evidence);
+            let tree = kert_bayes::compile::JunctionTree::compile(network)?;
+            let mut state = tree.new_state();
+            // Deterministic entry order regardless of HashMap iteration.
+            let mut pins: Vec<(usize, usize)> = ev.iter().map(|(&n, &s)| (n, s)).collect();
+            pins.sort_unstable();
+            for (node, s) in pins {
+                tree.set_evidence(&mut state, node, s)?;
+            }
+            let probs = tree.marginal(&mut state, target)?;
             Ok(discrete_posterior(disc, target, probs))
         }
         Engine::Gibbs {

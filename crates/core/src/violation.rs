@@ -58,6 +58,47 @@ pub fn assess_violation<R: Rng + ?Sized>(
     })
 }
 
+/// [`assess_violation`] across a whole threshold sweep with one posterior
+/// query. Discrete models answer through a compiled junction tree
+/// ([`crate::compiled::CompiledKert`]); continuous models run one
+/// [`query_posterior`] and read every threshold's exceedance off it.
+pub fn assess_violation_sweep<R: Rng + ?Sized>(
+    model: &KertBn,
+    evidence: &[(usize, f64)],
+    thresholds: &[f64],
+    mc: McOptions,
+    rng: &mut R,
+) -> Result<Vec<ViolationAssessment>> {
+    let probs: Vec<f64> = if model.discretizer().is_some() {
+        model.compile()?.violation_sweep(evidence, thresholds)?
+    } else {
+        let posterior = query_posterior(
+            model.network(),
+            model.discretizer(),
+            evidence,
+            model.d_node(),
+            mc,
+            rng,
+        )?;
+        thresholds
+            .iter()
+            .map(|&h| posterior.exceedance(h))
+            .collect()
+    };
+    let degraded = model.is_degraded();
+    let degraded_services = model.degraded_services();
+    Ok(thresholds
+        .iter()
+        .zip(probs)
+        .map(|(&threshold, probability)| ViolationAssessment {
+            threshold,
+            probability,
+            degraded,
+            degraded_services: degraded_services.clone(),
+        })
+        .collect())
+}
+
 /// `P(target > threshold | evidence)` with the inference engine pinned —
 /// the oracle-comparable entry point the conformance crate drives each
 /// fast path through. Unlike [`assess_violation`] it takes the network
