@@ -12,6 +12,14 @@
 use kert_bayes::Dataset;
 use kert_sim::{AgentReport, Delivery, FaultEvent, FaultInjector, MonitoringAgent, Trace};
 
+// Collection-path telemetry: every fetch attempt, retransmission, and
+// simulated window spent waiting (backoff + accepted straggle). Crash
+// short-circuits count separately because they end a collection outright.
+static OBS_FETCHES: kert_obs::Counter = kert_obs::Counter::new("agents.collect.fetches");
+static OBS_RETRIES: kert_obs::Counter = kert_obs::Counter::new("agents.collect.retries");
+static OBS_WAITED: kert_obs::Counter = kert_obs::Counter::new("agents.collect.waited_windows");
+static OBS_CRASH_ABORTS: kert_obs::Counter = kert_obs::Counter::new("agents.collect.crash_aborts");
+
 /// Where the server gets its per-agent window reports from.
 ///
 /// Abstracting the source keeps the self-healing learner testable: tests
@@ -131,6 +139,7 @@ pub fn collect_report(
 ) -> (Option<AgentReport>, CollectStats) {
     let mut stats = CollectStats::default();
     for attempt in 0..=policy.max_retries {
+        OBS_FETCHES.incr();
         let (delivery, events) = source.fetch(agent, window, attempt);
         let crashed = events.contains(&FaultEvent::Crashed);
         stats.faults.extend(events);
@@ -138,16 +147,20 @@ pub fn collect_report(
             Delivery::Delivered(report) => return (Some(report), stats),
             Delivery::Delayed { windows, report } if windows <= policy.patience_windows => {
                 stats.waited_windows += windows;
+                OBS_WAITED.add(windows as u64);
                 return (Some(report), stats);
             }
             Delivery::Delayed { .. } | Delivery::Missing => {
                 if crashed {
                     // A crashed agent never answers; retrying is pointless.
+                    OBS_CRASH_ABORTS.incr();
                     return (None, stats);
                 }
                 if attempt < policy.max_retries {
                     stats.retries += 1;
                     stats.waited_windows += 1 << attempt;
+                    OBS_RETRIES.incr();
+                    OBS_WAITED.add(1 << attempt);
                 }
             }
         }

@@ -36,8 +36,9 @@ pub use collect::{
 pub use health::{CpdSource, ModelHealth, NodeHealth};
 pub use local::{fit_node_from_local, LocalDataset};
 pub use runtime::{
-    centralized_learn, decentralized_learn, resilient_decentralized_learn, CentralizedResult,
-    CpdCache, DecentralizedResult, LearnOptions, PriorSpec, ResilientOptions, ResilientResult,
+    centralized_learn, decentralized_learn, publish_health_gauges, resilient_decentralized_learn,
+    CentralizedResult, CpdCache, DecentralizedResult, LearnOptions, PriorSpec, ResilientOptions,
+    ResilientResult,
 };
 pub use scheduler::{CumulativeUpdater, ModelSchedule, ReconstructionWindow};
 

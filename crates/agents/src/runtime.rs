@@ -22,6 +22,18 @@ use crate::health::{CpdSource, ModelHealth, NodeHealth};
 use crate::local::{fit_node_from_local, LocalDataset};
 use crate::{AgentError, Result};
 
+// Learning-runtime telemetry. The fallback-ladder counters are the
+// self-healing story in three numbers: how many nodes this process has
+// landed on each rung since startup. The seeded-fleet determinism test
+// diffs them across a run and checks they match `ModelHealth` exactly.
+static OBS_LEARN_RUNS: kert_obs::Counter = kert_obs::Counter::new("agents.learn.runs");
+static OBS_LEARN_NODES: kert_obs::Counter = kert_obs::Counter::new("agents.learn.nodes");
+static OBS_NODE_LEARN: kert_obs::Histogram = kert_obs::Histogram::new("agents.node_learn");
+static OBS_LADDER_FRESH: kert_obs::Counter = kert_obs::Counter::new("agents.ladder.fresh");
+static OBS_LADDER_STALE: kert_obs::Counter = kert_obs::Counter::new("agents.ladder.stale");
+static OBS_LADDER_PRIOR: kert_obs::Counter = kert_obs::Counter::new("agents.ladder.prior");
+static OBS_ROWS_DROPPED: kert_obs::Counter = kert_obs::Counter::new("agents.rows_dropped");
+
 /// Per-task result cell: the learned CPD and how long the fit took.
 type TaskCell = Mutex<Option<Result<(Cpd, Duration)>>>;
 
@@ -97,6 +109,8 @@ pub fn decentralized_learn(
     locals: &[LocalDataset],
     options: LearnOptions,
 ) -> Result<DecentralizedResult> {
+    OBS_LEARN_RUNS.incr();
+    let _span = kert_obs::span("agents.decentralized_learn");
     let n = locals.len();
     let workers = options
         .workers
@@ -141,6 +155,10 @@ pub fn decentralized_learn(
         })??;
         cpds.push(cpd);
         node_times.push(t);
+    }
+    OBS_LEARN_NODES.add(n as u64);
+    for t in &node_times {
+        OBS_NODE_LEARN.record(t.as_nanos() as u64);
     }
     let decentralized_time = node_times.iter().copied().max().unwrap_or_default();
     Ok(DecentralizedResult {
@@ -320,6 +338,7 @@ pub fn resilient_decentralized_learn(
     cache: &mut CpdCache,
     options: &ResilientOptions,
 ) -> Result<ResilientResult> {
+    let _span = kert_obs::span("agents.resilient_learn");
     let n = dag.len();
     if source.n_agents() < n {
         return Err(AgentError::BadLocalData(format!(
@@ -364,6 +383,25 @@ pub fn resilient_decentralized_learn(
                 ),
             },
         };
+        let (rung_counter, rung_name) = match source_kind {
+            CpdSource::Fresh => (&OBS_LADDER_FRESH, "fresh"),
+            CpdSource::Stale { .. } => (&OBS_LADDER_STALE, "stale"),
+            CpdSource::Prior => (&OBS_LADDER_PRIOR, "prior"),
+        };
+        rung_counter.incr();
+        OBS_ROWS_DROPPED.add(rows_dropped as u64);
+        if kert_obs::jsonl_enabled() {
+            kert_obs::event(
+                "agents.ladder",
+                rows_used as f64,
+                &[
+                    ("node", &node.to_string()),
+                    ("rung", rung_name),
+                    ("window", &window.to_string()),
+                    ("retries", &stats.retries.to_string()),
+                ],
+            );
+        }
         cpds.push(cpd);
         nodes.push(NodeHealth {
             node,
@@ -375,10 +413,43 @@ pub fn resilient_decentralized_learn(
         });
     }
     cache.tick();
-    Ok(ResilientResult {
-        cpds,
-        health: ModelHealth { window, nodes },
-    })
+    let health = ModelHealth { window, nodes };
+    publish_health_gauges(&health);
+    Ok(ResilientResult { cpds, health })
+}
+
+/// Surface a [`ModelHealth`] report on the telemetry registry: fleet-level
+/// gauges plus one `agents.node_health{node=…}` gauge per node encoding
+/// the ladder rung (0 = fresh, 1 = stale, 2 = prior). Gauges show the
+/// *latest* rebuild; the `agents.ladder.*` counters accumulate history.
+pub fn publish_health_gauges(health: &ModelHealth) {
+    if !kert_obs::enabled() {
+        return;
+    }
+    kert_obs::set_gauge(
+        "agents.model_health.fresh_fraction",
+        health.fresh_fraction(),
+    );
+    kert_obs::set_gauge(
+        "agents.model_health.degraded",
+        f64::from(u8::from(health.is_degraded())),
+    );
+    kert_obs::set_gauge(
+        "agents.model_health.total_faults",
+        health.total_faults() as f64,
+    );
+    for node in &health.nodes {
+        let rung = match node.source {
+            CpdSource::Fresh => 0.0,
+            CpdSource::Stale { .. } => 1.0,
+            CpdSource::Prior => 2.0,
+        };
+        kert_obs::set_gauge_labeled(
+            "agents.node_health",
+            &[("node", &node.node.to_string())],
+            rung,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,173 @@
+//! Fallback-ladder telemetry determinism.
+//!
+//! The `agents.ladder.*` counters are the observable form of the
+//! self-healing story, so they must be *exactly* as trustworthy as the
+//! [`ModelHealth`] report: a seeded [`FaultyFleet`] run has to produce
+//! precisely the fresh/stale/prior transition counts the ladder reports,
+//! and two runs with the same `KERT_FAULT_SEED` must be bitwise
+//! identical. This lives in its own integration-test binary so the
+//! process-global registry sees no other traffic; the tests still
+//! serialize on a local mutex because `cargo test` runs them on threads.
+
+use std::sync::Mutex;
+
+use kert_agents::runtime::{resilient_decentralized_learn, CpdCache, ResilientOptions};
+use kert_agents::FaultyFleet;
+use kert_bayes::{Dag, Variable};
+use kert_obs::ObsMode;
+use kert_sim::trace::TraceRow;
+use kert_sim::{FaultInjector, FaultPlan, MonitoringAgent, Trace};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const N: usize = 4;
+const WINDOWS: usize = 2;
+const ROWS: usize = 24;
+
+fn seed() -> u64 {
+    std::env::var("KERT_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A 4-service chain with deterministic, non-collinear elapsed times.
+fn environment() -> (Vec<Variable>, Dag, Vec<MonitoringAgent>, Vec<Trace>) {
+    let variables: Vec<Variable> = (0..N)
+        .map(|s| Variable::continuous(format!("X{}", s + 1)))
+        .collect();
+    let mut dag = Dag::new(N);
+    for s in 1..N {
+        dag.add_edge(s - 1, s).unwrap();
+    }
+    let agents: Vec<MonitoringAgent> = (0..N)
+        .map(|s| MonitoringAgent::new(s, if s == 0 { vec![] } else { vec![s - 1] }))
+        .collect();
+    let mut trace = Trace::new(N);
+    for i in 0..(WINDOWS * ROWS) {
+        // Deterministic wiggle keeps per-column variance nonzero so the
+        // linear-Gaussian fits succeed on every healthy window.
+        let elapsed: Vec<f64> = (0..N)
+            .map(|s| 0.1 * (s + 1) as f64 + 0.01 * ((i * 7 + s * 13) % 11) as f64)
+            .collect();
+        trace.push(TraceRow {
+            completed_at: i as f64,
+            elapsed,
+            response_time: 1.0,
+            resources: Vec::new(),
+        });
+    }
+    (variables, dag, agents, trace.windows(ROWS))
+}
+
+/// Plans that walk every ladder rung by window 1: agents 0/1 healthy
+/// (fresh), agent 2 crashes at window 1 (fresh → stale with a warm
+/// cache), agent 3 dead from the start (prior — cache never warms).
+fn injector() -> FaultInjector {
+    let mut plans = vec![FaultPlan::healthy(); N];
+    plans[2] = FaultPlan::crash_at(1);
+    plans[3] = FaultPlan::crash_at(0);
+    FaultInjector::new(seed(), plans).unwrap()
+}
+
+/// One full rebuild sequence; returns the summed health counts and the
+/// counter deltas the run produced.
+fn run_once() -> ((usize, usize, usize), Vec<(String, u64)>) {
+    let (variables, dag, agents, windows) = environment();
+    let injector = injector();
+    let before = kert_obs::snapshot();
+    let mut cache = CpdCache::new(N);
+    let mut totals = (0usize, 0usize, 0usize);
+    for window in 0..WINDOWS {
+        let mut fleet = FaultyFleet::new(&agents, &windows, &injector);
+        let result = resilient_decentralized_learn(
+            &variables,
+            &dag,
+            &mut fleet,
+            window,
+            &mut cache,
+            &ResilientOptions::default(),
+        )
+        .expect("resilient learning always yields a model");
+        let (f, s, p) = result.health.source_counts();
+        totals.0 += f;
+        totals.1 += s;
+        totals.2 += p;
+    }
+    let after = kert_obs::snapshot();
+    (totals, after.counters_since(&before))
+}
+
+fn delta(deltas: &[(String, u64)], name: &str) -> u64 {
+    deltas
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, d)| *d)
+        .unwrap_or(0)
+}
+
+#[test]
+fn ladder_counters_match_model_health_exactly() {
+    let _g = TEST_LOCK.lock().unwrap();
+    kert_obs::set_mode(ObsMode::Metrics);
+    let (health_counts, deltas) = run_once();
+
+    // The plan exercises all three rungs.
+    assert!(health_counts.0 > 0 && health_counts.1 > 0 && health_counts.2 > 0);
+    // Counter deltas must agree with the health report, transition for
+    // transition.
+    assert_eq!(
+        delta(&deltas, "agents.ladder.fresh"),
+        health_counts.0 as u64
+    );
+    assert_eq!(
+        delta(&deltas, "agents.ladder.stale"),
+        health_counts.1 as u64
+    );
+    assert_eq!(
+        delta(&deltas, "agents.ladder.prior"),
+        health_counts.2 as u64
+    );
+    // Every node is classified exactly once per window.
+    assert_eq!(
+        health_counts.0 + health_counts.1 + health_counts.2,
+        N * WINDOWS
+    );
+    // Crashed deliveries were observed (agent 3 both windows, agent 2 in
+    // window 1 — retries excluded because a crash short-circuits them).
+    assert_eq!(delta(&deltas, "sim.faults.crashed"), 3);
+    assert_eq!(delta(&deltas, "agents.collect.crash_aborts"), 3);
+    kert_obs::set_mode(ObsMode::Disabled);
+}
+
+#[test]
+fn seeded_runs_are_bitwise_deterministic() {
+    let _g = TEST_LOCK.lock().unwrap();
+    kert_obs::set_mode(ObsMode::Metrics);
+    let (health_a, deltas_a) = run_once();
+    let (health_b, deltas_b) = run_once();
+    assert_eq!(health_a, health_b);
+    assert_eq!(
+        deltas_a, deltas_b,
+        "same KERT_FAULT_SEED must reproduce every counter delta bitwise"
+    );
+    kert_obs::set_mode(ObsMode::Disabled);
+}
+
+#[test]
+fn health_gauges_reflect_the_latest_rebuild() {
+    let _g = TEST_LOCK.lock().unwrap();
+    kert_obs::set_mode(ObsMode::Metrics);
+    let (_, _) = run_once();
+    let snap = kert_obs::snapshot();
+    // Window 1 (the last published): fresh 2, stale 1, prior 1 of 4.
+    let fresh_fraction = snap
+        .gauge("agents.model_health.fresh_fraction")
+        .expect("gauge published");
+    assert!((fresh_fraction - 0.5).abs() < 1e-12, "{fresh_fraction}");
+    assert_eq!(snap.gauge("agents.model_health.degraded"), Some(1.0));
+    // Ladder rung encoding: agent 2 stale (1), agent 3 prior (2).
+    assert_eq!(snap.gauge("agents_node_health{node=\"2\"}"), Some(1.0));
+    assert_eq!(snap.gauge("agents_node_health{node=\"3\"}"), Some(2.0));
+    kert_obs::set_mode(ObsMode::Disabled);
+}

@@ -31,6 +31,23 @@ use crate::infer::ve::{elimination_ordering, EliminationHeuristic};
 use crate::network::BayesianNetwork;
 use crate::{BayesError, Result};
 
+// Junction-tree telemetry. The compile/calibrate/incremental message split
+// is the number the paper's steady-state argument rests on: once the tree
+// is calibrated, an evidence churn should recompute only the affected
+// subtree, and `jt.messages.incremental` vs `jt.messages.calibrate` makes
+// that visible without instrumenting callers.
+static OBS_JT_COMPILES: kert_obs::Counter = kert_obs::Counter::new("bayes.jt.compiles");
+static OBS_JT_MARGINALS: kert_obs::Counter = kert_obs::Counter::new("bayes.jt.marginals");
+static OBS_JT_EVIDENCE_SET: kert_obs::Counter = kert_obs::Counter::new("bayes.jt.evidence_set");
+static OBS_JT_EVIDENCE_RETRACT: kert_obs::Counter =
+    kert_obs::Counter::new("bayes.jt.evidence_retract");
+static OBS_JT_MSGS_INVALIDATED: kert_obs::Counter =
+    kert_obs::Counter::new("bayes.jt.messages.invalidated");
+static OBS_JT_MSGS_CALIBRATE: kert_obs::Counter =
+    kert_obs::Counter::new("bayes.jt.messages.calibrate");
+static OBS_JT_MSGS_INCREMENTAL: kert_obs::Counter =
+    kert_obs::Counter::new("bayes.jt.messages.incremental");
+
 /// An undirected edge of the clique tree with its separator scope.
 #[derive(Debug, Clone)]
 struct TreeEdge {
@@ -135,6 +152,8 @@ impl JunctionTree {
     /// spanning forest over separator sizes, which satisfies the running
     /// intersection property on a triangulated graph.
     pub fn compile(network: &BayesianNetwork) -> Result<Self> {
+        OBS_JT_COMPILES.incr();
+        let _span = kert_obs::span("jt.compile");
         let n = network.len();
         let cards: Vec<usize> = network
             .variables()
@@ -335,6 +354,7 @@ impl JunctionTree {
         if st.evidence[node] == Some(state) {
             return Ok(());
         }
+        OBS_JT_EVIDENCE_SET.incr();
         st.evidence[node] = Some(state);
         self.refresh_clique(st, self.node_home[node]);
         Ok(())
@@ -347,6 +367,7 @@ impl JunctionTree {
             return Err(BayesError::InvalidNode(node));
         }
         if st.evidence[node].take().is_some() {
+            OBS_JT_EVIDENCE_RETRACT.incr();
             self.refresh_clique(st, self.node_home[node]);
         }
         Ok(())
@@ -359,6 +380,7 @@ impl JunctionTree {
             .filter(|&v| st.evidence[v].is_some())
             .map(|v| self.node_home[v])
             .collect();
+        OBS_JT_EVIDENCE_RETRACT.add(st.evidence.iter().filter(|e| e.is_some()).count() as u64);
         st.evidence.fill(None);
         for c in homes {
             self.refresh_clique(st, c);
@@ -409,6 +431,7 @@ impl JunctionTree {
     /// computes a message after all the messages it depends on, so an
     /// invalid message implies everything downstream of it is invalid too.
     fn invalidate_from(&self, st: &mut JtState, c: usize) {
+        let mut invalidated = 0u64;
         let mut stack: Vec<(usize, usize)> = vec![(c, usize::MAX)];
         while let Some((i, from_edge)) = stack.pop() {
             for &Neighbor { clique: j, edge: e } in &self.neighbors[i] {
@@ -418,10 +441,12 @@ impl JunctionTree {
                 let mid = self.msg_id(e, i);
                 if let Some(msg) = st.messages[mid].take() {
                     st.ws.recycle(msg);
+                    invalidated += 1;
                     stack.push((j, e));
                 }
             }
         }
+        OBS_JT_MSGS_INVALIDATED.add(invalidated);
     }
 
     /// Ensure every message flowing toward clique `root` is valid,
@@ -447,6 +472,7 @@ impl JunctionTree {
             ws,
             ..
         } = st;
+        let mut computed = 0u64;
         for &(from, e) in order.iter().rev() {
             let mid = self.msg_id(e, from);
             if messages[mid].is_some() {
@@ -454,6 +480,17 @@ impl JunctionTree {
             }
             let msg = self.compute_message(potentials, messages, ws, from, e);
             messages[mid] = Some(msg);
+            computed += 1;
+        }
+        // A full collect pass (every toward-root message recomputed) is a
+        // calibration; anything less is incremental re-propagation after an
+        // evidence change.
+        if computed > 0 {
+            if computed as usize == order.len() {
+                OBS_JT_MSGS_CALIBRATE.add(computed);
+            } else {
+                OBS_JT_MSGS_INCREMENTAL.add(computed);
+            }
         }
     }
 
@@ -513,6 +550,8 @@ impl JunctionTree {
 
     /// [`JunctionTree::marginal`] writing into a caller buffer.
     pub fn marginal_into(&self, st: &mut JtState, target: usize, out: &mut Vec<f64>) -> Result<()> {
+        OBS_JT_MARGINALS.incr();
+        let _span = kert_obs::span("jt.marginal");
         self.check_state(st)?;
         if target >= self.cards.len() {
             return Err(BayesError::InvalidNode(target));

@@ -17,6 +17,15 @@
 use crate::cpd::{config_count, Cpd, DetNoise, PROB_FLOOR};
 use crate::{BayesError, Result};
 
+// Kernel-level telemetry (`kert-obs`): per-query factor work and workspace
+// pool effectiveness. Each increment costs one relaxed load when telemetry
+// is disabled, so the counters can sit directly in the hot kernels.
+static OBS_PRODUCTS: kert_obs::Counter = kert_obs::Counter::new("bayes.factor.products");
+static OBS_SUM_OUTS: kert_obs::Counter = kert_obs::Counter::new("bayes.factor.sum_outs");
+static OBS_REDUCES: kert_obs::Counter = kert_obs::Counter::new("bayes.factor.reduces");
+static OBS_WS_HITS: kert_obs::Counter = kert_obs::Counter::new("bayes.ws.pool_hits");
+static OBS_WS_MISSES: kert_obs::Counter = kert_obs::Counter::new("bayes.ws.pool_misses");
+
 /// Row-major strides for a cardinality vector, written into a reusable
 /// buffer: `out[p]` is how far the linear index moves when position `p`
 /// increments (last position fastest).
@@ -55,15 +64,31 @@ impl QueryWorkspace {
     }
 
     fn take_f64(&mut self) -> Vec<f64> {
-        let mut b = self.f64_pool.pop().unwrap_or_default();
-        b.clear();
-        b
+        match self.f64_pool.pop() {
+            Some(mut b) => {
+                OBS_WS_HITS.incr();
+                b.clear();
+                b
+            }
+            None => {
+                OBS_WS_MISSES.incr();
+                Vec::new()
+            }
+        }
     }
 
     fn take_usize(&mut self) -> Vec<usize> {
-        let mut b = self.usize_pool.pop().unwrap_or_default();
-        b.clear();
-        b
+        match self.usize_pool.pop() {
+            Some(mut b) => {
+                OBS_WS_HITS.incr();
+                b.clear();
+                b
+            }
+            None => {
+                OBS_WS_MISSES.incr();
+                Vec::new()
+            }
+        }
     }
 
     fn put_f64(&mut self, b: Vec<f64>) {
@@ -334,6 +359,7 @@ impl Factor {
     /// tables, odometer counters, output table) drawn from `ws` — identical
     /// arithmetic, zero allocation once the pool is warm.
     pub fn product_ws(&self, other: &Factor, ws: &mut QueryWorkspace) -> Factor {
+        OBS_PRODUCTS.incr();
         // Merge scopes.
         let mut vars = ws.take_usize();
         let mut cards = ws.take_usize();
@@ -431,6 +457,7 @@ impl Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone_using(ws);
         };
+        OBS_SUM_OUTS.incr();
         let mut vars = ws.take_usize();
         vars.extend_from_slice(&self.vars);
         vars.remove(pos);
@@ -484,6 +511,7 @@ impl Factor {
     pub fn sum_out_owned_ws(mut self, var: usize, ws: &mut QueryWorkspace) -> Factor {
         match self.vars.binary_search(&var) {
             Ok(0) => {
+                OBS_SUM_OUTS.incr();
                 self.vars.remove(0);
                 let removed_card = self.cards.remove(0);
                 let block = config_count(&self.cards);
@@ -519,6 +547,7 @@ impl Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone_using(ws);
         };
+        OBS_REDUCES.incr();
         let mut vars = ws.take_usize();
         vars.extend_from_slice(&self.vars);
         vars.remove(pos);

@@ -19,6 +19,18 @@ use crate::network::BayesianNetwork;
 use crate::special::log_sum_exp;
 use crate::{BayesError, Result};
 
+// Chain-health telemetry. Gibbs with exact blanket conditionals always
+// accepts, so the classical acceptance rate is replaced by the *move* rate:
+// the fraction of per-variable steps whose resample left the state changed.
+// A collapsing move rate flags a sticky chain long before the estimates
+// drift. Counts accumulate locally in the sweep loop and flush once per
+// run, keeping the hot loop free of atomics.
+static OBS_GIBBS_RUNS: kert_obs::Counter = kert_obs::Counter::new("bayes.gibbs.runs");
+static OBS_GIBBS_CHAINS: kert_obs::Counter = kert_obs::Counter::new("bayes.gibbs.chains");
+static OBS_GIBBS_SWEEPS: kert_obs::Counter = kert_obs::Counter::new("bayes.gibbs.sweeps");
+static OBS_GIBBS_STEPS: kert_obs::Counter = kert_obs::Counter::new("bayes.gibbs.steps");
+static OBS_GIBBS_MOVES: kert_obs::Counter = kert_obs::Counter::new("bayes.gibbs.moves");
+
 /// Options for a Gibbs run.
 #[derive(Debug, Clone, Copy)]
 pub struct GibbsOptions {
@@ -91,6 +103,11 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
     }
     let free: Vec<usize> = (0..n).filter(|i| !evidence.contains_key(i)).collect();
 
+    OBS_GIBBS_RUNS.incr();
+    let _span = kert_obs::span("gibbs.run");
+    let mut steps = 0u64;
+    let mut moves = 0u64;
+
     let mut counts = vec![0.0f64; cards[target]];
     let mut log_weights: Vec<f64> = Vec::new();
     let mut parent_buf: Vec<f64> = Vec::with_capacity(8);
@@ -98,6 +115,7 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
 
     for sweep in 0..total_sweeps {
         for &i in &free {
+            let prev = state[i];
             // Blanket conditional over the candidate states of node i.
             log_weights.clear();
             for s in 0..cards[i] {
@@ -129,11 +147,16 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
                 }
             }
             state[i] = chosen as f64;
+            steps += 1;
+            moves += u64::from(state[i] != prev);
         }
         if sweep >= options.burn_in && (sweep - options.burn_in).is_multiple_of(options.thin) {
             counts[state[target] as usize] += 1.0;
         }
     }
+    OBS_GIBBS_SWEEPS.add(total_sweeps as u64);
+    OBS_GIBBS_STEPS.add(steps);
+    OBS_GIBBS_MOVES.add(moves);
 
     let total: f64 = counts.iter().sum();
     if total <= 0.0 {
@@ -168,6 +191,7 @@ pub fn gibbs_posterior_chains(
     if chains == 0 {
         return Err(BayesError::InvalidData("gibbs needs chains ≥ 1".into()));
     }
+    OBS_GIBBS_CHAINS.add(chains as u64);
     // SplitMix64-style spread keeps per-chain seeds far apart even for
     // consecutive base seeds.
     let chain_seed = |chain: usize| {

@@ -17,6 +17,11 @@ use crate::infer::factor::{Factor, QueryWorkspace};
 use crate::network::BayesianNetwork;
 use crate::{BayesError, Result};
 
+// Query-level telemetry: one span + counter per VE posterior; the factor
+// kernels underneath count their own products/sum-outs.
+static OBS_VE_QUERIES: kert_obs::Counter = kert_obs::Counter::new("bayes.ve.queries");
+static OBS_VE_PRUNED_QUERIES: kert_obs::Counter = kert_obs::Counter::new("bayes.ve.pruned_queries");
+
 /// Evidence: observed node → observed state.
 pub type Evidence = HashMap<usize, usize>;
 
@@ -72,6 +77,8 @@ pub fn posterior_marginal_with_ws(
     heuristic: EliminationHeuristic,
     ws: &mut QueryWorkspace,
 ) -> Result<Vec<f64>> {
+    OBS_VE_QUERIES.incr();
+    let _span = kert_obs::span("ve.query");
     let n = network.len();
     if target >= n {
         return Err(BayesError::InvalidNode(target));
@@ -176,6 +183,8 @@ pub fn posterior_marginal_pruned_with_ws(
     heuristic: EliminationHeuristic,
     ws: &mut QueryWorkspace,
 ) -> Result<Vec<f64>> {
+    OBS_VE_PRUNED_QUERIES.incr();
+    let _span = kert_obs::span("ve.query_pruned");
     let n = network.len();
     if target >= n {
         return Err(BayesError::InvalidNode(target));

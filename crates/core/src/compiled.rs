@@ -24,6 +24,19 @@ use crate::paccel::PAccelOutcome;
 use crate::posterior::{check_query, discrete_posterior, Posterior};
 use crate::{CoreError, Result};
 
+// Facade telemetry: evidence churn (full replacements via `set_evidence`)
+// and batch sizes per autonomic entry point. Per-message propagation work
+// is counted one layer down in `kert_bayes::compile`.
+static OBS_COMPILES: kert_obs::Counter = kert_obs::Counter::new("core.compiled.builds");
+static OBS_EVIDENCE_SETS: kert_obs::Counter = kert_obs::Counter::new("core.compiled.evidence_sets");
+static OBS_EVIDENCE_PINS: kert_obs::Counter = kert_obs::Counter::new("core.compiled.evidence_pins");
+static OBS_POSTERIORS: kert_obs::Counter = kert_obs::Counter::new("core.compiled.posteriors");
+static OBS_DCOMP_TARGETS: kert_obs::Counter = kert_obs::Counter::new("core.compiled.dcomp_targets");
+static OBS_PACCEL_CANDIDATES: kert_obs::Counter =
+    kert_obs::Counter::new("core.compiled.paccel_candidates");
+static OBS_VIOLATION_THRESHOLDS: kert_obs::Counter =
+    kert_obs::Counter::new("core.compiled.violation_thresholds");
+
 /// A discrete [`KertBn`] compiled into a calibrated junction tree, with a
 /// mutable evidence state and reusable query workspace.
 ///
@@ -53,6 +66,7 @@ impl<'m> CompiledKert<'m> {
                 "junction-tree compilation requires a discrete model".into(),
             ));
         }
+        OBS_COMPILES.incr();
         let tree = JunctionTree::compile(model.network())?;
         let state = tree.new_state();
         Ok(CompiledKert { model, tree, state })
@@ -78,6 +92,8 @@ impl<'m> CompiledKert<'m> {
     /// deterministic (sorted by node) so repeated calls with permuted
     /// slices propagate identically.
     pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
+        OBS_EVIDENCE_SETS.incr();
+        OBS_EVIDENCE_PINS.add(evidence.len() as u64);
         self.tree.clear_evidence(&mut self.state)?;
         let disc = self.disc();
         let mut pins: Vec<(usize, usize)> = evidence
@@ -98,6 +114,7 @@ impl<'m> CompiledKert<'m> {
 
     /// Posterior of `target` under the evidence currently entered.
     pub fn posterior(&mut self, target: usize) -> Result<Posterior> {
+        OBS_POSTERIORS.incr();
         if target >= self.model.network().len() {
             return Err(CoreError::BadRequest(format!("no node {target}")));
         }
@@ -115,6 +132,8 @@ impl<'m> CompiledKert<'m> {
         observed: &[(usize, f64)],
         targets: &[usize],
     ) -> Result<Vec<DCompOutcome>> {
+        OBS_DCOMP_TARGETS.add(targets.len() as u64);
+        let _span = kert_obs::span("core.dcomp_all");
         for &target in targets {
             check_query(self.model.network(), observed, target)?;
         }
@@ -142,6 +161,8 @@ impl<'m> CompiledKert<'m> {
     /// the service's own pin changes, so each projection re-propagates
     /// just the affected subtree.
     pub fn paccel_batch(&mut self, candidates: &[(usize, f64)]) -> Result<Vec<PAccelOutcome>> {
+        OBS_PACCEL_CANDIDATES.add(candidates.len() as u64);
+        let _span = kert_obs::span("core.paccel_batch");
         let d_node = self.model.d_node();
         for &(service, value) in candidates {
             check_query(self.model.network(), &[(service, value)], d_node)?;
@@ -174,6 +195,8 @@ impl<'m> CompiledKert<'m> {
         evidence: &[(usize, f64)],
         thresholds: &[f64],
     ) -> Result<Vec<f64>> {
+        OBS_VIOLATION_THRESHOLDS.add(thresholds.len() as u64);
+        let _span = kert_obs::span("core.violation_sweep");
         let d_node = self.model.d_node();
         check_query(self.model.network(), evidence, d_node)?;
         self.set_evidence(evidence)?;

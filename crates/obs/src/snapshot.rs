@@ -1,0 +1,152 @@
+//! Point-in-time registry dumps.
+//!
+//! [`TelemetrySnapshot`] is the serializable form of the whole registry —
+//! the struct `kert-bench` embeds into `BENCH_perf.json` so committed perf
+//! numbers carry the counters that explain them, and the delta unit tests
+//! (e.g. the fallback-ladder determinism test) diff two snapshots around a
+//! run.
+
+use std::sync::atomic::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::with_registry;
+
+/// Serializable summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram (usually span) name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample seen.
+    pub max_ns: u64,
+    /// Approximate median (log₂-bucket midpoint).
+    pub p50_ns: f64,
+    /// Approximate 99th percentile (log₂-bucket midpoint).
+    pub p99_ns: f64,
+}
+
+/// The whole registry at one instant, in deterministic (sorted-name)
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge (labeled names keep
+    /// their `base{k="v"}` form).
+    pub gauges: Vec<(String, f64)>,
+    /// Summaries of every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of a counter (0 when absent — an untouched counter and a
+    /// missing one are indistinguishable by design).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Per-counter difference `self - earlier` (counters are monotonic, so
+    /// this is the activity between the two snapshots; counters only
+    /// present in `self` count from 0).
+    pub fn counters_since(&self, earlier: &TelemetrySnapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+            .collect()
+    }
+}
+
+/// Capture the registry right now.
+pub fn snapshot() -> TelemetrySnapshot {
+    with_registry(|r| TelemetrySnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(n, h)| (n.clone(), h.load(Ordering::Relaxed)))
+            .collect(),
+        gauges: r
+            .gauges
+            .iter()
+            .map(|(n, h)| (n.clone(), f64::from_bits(h.load(Ordering::Relaxed))))
+            .collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                count: h.count.load(Ordering::Relaxed),
+                sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                max_ns: h.max_ns.load(Ordering::Relaxed),
+                p50_ns: h.approx_quantile(0.50),
+                p99_ns: h.approx_quantile(0.99),
+            })
+            .collect(),
+    })
+}
+
+/// Zero every registered counter, gauge, and histogram (handles stay
+/// valid; benches use this to start each measured section from a clean
+/// registry).
+pub fn reset() {
+    with_registry(|r| {
+        for h in r.counters.values() {
+            h.store(0, Ordering::Relaxed);
+        }
+        for h in r.gauges.values() {
+            h.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in r.histograms.values() {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum_ns.store(0, Ordering::Relaxed);
+            h.max_ns.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsMode;
+
+    #[test]
+    fn snapshot_round_trips_and_diffs() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_mode(ObsMode::Metrics);
+        static C: crate::Counter = crate::Counter::new("test.snapshot.ticks");
+        let before = snapshot();
+        C.add(5);
+        let after = snapshot();
+        let deltas = after.counters_since(&before);
+        let tick_delta = deltas
+            .iter()
+            .find(|(n, _)| n == "test.snapshot.ticks")
+            .map(|(_, d)| *d);
+        assert_eq!(tick_delta, Some(5));
+
+        let json = serde_json::to_string(&after).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, after);
+        crate::set_mode(ObsMode::Disabled);
+    }
+}

@@ -1,0 +1,128 @@
+//! Spans: monotonic-clock timings with parent/child nesting.
+//!
+//! A span is an RAII guard: [`span`] opens it, dropping it closes it.
+//! Nesting is tracked per thread — the guard remembers the previously
+//! current span and restores it on close, so `span("a")` containing
+//! `span("b")` yields `b.parent_id == a.span_id` with no global
+//! coordination beyond one id counter.
+//!
+//! Closing a span records `elapsed_ns` into the histogram named after the
+//! span, and — in JSONL mode — emits a [`crate::TelemetryEvent`] with kind
+//! `Span`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::event::{EventKind, TelemetryEvent};
+use crate::registry;
+
+/// Process-wide span id allocator; 0 means "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost open span on this thread (0 at top level).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The id of the innermost open span on this thread (0 at top level);
+/// events attach themselves to it as `parent_id`.
+pub(crate) fn current_span_id() -> u64 {
+    CURRENT_SPAN.get()
+}
+
+/// An open span; dropping it closes the span. Inert when telemetry is
+/// disabled (one relaxed load, no clock read).
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start: Option<Instant>,
+}
+
+/// Open a span named `name`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span {
+            name,
+            id: 0,
+            parent: 0,
+            start: None,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_SPAN.replace(id);
+    Span {
+        name,
+        id,
+        parent,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Span {
+    /// This span's id (0 when telemetry is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        CURRENT_SPAN.set(self.parent);
+        registry::histogram_handle(self.name).record(elapsed_ns);
+        if crate::jsonl_enabled() {
+            crate::event::emit(TelemetryEvent {
+                seq: 0,
+                kind: EventKind::Span,
+                name: self.name.to_string(),
+                span_id: self.id,
+                parent_id: self.parent,
+                elapsed_ns,
+                value: elapsed_ns as f64,
+                labels: Vec::new(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsMode;
+
+    #[test]
+    fn spans_nest_and_feed_histograms() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_mode(ObsMode::Metrics);
+        static H: crate::Histogram = crate::Histogram::new("test.span.outer");
+        let before = H.count();
+        {
+            let outer = span("test.span.outer");
+            assert_ne!(outer.id(), 0);
+            assert_eq!(current_span_id(), outer.id());
+            {
+                let inner = span("test.span.inner");
+                assert_eq!(current_span_id(), inner.id());
+            }
+            // Inner closed: the outer span is current again.
+            assert_eq!(current_span_id(), outer.id());
+        }
+        assert_eq!(current_span_id(), 0);
+        assert_eq!(H.count(), before + 1);
+        crate::set_mode(ObsMode::Disabled);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_mode(ObsMode::Disabled);
+        let s = span("test.span.disabled");
+        assert_eq!(s.id(), 0);
+        assert_eq!(current_span_id(), 0);
+    }
+}

@@ -29,6 +29,55 @@ use serde::{Deserialize, Serialize};
 use crate::monitor::AgentReport;
 use crate::{Result, SimError};
 
+// Injection telemetry: one counter per fault kind (counting *injections*,
+// not attempts) plus a `sim.fault` JSONL event per injected fault so a
+// fault sweep leaves an auditable event stream next to the ladder events
+// the learner emits when it heals around them.
+static OBS_DELIVERIES: kert_obs::Counter = kert_obs::Counter::new("sim.faults.deliveries");
+static OBS_CRASHED: kert_obs::Counter = kert_obs::Counter::new("sim.faults.crashed");
+static OBS_DROPPED: kert_obs::Counter = kert_obs::Counter::new("sim.faults.dropped");
+static OBS_DELAYED: kert_obs::Counter = kert_obs::Counter::new("sim.faults.delayed");
+static OBS_CORRUPTED: kert_obs::Counter = kert_obs::Counter::new("sim.faults.corrupted_rows");
+static OBS_TRUNCATED: kert_obs::Counter = kert_obs::Counter::new("sim.faults.truncated");
+
+impl FaultEvent {
+    /// Stable lower-case name of the fault kind (telemetry label).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FaultEvent::Crashed => "crashed",
+            FaultEvent::Dropped => "dropped",
+            FaultEvent::Delayed { .. } => "delayed",
+            FaultEvent::CorruptedRows { .. } => "corrupted_rows",
+            FaultEvent::Truncated { .. } => "truncated",
+        }
+    }
+}
+
+/// Count one injected fault and, in JSONL mode, emit a `sim.fault` event
+/// keyed by the delivery-attempt coordinates.
+fn record_fault(event: &FaultEvent, agent: usize, window: usize, attempt: usize) {
+    let (counter, magnitude) = match event {
+        FaultEvent::Crashed => (&OBS_CRASHED, 1.0),
+        FaultEvent::Dropped => (&OBS_DROPPED, 1.0),
+        FaultEvent::Delayed { windows } => (&OBS_DELAYED, *windows as f64),
+        FaultEvent::CorruptedRows { rows } => (&OBS_CORRUPTED, *rows as f64),
+        FaultEvent::Truncated { kept, .. } => (&OBS_TRUNCATED, *kept as f64),
+    };
+    counter.incr();
+    if kert_obs::jsonl_enabled() {
+        kert_obs::event(
+            "sim.fault",
+            magnitude,
+            &[
+                ("kind", event.kind_name()),
+                ("agent", &agent.to_string()),
+                ("window", &window.to_string()),
+                ("attempt", &attempt.to_string()),
+            ],
+        );
+    }
+}
+
 /// The fault behaviour of one monitoring agent.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -198,9 +247,12 @@ impl FaultInjector {
         attempt: usize,
         report: &AgentReport,
     ) -> (Delivery, Vec<FaultEvent>) {
+        OBS_DELIVERIES.incr();
         let plan = &self.plans[agent];
         if plan.crash_at_window.is_some_and(|k| window >= k) {
-            return (Delivery::Missing, vec![FaultEvent::Crashed]);
+            let event = FaultEvent::Crashed;
+            record_fault(&event, agent, window, attempt);
+            return (Delivery::Missing, vec![event]);
         }
         if plan.is_healthy() {
             return (Delivery::Delivered(report.clone()), Vec::new());
@@ -212,7 +264,9 @@ impl FaultInjector {
             attempt as u64,
         ));
         if rng.gen::<f64>() < plan.drop_prob {
-            return (Delivery::Missing, vec![FaultEvent::Dropped]);
+            let event = FaultEvent::Dropped;
+            record_fault(&event, agent, window, attempt);
+            return (Delivery::Missing, vec![event]);
         }
 
         let mut events = Vec::new();
@@ -242,7 +296,13 @@ impl FaultInjector {
         if plan.delay_prob > 0.0 && rng.gen::<f64>() < plan.delay_prob {
             let windows = plan.delay_windows.max(1);
             events.push(FaultEvent::Delayed { windows });
+            for event in &events {
+                record_fault(event, agent, window, attempt);
+            }
             return (Delivery::Delayed { windows, report }, events);
+        }
+        for event in &events {
+            record_fault(event, agent, window, attempt);
         }
         (Delivery::Delivered(report), events)
     }

@@ -18,6 +18,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::trace::Trace;
 
+// Data-plane telemetry: reports sliced, rows and parent-shipped values in
+// them. The values counter is the §3.4 network-cost argument as a live
+// metric rather than a one-off calculation.
+static OBS_REPORTS: kert_obs::Counter = kert_obs::Counter::new("sim.monitor.reports");
+static OBS_REPORT_ROWS: kert_obs::Counter = kert_obs::Counter::new("sim.monitor.report_rows");
+static OBS_VALUES_SHIPPED: kert_obs::Counter = kert_obs::Counter::new("sim.monitor.values_shipped");
+
 /// What one agent reports per construction interval: its local dataset.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AgentReport {
@@ -89,6 +96,9 @@ impl MonitoringAgent {
             let values: Vec<f64> = cols.iter().map(|&c| row.elapsed[c]).collect();
             data.push_row(values).expect("fixed width");
         }
+        OBS_REPORTS.incr();
+        OBS_REPORT_ROWS.add(window.len() as u64);
+        OBS_VALUES_SHIPPED.add((self.parents.len() * window.len()) as u64);
         AgentReport {
             service: self.service,
             data,

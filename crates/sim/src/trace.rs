@@ -9,6 +9,10 @@
 use kert_bayes::Dataset;
 use serde::{Deserialize, Serialize};
 
+// One counter per completed request recorded anywhere in the process — the
+// simulator's raw measurement throughput.
+static OBS_TRACE_ROWS: kert_obs::Counter = kert_obs::Counter::new("sim.trace.rows");
+
 /// One completed request's measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRow {
@@ -71,6 +75,7 @@ impl Trace {
             .rows
             .last()
             .is_none_or(|last| last.completed_at <= row.completed_at));
+        OBS_TRACE_ROWS.incr();
         self.rows.push(row);
     }
 

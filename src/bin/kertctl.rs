@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(rest),
         "query" => cmd_query(rest),
         "violation" => cmd_violation(rest),
+        "telemetry" => cmd_telemetry(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,10 +77,17 @@ USAGE:
   kertctl info --model model.json [--dot]
   kertctl query --model model.json --target NODE [--given NODE=VALUE]...
   kertctl violation --model model.json --threshold H [--given NODE=VALUE]...
+  kertctl telemetry [--jsonl events.jsonl] [--prom snapshot.prom]
+          [--require-ladder]
 
 Raw measurement values are used in --given and --threshold; discrete
 models bin them internally. Node indices: services are 0..n-1 in column
-order; the end-to-end metric D is the last node (see `kertctl info`).";
+order; the end-to-end metric D is the last node (see `kertctl info`).
+
+`telemetry` validates exporter output: every JSONL line must round-trip
+through the TelemetryEvent schema, the Prometheus snapshot must parse,
+and --require-ladder additionally demands agents.ladder events covering
+all three fallback rungs (fresh, stale, prior).";
 
 /// Minimal flag parser: `--key value` pairs, with repeatable keys.
 struct Flags {
@@ -95,7 +103,7 @@ impl Flags {
                 return Err(format!("expected a --flag, got {key:?}"));
             };
             // Boolean flags take no value.
-            if matches!(name, "ediamond" | "dot") {
+            if matches!(name, "ediamond" | "dot" | "require-ladder") {
                 pairs.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -382,6 +390,70 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         for (v, p) in support.iter().zip(probs.iter()) {
             println!("  {v:>12.6}  {p:.4}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_telemetry(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    if flags.get("jsonl").is_none() && flags.get("prom").is_none() {
+        return Err("telemetry: nothing to validate (need --jsonl and/or --prom)".into());
+    }
+
+    if let Some(path) = flags.get("jsonl") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut events = 0usize;
+        let mut rungs_seen = std::collections::BTreeSet::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Schema validation is a strict serde round trip: the line must
+            // deserialize into a TelemetryEvent and serialize back to an
+            // equivalent event.
+            let event: kert_bn::obs::TelemetryEvent = serde_json::from_str(line)
+                .map_err(|e| format!("{path}:{}: schema violation: {e}", lineno + 1))?;
+            let rejson = serde_json::to_string(&event).map_err(|e| e.to_string())?;
+            let back: kert_bn::obs::TelemetryEvent = serde_json::from_str(&rejson)
+                .map_err(|e| format!("{path}:{}: round trip failed: {e}", lineno + 1))?;
+            if back != event {
+                return Err(format!(
+                    "{path}:{}: round trip altered the event",
+                    lineno + 1
+                ));
+            }
+            if event.name == "agents.ladder" {
+                if let Some((_, rung)) = event.labels.iter().find(|(k, _)| k == "rung") {
+                    rungs_seen.insert(rung.clone());
+                }
+            }
+            events += 1;
+        }
+        if events == 0 {
+            return Err(format!("{path}: no telemetry events"));
+        }
+        println!("{path}: {events} events, all schema-valid");
+        if flags.get("require-ladder").is_some() {
+            for rung in ["fresh", "stale", "prior"] {
+                if !rungs_seen.contains(rung) {
+                    return Err(format!(
+                        "{path}: fallback ladder rung {rung:?} never exercised \
+                         (saw {rungs_seen:?})"
+                    ));
+                }
+            }
+            println!("{path}: ladder coverage ok (fresh, stale, prior all present)");
+        }
+    }
+
+    if let Some(path) = flags.get("prom") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let samples = kert_bn::obs::parse_prometheus(&text)
+            .map_err(|e| format!("{path}: invalid exposition: {e}"))?;
+        if samples.is_empty() {
+            return Err(format!("{path}: no samples"));
+        }
+        println!("{path}: {} samples, exposition parses", samples.len());
     }
     Ok(())
 }

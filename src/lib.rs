@@ -18,6 +18,7 @@
 //! | [`sim`] | `kert-sim` | discrete-event service-system simulator, monitoring agents, fault injection |
 //! | [`agents`] | `kert-agents` | decentralized parameter learning, self-healing fallback ladder, scheduling |
 //! | [`model`] | `kert-core` | KERT-BN, the NRT-BN baseline, dComp, pAccel, degraded-mode compensation |
+//! | [`obs`] | `kert-obs` | spans, counters, gauges, histograms; JSONL + Prometheus exporters |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use kert_agents as agents;
 pub use kert_bayes as bayes;
 pub use kert_core as model;
 pub use kert_linalg as linalg;
+pub use kert_obs as obs;
 pub use kert_sim as sim;
 pub use kert_workflow as workflow;
 
