@@ -6,13 +6,35 @@
 //! for test-bed-sized nets, which is precisely where the paper uses the
 //! discrete model), then multiplied and summed out.
 //!
-//! The combination kernels (`product`, `sum_out`, `reduce`) walk the tables
-//! with precomputed stride tables and an odometer over the scope instead of
-//! decoding every linear index into a configuration vector: each table
-//! entry costs a few adds rather than two O(scope) encode/decode passes,
-//! and no per-entry allocation happens. The original index-arithmetic
-//! implementations are kept in [`naive`] as differential oracles for the
-//! property tests and as the "before" side of the kernel benchmarks.
+//! The combination kernels (`product`, `sum_out`, `reduce`) are organized
+//! around the *contiguous inner stride* of the row-major tables: every
+//! kernel first detects the longest trailing run of scope positions over
+//! which both operands are laid out contiguously (or absent, i.e.
+//! broadcast), then walks only the remaining outer positions with an
+//! odometer. The inner run is processed as whole `f64` slices through the
+//! chunked-lane primitives in [`lanes`], which the compiler autovectorizes
+//! (4/8-wide SIMD on any target with vector units — stable Rust, no
+//! intrinsics). `sum_out` and `reduce` collapse to pure slice adds/copies
+//! with no per-entry index arithmetic at all.
+//!
+//! Determinism contract: the lane kernels never reassociate additions —
+//! `sum_out` accumulates the eliminated states in ascending order exactly
+//! like the per-entry reference, and products are elementwise — so every
+//! kernel is *bitwise* equal to the [`naive`] oracles (property-tested in
+//! `tests/prop.rs`). The only documented exception is [`lanes::dot`],
+//! which splits its accumulator four ways for FMA-friendly throughput and
+//! may differ from a sequential dot product by reassociation (≤1e-15
+//! relative on probability-scale inputs).
+//!
+//! For deep networks whose joint mass underflows `f64` (hundreds of
+//! multiplied probabilities), the same kernels exist in log space:
+//! [`Factor::product_log_ws`] adds, and [`Factor::sum_out_log_ws`]
+//! performs a *one-pass* streaming log-sum-exp (running max + rescaled
+//! accumulator) per output cell, so no per-step renormalization or second
+//! pass over the table is needed.
+//!
+//! The original index-arithmetic implementations are kept in [`naive`] as
+//! differential oracles for the property tests and benchmarks.
 
 use crate::cpd::{config_count, Cpd, DetNoise, PROB_FLOOR};
 use crate::{BayesError, Result};
@@ -25,6 +47,168 @@ static OBS_SUM_OUTS: kert_obs::Counter = kert_obs::Counter::new("bayes.factor.su
 static OBS_REDUCES: kert_obs::Counter = kert_obs::Counter::new("bayes.factor.reduces");
 static OBS_WS_HITS: kert_obs::Counter = kert_obs::Counter::new("bayes.ws.pool_hits");
 static OBS_WS_MISSES: kert_obs::Counter = kert_obs::Counter::new("bayes.ws.pool_misses");
+
+/// Chunked-lane slice primitives for the factor kernels.
+///
+/// Each loop is written as explicit `WIDTH`-wide chunks over
+/// `chunks_exact`, which LLVM reliably turns into packed vector
+/// instructions on stable Rust; the scalar remainder handles tables whose
+/// inner run is not a multiple of the lane width. None of the
+/// element-wise kernels reassociate floating-point additions, so their
+/// results are bitwise identical to a scalar loop. [`dot`] is the one
+/// exception (four-way accumulator split), documented at the crate level.
+pub mod lanes {
+    /// Lane width the chunked loops are written against. Eight `f64`s is
+    /// one AVX-512 register or two AVX2 / four NEON registers — small
+    /// enough that the remainder loop stays negligible for cardinality-5
+    /// tables, large enough to saturate wider units.
+    pub const WIDTH: usize = 8;
+
+    /// `dst[i] += src[i]`.
+    #[inline]
+    pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        let (sc, sr) = src.split_at(n);
+        for (d, s) in dc.chunks_exact_mut(WIDTH).zip(sc.chunks_exact(WIDTH)) {
+            for k in 0..WIDTH {
+                d[k] += s[k];
+            }
+        }
+        for (d, s) in dr.iter_mut().zip(sr) {
+            *d += *s;
+        }
+    }
+
+    /// `dst[i] = a[i] * b[i]`.
+    #[inline]
+    pub fn mul_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        debug_assert_eq!(dst.len(), a.len());
+        debug_assert_eq!(dst.len(), b.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        for ((d, x), y) in dc
+            .chunks_exact_mut(WIDTH)
+            .zip(a[..n].chunks_exact(WIDTH))
+            .zip(b[..n].chunks_exact(WIDTH))
+        {
+            for k in 0..WIDTH {
+                d[k] = x[k] * y[k];
+            }
+        }
+        for ((d, x), y) in dr.iter_mut().zip(&a[n..]).zip(&b[n..]) {
+            *d = *x * *y;
+        }
+    }
+
+    /// `dst[i] = a[i] * s` (broadcast multiply).
+    #[inline]
+    pub fn mul_scalar_into(dst: &mut [f64], a: &[f64], s: f64) {
+        debug_assert_eq!(dst.len(), a.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        for (d, x) in dc.chunks_exact_mut(WIDTH).zip(a[..n].chunks_exact(WIDTH)) {
+            for k in 0..WIDTH {
+                d[k] = x[k] * s;
+            }
+        }
+        for (d, x) in dr.iter_mut().zip(&a[n..]) {
+            *d = *x * s;
+        }
+    }
+
+    /// `dst[i] *= src[i]` (in-place elementwise product).
+    #[inline]
+    pub fn mul_assign(dst: &mut [f64], src: &[f64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        let (sc, sr) = src.split_at(n);
+        for (d, s) in dc.chunks_exact_mut(WIDTH).zip(sc.chunks_exact(WIDTH)) {
+            for k in 0..WIDTH {
+                d[k] *= s[k];
+            }
+        }
+        for (d, s) in dr.iter_mut().zip(sr) {
+            *d *= *s;
+        }
+    }
+
+    /// `dst[i] *= s` (in-place broadcast multiply).
+    #[inline]
+    pub fn scale(dst: &mut [f64], s: f64) {
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        for d in dc.chunks_exact_mut(WIDTH) {
+            for dk in d.iter_mut() {
+                *dk *= s;
+            }
+        }
+        for d in dr {
+            *d *= s;
+        }
+    }
+
+    /// `dst[i] = a[i] + b[i]` (log-space product of contiguous runs).
+    #[inline]
+    pub fn add_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        debug_assert_eq!(dst.len(), a.len());
+        debug_assert_eq!(dst.len(), b.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        for ((d, x), y) in dc
+            .chunks_exact_mut(WIDTH)
+            .zip(a[..n].chunks_exact(WIDTH))
+            .zip(b[..n].chunks_exact(WIDTH))
+        {
+            for k in 0..WIDTH {
+                d[k] = x[k] + y[k];
+            }
+        }
+        for ((d, x), y) in dr.iter_mut().zip(&a[n..]).zip(&b[n..]) {
+            *d = *x + *y;
+        }
+    }
+
+    /// `dst[i] = a[i] + s` (log-space broadcast product).
+    #[inline]
+    pub fn add_scalar_into(dst: &mut [f64], a: &[f64], s: f64) {
+        debug_assert_eq!(dst.len(), a.len());
+        let n = dst.len() - dst.len() % WIDTH;
+        let (dc, dr) = dst.split_at_mut(n);
+        for (d, x) in dc.chunks_exact_mut(WIDTH).zip(a[..n].chunks_exact(WIDTH)) {
+            for k in 0..WIDTH {
+                d[k] = x[k] + s;
+            }
+        }
+        for (d, x) in dr.iter_mut().zip(&a[n..]) {
+            *d = *x + s;
+        }
+    }
+
+    /// Dot product with a four-way split accumulator: the independent
+    /// mul-add chains let the compiler emit FMA without a loop-carried
+    /// dependency on one register. **Reassociates** — documented ≤1e-15
+    /// relative divergence from the sequential sum on probability-scale
+    /// inputs; never used where bitwise determinism is contracted.
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len() - a.len() % 4;
+        let mut acc = [0.0f64; 4];
+        for (x, y) in a[..n].chunks_exact(4).zip(b[..n].chunks_exact(4)) {
+            for k in 0..4 {
+                acc[k] = x[k].mul_add(y[k], acc[k]);
+            }
+        }
+        let mut tail = 0.0;
+        for (x, y) in a[n..].iter().zip(&b[n..]) {
+            tail = x.mul_add(*y, tail);
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+}
 
 /// Row-major strides for a cardinality vector, written into a reusable
 /// buffer: `out[p]` is how far the linear index moves when position `p`
@@ -42,6 +226,97 @@ pub(crate) fn strides(cards: &[usize]) -> Vec<usize> {
     let mut out = Vec::new();
     strides_into(cards, &mut out);
     out
+}
+
+/// Merge two ascending scopes into their sorted union, appending the union
+/// and its cardinalities to `vars`/`cards`. Shared by the production
+/// product kernels and the [`naive`] reference implementation so scope
+/// layout can never diverge between them.
+pub(crate) fn merge_scopes(
+    a_vars: &[usize],
+    a_cards: &[usize],
+    b_vars: &[usize],
+    b_cards: &[usize],
+    vars: &mut Vec<usize>,
+    cards: &mut Vec<usize>,
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < a_vars.len() || j < b_vars.len() {
+        let take_left = match (a_vars.get(i), b_vars.get(j)) {
+            (Some(&a), Some(&b)) => {
+                if a == b {
+                    vars.push(a);
+                    cards.push(a_cards[i]);
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                a < b
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_left {
+            vars.push(a_vars[i]);
+            cards.push(a_cards[i]);
+            i += 1;
+        } else {
+            vars.push(b_vars[j]);
+            cards.push(b_cards[j]);
+            j += 1;
+        }
+    }
+}
+
+/// How the contiguous trailing run of a merged scope maps onto the two
+/// operands of a product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// Both operands are contiguous over the run: elementwise multiply.
+    Both,
+    /// Only the left operand spans the run; the right is broadcast.
+    Left,
+    /// Only the right operand spans the run; the left is broadcast.
+    Right,
+}
+
+/// Longest trailing run of merged-scope positions over which each operand
+/// is either contiguous (stride equal to the run length accumulated so
+/// far) or entirely absent (stride 0, broadcast). Returns
+/// `(split, run_len, mode)`: positions `split..` form the run of
+/// `run_len` table entries, positions `..split` are walked by the outer
+/// odometer. The innermost merged variable always belongs to at least one
+/// operand and, being that operand's own innermost variable, has stride 1
+/// there — so a run of at least one position always exists.
+fn inner_run(cards: &[usize], sa: &[usize], sb: &[usize]) -> (usize, usize, RunMode) {
+    let n = cards.len();
+    if n == 0 {
+        return (0, 1, RunMode::Both);
+    }
+    let last = n - 1;
+    let mode = match (sa[last], sb[last]) {
+        (1, 1) => RunMode::Both,
+        (1, 0) => RunMode::Left,
+        (0, 1) => RunMode::Right,
+        (a, b) => unreachable!("innermost merged position has strides ({a}, {b})"),
+    };
+    let mut run = cards[last];
+    let mut split = last;
+    while split > 0 {
+        let p = split - 1;
+        let extends = match mode {
+            RunMode::Both => sa[p] == run && sb[p] == run,
+            RunMode::Left => sa[p] == run && sb[p] == 0,
+            RunMode::Right => sa[p] == 0 && sb[p] == run,
+        };
+        if !extends {
+            break;
+        }
+        run *= cards[p];
+        split = p;
+    }
+    (split, run, mode)
 }
 
 /// Reusable scratch for the factor kernels: pools of value and index
@@ -115,6 +390,8 @@ impl QueryWorkspace {
 /// stride tables. `advance` steps to the next configuration in natural
 /// (last-fastest) order, updating every tracked index incrementally. The
 /// counter slots are borrowed so workspace-threaded kernels can pool them.
+/// The combination kernels only ever run it over the *outer* scope
+/// positions — everything inside the contiguous run is pure slice work.
 struct Odometer<'a> {
     cards: &'a [usize],
     counters: &'a mut [usize],
@@ -358,44 +635,24 @@ impl Factor {
     /// [`Factor::product`] with every scratch buffer (merged scope, stride
     /// tables, odometer counters, output table) drawn from `ws` — identical
     /// arithmetic, zero allocation once the pool is warm.
+    ///
+    /// The merged table is written one contiguous inner run at a time
+    /// through the [`lanes`] kernels; only the outer scope positions pay
+    /// odometer bookkeeping.
     pub fn product_ws(&self, other: &Factor, ws: &mut QueryWorkspace) -> Factor {
         OBS_PRODUCTS.incr();
-        // Merge scopes.
         let mut vars = ws.take_usize();
         let mut cards = ws.take_usize();
-        {
-            let (mut i, mut j) = (0, 0);
-            while i < self.vars.len() || j < other.vars.len() {
-                let take_left = match (self.vars.get(i), other.vars.get(j)) {
-                    (Some(&a), Some(&b)) => {
-                        if a == b {
-                            vars.push(a);
-                            cards.push(self.cards[i]);
-                            i += 1;
-                            j += 1;
-                            continue;
-                        }
-                        a < b
-                    }
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
-                };
-                if take_left {
-                    vars.push(self.vars[i]);
-                    cards.push(self.cards[i]);
-                    i += 1;
-                } else {
-                    vars.push(other.vars[j]);
-                    cards.push(other.cards[j]);
-                    j += 1;
-                }
-            }
-        }
+        merge_scopes(
+            &self.vars,
+            &self.cards,
+            &other.vars,
+            &other.cards,
+            &mut vars,
+            &mut cards,
+        );
         // Stride each merged position induces in either operand (0 for
-        // positions absent from that operand): walking the merged table in
-        // natural order then keeps both source indices current with a
-        // couple of adds per entry instead of a decode + two re-encodes.
+        // positions absent from that operand).
         let mut strides_a = ws.take_usize();
         strides_into(&self.cards, &mut strides_a);
         let mut strides_b = ws.take_usize();
@@ -420,15 +677,33 @@ impl Factor {
 
         let total = config_count(&cards);
         let mut values = ws.take_f64();
-        values.reserve(total);
+        values.resize(total, 0.0);
+        let (split, inner, mode) = inner_run(&cards, &stride_a, &stride_b);
         let mut counters = ws.take_usize();
-        counters.resize(cards.len(), 0);
+        counters.resize(split, 0);
         {
-            let mut odo = Odometer::new(&cards, &mut counters);
+            let mut odo = Odometer::new(&cards[..split], &mut counters);
             let mut idx = [0usize; 2];
-            for _ in 0..total {
-                values.push(self.values[idx[0]] * other.values[idx[1]]);
-                odo.advance(&[&stride_a, &stride_b], &mut idx);
+            for chunk in values.chunks_exact_mut(inner) {
+                let (ia, ib) = (idx[0], idx[1]);
+                match mode {
+                    RunMode::Both => lanes::mul_into(
+                        chunk,
+                        &self.values[ia..ia + inner],
+                        &other.values[ib..ib + inner],
+                    ),
+                    RunMode::Left => lanes::mul_scalar_into(
+                        chunk,
+                        &self.values[ia..ia + inner],
+                        other.values[ib],
+                    ),
+                    RunMode::Right => lanes::mul_scalar_into(
+                        chunk,
+                        &other.values[ib..ib + inner],
+                        self.values[ia],
+                    ),
+                }
+                odo.advance(&[&stride_a[..split], &stride_b[..split]], &mut idx);
             }
         }
         ws.put_usize(strides_a);
@@ -443,16 +718,74 @@ impl Factor {
         }
     }
 
+    /// In-place product with a factor whose scope is a subset of this one:
+    /// `self[x] *= other[project(x)]`, no output table. Returns `false`
+    /// (leaving `self` untouched) when `other`'s scope is not a subset.
+    /// Bitwise identical to `product_ws` followed by a move — the same
+    /// multiplications in the same order — but allocation- and copy-free,
+    /// which is what makes junction-tree message absorption cheap.
+    pub fn mul_assign_ws(&mut self, other: &Factor, ws: &mut QueryWorkspace) -> bool {
+        if other
+            .vars
+            .iter()
+            .any(|v| self.vars.binary_search(v).is_err())
+        {
+            return false;
+        }
+        OBS_PRODUCTS.incr();
+        let mut strides_b = ws.take_usize();
+        strides_into(&other.cards, &mut strides_b);
+        let mut stride_self = ws.take_usize();
+        strides_into(&self.cards, &mut stride_self);
+        let mut stride_b = ws.take_usize();
+        for v in &self.vars {
+            stride_b.push(
+                other
+                    .vars
+                    .binary_search(v)
+                    .map(|p| strides_b[p])
+                    .unwrap_or(0),
+            );
+        }
+        let (split, inner, mode) = inner_run(&self.cards, &stride_self, &stride_b);
+        let mut counters = ws.take_usize();
+        counters.resize(split, 0);
+        {
+            let mut odo = Odometer::new(&self.cards[..split], &mut counters);
+            let mut idx = [0usize];
+            for chunk in self.values.chunks_exact_mut(inner) {
+                match mode {
+                    // `self` is trivially contiguous over its own trailing
+                    // scope, so the run mode only distinguishes whether
+                    // `other` spans the run or broadcasts across it.
+                    RunMode::Both => {
+                        lanes::mul_assign(chunk, &other.values[idx[0]..idx[0] + inner])
+                    }
+                    RunMode::Left => lanes::scale(chunk, other.values[idx[0]]),
+                    RunMode::Right => unreachable!("self spans its own trailing scope"),
+                }
+                odo.advance(&[&stride_b[..split]], &mut idx);
+            }
+        }
+        ws.put_usize(strides_b);
+        ws.put_usize(stride_self);
+        ws.put_usize(stride_b);
+        ws.put_usize(counters);
+        true
+    }
+
     /// Sum out (marginalize away) a variable. No-op if it is not in scope.
-    ///
-    /// One linear pass over the input table, scatter-adding each entry into
-    /// the output slot whose index is tracked incrementally (the summed
-    /// position simply contributes stride 0).
     pub fn sum_out(&self, var: usize) -> Factor {
         self.sum_out_ws(var, &mut QueryWorkspace::new())
     }
 
     /// [`Factor::sum_out`] with all scratch drawn from `ws`.
+    ///
+    /// The table decomposes as `outer × card × inner` around the summed
+    /// position: each output block of `inner` entries is the first input
+    /// block copied, then `card − 1` slice additions — no per-entry index
+    /// tracking at all. States accumulate in ascending order, so the
+    /// result is bitwise identical to the per-entry reference.
     pub fn sum_out_ws(&self, var: usize, ws: &mut QueryWorkspace) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone_using(ws);
@@ -465,32 +798,33 @@ impl Factor {
         cards.extend_from_slice(&self.cards);
         cards.remove(pos);
 
-        let mut out_strides = ws.take_usize();
-        strides_into(&cards, &mut out_strides);
-        // Output stride per input position; the removed position moves the
-        // output index by nothing.
-        let mut scatter = ws.take_usize();
-        scatter.extend((0..self.vars.len()).map(|ip| match ip.cmp(&pos) {
-            std::cmp::Ordering::Less => out_strides[ip],
-            std::cmp::Ordering::Equal => 0,
-            std::cmp::Ordering::Greater => out_strides[ip - 1],
-        }));
-
+        let card = self.cards[pos];
+        let inner: usize = self.cards[pos + 1..].iter().product();
+        let out_total = config_count(&cards);
         let mut values = ws.take_f64();
-        values.resize(config_count(&cards), 0.0);
-        let mut counters = ws.take_usize();
-        counters.resize(self.cards.len(), 0);
-        {
-            let mut odo = Odometer::new(&self.cards, &mut counters);
-            let mut idx = [0usize];
-            for &v in &self.values {
-                values[idx[0]] += v;
-                odo.advance(&[&scatter], &mut idx);
+        if inner == 1 {
+            // The summed variable is the innermost position: each output
+            // entry is the sequential sum of `card` adjacent inputs.
+            values.reserve(out_total);
+            for block in self.values.chunks_exact(card) {
+                let mut acc = block[0];
+                for &v in &block[1..] {
+                    acc += v;
+                }
+                values.push(acc);
+            }
+        } else {
+            values.resize(out_total, 0.0);
+            let super_block = card * inner;
+            for (o, dst) in values.chunks_exact_mut(inner).enumerate() {
+                let base = o * super_block;
+                dst.copy_from_slice(&self.values[base..base + inner]);
+                for s in 1..card {
+                    let src = &self.values[base + s * inner..base + (s + 1) * inner];
+                    lanes::add_assign(dst, src);
+                }
             }
         }
-        ws.put_usize(out_strides);
-        ws.put_usize(scatter);
-        ws.put_usize(counters);
         Factor {
             vars,
             cards,
@@ -517,9 +851,7 @@ impl Factor {
                 let block = config_count(&self.cards);
                 for s in 1..removed_card {
                     let (head, tail) = self.values.split_at_mut(s * block);
-                    for (h, t) in head[..block].iter_mut().zip(tail[..block].iter()) {
-                        *h += *t;
-                    }
+                    lanes::add_assign(&mut head[..block], &tail[..block]);
                 }
                 self.values.truncate(block);
                 self
@@ -535,14 +867,14 @@ impl Factor {
 
     /// Restrict (reduce) the factor to `var = state`, removing it from scope.
     /// No-op if the variable is not in scope.
-    ///
-    /// One linear pass over the output table, gathering from the input at
-    /// an incrementally tracked index offset by the fixed state.
     pub fn reduce(&self, var: usize, state: usize) -> Factor {
         self.reduce_ws(var, state, &mut QueryWorkspace::new())
     }
 
     /// [`Factor::reduce`] with all scratch drawn from `ws`.
+    ///
+    /// Around the fixed position the table is `outer × card × inner`;
+    /// restriction is one contiguous `inner`-length copy per outer block.
     pub fn reduce_ws(&self, var: usize, state: usize, ws: &mut QueryWorkspace) -> Factor {
         let Some(pos) = self.vars.binary_search(&var).ok() else {
             return self.clone_using(ws);
@@ -555,34 +887,14 @@ impl Factor {
         cards.extend_from_slice(&self.cards);
         cards.remove(pos);
 
-        let mut in_strides = ws.take_usize();
-        strides_into(&self.cards, &mut in_strides);
-        // Input stride per output position (the fixed position is skipped).
-        let mut gather = ws.take_usize();
-        gather.extend((0..vars.len()).map(|op| {
-            if op < pos {
-                in_strides[op]
-            } else {
-                in_strides[op + 1]
-            }
-        }));
-
-        let total = config_count(&cards);
+        let card = self.cards[pos];
+        let inner: usize = self.cards[pos + 1..].iter().product();
         let mut values = ws.take_f64();
-        values.reserve(total);
-        let mut counters = ws.take_usize();
-        counters.resize(cards.len(), 0);
-        {
-            let mut odo = Odometer::new(&cards, &mut counters);
-            let mut idx = [state * in_strides[pos]];
-            for _ in 0..total {
-                values.push(self.values[idx[0]]);
-                odo.advance(&[&gather], &mut idx);
-            }
+        values.reserve(config_count(&cards));
+        let offset = state * inner;
+        for block in self.values.chunks_exact(card * inner) {
+            values.extend_from_slice(&block[offset..offset + inner]);
         }
-        ws.put_usize(in_strides);
-        ws.put_usize(gather);
-        ws.put_usize(counters);
         Factor {
             vars,
             cards,
@@ -591,27 +903,271 @@ impl Factor {
     }
 
     /// Normalize to sum 1 (returns the normalization constant; a zero sum
-    /// leaves the factor unchanged and returns 0).
+    /// leaves the factor unchanged and returns 0). The sum is sequential
+    /// on purpose: normalization constants feed conformance gates that
+    /// expect bitwise-stable results.
     pub fn normalize(&mut self) -> f64 {
         let z: f64 = self.values.iter().sum();
         if z > 0.0 {
-            for v in &mut self.values {
-                *v /= z;
-            }
+            let inv = 1.0 / z;
+            lanes::scale(&mut self.values, inv);
         }
         z
     }
+
+    // ------------------------------------------------------------------
+    // Log-space kernels: for deep networks whose joint mass underflows
+    // f64. A log factor is an ordinary `Factor` whose values are natural
+    // logs (−∞ encodes zero mass); products add, marginalization is a
+    // one-pass streaming log-sum-exp.
+    // ------------------------------------------------------------------
+
+    /// Reinterpret in place as a log factor (`v → ln v`; zeros → −∞).
+    pub fn ln_inplace(&mut self) {
+        for v in &mut self.values {
+            *v = v.ln();
+        }
+    }
+
+    /// Invert [`Factor::ln_inplace`] (`v → exp v`).
+    pub fn exp_inplace(&mut self) {
+        for v in &mut self.values {
+            *v = v.exp();
+        }
+    }
+
+    /// Log-space product (entrywise addition over the merged scope):
+    /// `ln(φ·ψ) = ln φ + ln ψ`. Same inner-run structure as
+    /// [`Factor::product_ws`] with add kernels in place of multiplies.
+    pub fn product_log(&self, other: &Factor) -> Factor {
+        self.product_log_ws(other, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::product_log`] with scratch drawn from `ws`.
+    pub fn product_log_ws(&self, other: &Factor, ws: &mut QueryWorkspace) -> Factor {
+        OBS_PRODUCTS.incr();
+        let mut vars = ws.take_usize();
+        let mut cards = ws.take_usize();
+        merge_scopes(
+            &self.vars,
+            &self.cards,
+            &other.vars,
+            &other.cards,
+            &mut vars,
+            &mut cards,
+        );
+        let mut strides_a = ws.take_usize();
+        strides_into(&self.cards, &mut strides_a);
+        let mut strides_b = ws.take_usize();
+        strides_into(&other.cards, &mut strides_b);
+        let mut stride_a = ws.take_usize();
+        let mut stride_b = ws.take_usize();
+        for v in &vars {
+            stride_a.push(
+                self.vars
+                    .binary_search(v)
+                    .map(|p| strides_a[p])
+                    .unwrap_or(0),
+            );
+            stride_b.push(
+                other
+                    .vars
+                    .binary_search(v)
+                    .map(|p| strides_b[p])
+                    .unwrap_or(0),
+            );
+        }
+        let total = config_count(&cards);
+        let mut values = ws.take_f64();
+        values.resize(total, 0.0);
+        let (split, inner, mode) = inner_run(&cards, &stride_a, &stride_b);
+        let mut counters = ws.take_usize();
+        counters.resize(split, 0);
+        {
+            let mut odo = Odometer::new(&cards[..split], &mut counters);
+            let mut idx = [0usize; 2];
+            for chunk in values.chunks_exact_mut(inner) {
+                let (ia, ib) = (idx[0], idx[1]);
+                match mode {
+                    RunMode::Both => lanes::add_into(
+                        chunk,
+                        &self.values[ia..ia + inner],
+                        &other.values[ib..ib + inner],
+                    ),
+                    RunMode::Left => lanes::add_scalar_into(
+                        chunk,
+                        &self.values[ia..ia + inner],
+                        other.values[ib],
+                    ),
+                    RunMode::Right => lanes::add_scalar_into(
+                        chunk,
+                        &other.values[ib..ib + inner],
+                        self.values[ia],
+                    ),
+                }
+                odo.advance(&[&stride_a[..split], &stride_b[..split]], &mut idx);
+            }
+        }
+        ws.put_usize(strides_a);
+        ws.put_usize(strides_b);
+        ws.put_usize(stride_a);
+        ws.put_usize(stride_b);
+        ws.put_usize(counters);
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Log-space marginalization: `out = ln Σ_s exp(in_s)` over the summed
+    /// variable, computed in **one pass** per output cell with a running
+    /// maximum and a rescaled accumulator — no separate max pass, no
+    /// per-step renormalization of intermediate factors. `−∞` inputs
+    /// (zero mass) are skipped exactly.
+    pub fn sum_out_log(&self, var: usize) -> Factor {
+        self.sum_out_log_ws(var, &mut QueryWorkspace::new())
+    }
+
+    /// [`Factor::sum_out_log`] with scratch drawn from `ws`.
+    pub fn sum_out_log_ws(&self, var: usize, ws: &mut QueryWorkspace) -> Factor {
+        let Some(pos) = self.vars.binary_search(&var).ok() else {
+            return self.clone_using(ws);
+        };
+        OBS_SUM_OUTS.incr();
+        let mut vars = ws.take_usize();
+        vars.extend_from_slice(&self.vars);
+        vars.remove(pos);
+        let mut cards = ws.take_usize();
+        cards.extend_from_slice(&self.cards);
+        cards.remove(pos);
+
+        let card = self.cards[pos];
+        let inner: usize = self.cards[pos + 1..].iter().product();
+        let out_total = config_count(&cards);
+        let mut values = ws.take_f64();
+
+        // Streaming LSE update: one (max, Σexp(x−max)) pair per output
+        // cell, rescaled whenever a new maximum streams in.
+        #[inline]
+        fn lse_push(m: &mut f64, acc: &mut f64, x: f64) {
+            if x == f64::NEG_INFINITY {
+                return;
+            }
+            if x <= *m {
+                *acc += (x - *m).exp();
+            } else {
+                *acc = if *m == f64::NEG_INFINITY {
+                    1.0
+                } else {
+                    *acc * (*m - x).exp() + 1.0
+                };
+                *m = x;
+            }
+        }
+        #[inline]
+        fn lse_close(m: f64, acc: f64) -> f64 {
+            if m == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                m + acc.ln()
+            }
+        }
+
+        if inner == 1 {
+            values.reserve(out_total);
+            for block in self.values.chunks_exact(card) {
+                let (mut m, mut acc) = (f64::NEG_INFINITY, 0.0);
+                for &x in block {
+                    lse_push(&mut m, &mut acc, x);
+                }
+                values.push(lse_close(m, acc));
+            }
+        } else {
+            values.resize(out_total, 0.0);
+            let mut maxes = ws.take_f64();
+            let mut accs = ws.take_f64();
+            let super_block = card * inner;
+            for (o, dst) in values.chunks_exact_mut(inner).enumerate() {
+                let base = o * super_block;
+                maxes.clear();
+                maxes.resize(inner, f64::NEG_INFINITY);
+                accs.clear();
+                accs.resize(inner, 0.0);
+                for s in 0..card {
+                    let src = &self.values[base + s * inner..base + (s + 1) * inner];
+                    for i in 0..inner {
+                        lse_push(&mut maxes[i], &mut accs[i], src[i]);
+                    }
+                }
+                for i in 0..inner {
+                    dst[i] = lse_close(maxes[i], accs[i]);
+                }
+            }
+            ws.put_f64(maxes);
+            ws.put_f64(accs);
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Normalize a log factor into ordinary (linear) probabilities via a
+    /// numerically safe softmax, returning `ln Z` (−∞ when the factor
+    /// carries no mass, in which case values are left untouched).
+    pub fn normalize_log(&mut self) -> f64 {
+        let m = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        let z: f64 = self.values.iter().map(|&v| (v - m).exp()).sum();
+        let inv = 1.0 / z;
+        for v in &mut self.values {
+            *v = (*v - m).exp() * inv;
+        }
+        m + z.ln()
+    }
 }
 
-/// Reference implementations of the factor kernels, kept verbatim from the
-/// pre-stride code: every table entry decodes its linear index into a
-/// configuration and re-encodes into the operands. They serve as
-/// differential oracles for the property tests and as the "before" side of
-/// the kernel benchmarks — never as the production path.
+/// Reference implementations of the factor kernels: every table entry
+/// decodes its linear index into a configuration and re-encodes into the
+/// operands. All three kernels route through one shared per-entry
+/// tabulator ([`tabulate`]'s decode loop), so there is exactly one naive
+/// odometer in the crate. They serve as differential oracles for the
+/// property tests and as the "before" side of the kernel benchmarks —
+/// never as the production path.
 pub mod naive {
-    use super::Factor;
+    use super::{merge_scopes, Factor};
     use crate::cpd::{config_count, config_index, decode_config, Cpd};
     use crate::{BayesError, Result};
+
+    /// The one shared reference loop: build a factor over `(vars, cards)`
+    /// by decoding every linear index into a configuration and asking
+    /// `entry` for its value.
+    fn tabulate(
+        vars: Vec<usize>,
+        cards: Vec<usize>,
+        mut entry: impl FnMut(&[usize]) -> f64,
+    ) -> Factor {
+        let total = config_count(&cards);
+        let mut values = vec![0.0; total];
+        let mut states = vec![0usize; cards.len()];
+        for (idx, value) in values.iter_mut().enumerate() {
+            decode_config(idx, &cards, &mut states);
+            *value = entry(&states);
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
 
     /// Per-entry `decode_config` + `log_prob().exp()` CPD conversion
     /// (original implementation); also the generic fallback for CPD
@@ -633,71 +1189,34 @@ pub mod naive {
             })
             .collect::<Result<_>>()?;
 
-        let total = config_count(&scope_cards);
-        let mut values = vec![0.0; total];
-        let mut scope_states = vec![0usize; vars.len()];
+        let scope = vars.clone();
         let mut parent_vals = vec![0.0; parents.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &scope_cards, &mut scope_states);
-            // Split scope states into parent values and the child state.
+        Ok(tabulate(vars, scope_cards, |states| {
             let mut pi = 0;
             let mut child_state = 0usize;
-            for (pos, &v) in vars.iter().enumerate() {
+            for (pos, &v) in scope.iter().enumerate() {
                 if v == child {
-                    child_state = scope_states[pos];
+                    child_state = states[pos];
                 } else {
-                    parent_vals[pi] = scope_states[pos] as f64;
+                    parent_vals[pi] = states[pos] as f64;
                     pi += 1;
                 }
             }
-            *value = cpd.log_prob(child_state as f64, &parent_vals).exp();
-        }
-        Factor::new(vars, scope_cards, values)
+            cpd.log_prob(child_state as f64, &parent_vals).exp()
+        }))
     }
 
     /// Per-entry decode/encode product (original implementation).
     pub fn product(a: &Factor, b: &Factor) -> Factor {
         let mut vars: Vec<usize> = Vec::with_capacity(a.vars.len() + b.vars.len());
         let mut cards: Vec<usize> = Vec::new();
-        {
-            let (mut i, mut j) = (0, 0);
-            while i < a.vars.len() || j < b.vars.len() {
-                let take_left = match (a.vars.get(i), b.vars.get(j)) {
-                    (Some(&x), Some(&y)) => {
-                        if x == y {
-                            vars.push(x);
-                            cards.push(a.cards[i]);
-                            i += 1;
-                            j += 1;
-                            continue;
-                        }
-                        x < y
-                    }
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
-                };
-                if take_left {
-                    vars.push(a.vars[i]);
-                    cards.push(a.cards[i]);
-                    i += 1;
-                } else {
-                    vars.push(b.vars[j]);
-                    cards.push(b.cards[j]);
-                    j += 1;
-                }
-            }
-        }
+        merge_scopes(&a.vars, &a.cards, &b.vars, &b.cards, &mut vars, &mut cards);
         let map_a: Vec<Option<usize>> = vars.iter().map(|v| a.vars.binary_search(v).ok()).collect();
         let map_b: Vec<Option<usize>> = vars.iter().map(|v| b.vars.binary_search(v).ok()).collect();
 
-        let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
         let mut sa = vec![0usize; a.vars.len()];
         let mut sb = vec![0usize; b.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
+        tabulate(vars, cards, |states| {
             for (pos, &m) in map_a.iter().enumerate() {
                 if let Some(p) = m {
                     sa[p] = states[pos];
@@ -708,13 +1227,8 @@ pub mod naive {
                     sb[p] = states[pos];
                 }
             }
-            *value = a.values[config_index(&sa, &a.cards)] * b.values[config_index(&sb, &b.cards)];
-        }
-        Factor {
-            vars,
-            cards,
-            values,
-        }
+            a.values[config_index(&sa, &a.cards)] * b.values[config_index(&sb, &b.cards)]
+        })
     }
 
     /// Per-entry decode with an inner state sweep (original implementation).
@@ -727,12 +1241,9 @@ pub mod naive {
         vars.remove(pos);
         let removed_card = cards.remove(pos);
 
-        let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
         let mut full = vec![0usize; f.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
+        tabulate(vars, cards, |states| {
+            let mut acc = 0.0;
             for s in 0..removed_card {
                 for (fpos, fv) in full.iter_mut().enumerate() {
                     *fv = match fpos.cmp(&pos) {
@@ -741,14 +1252,10 @@ pub mod naive {
                         std::cmp::Ordering::Greater => states[fpos - 1],
                     };
                 }
-                *value += f.values[config_index(&full, &f.cards)];
+                acc += f.values[config_index(&full, &f.cards)];
             }
-        }
-        Factor {
-            vars,
-            cards,
-            values,
-        }
+            acc
+        })
     }
 
     /// Per-entry decode/encode restriction (original implementation).
@@ -761,12 +1268,8 @@ pub mod naive {
         vars.remove(pos);
         cards.remove(pos);
 
-        let total = config_count(&cards);
-        let mut values = vec![0.0; total];
-        let mut states = vec![0usize; vars.len()];
         let mut full = vec![0usize; f.vars.len()];
-        for (idx, value) in values.iter_mut().enumerate() {
-            decode_config(idx, &cards, &mut states);
+        tabulate(vars, cards, |states| {
             for (fpos, fv) in full.iter_mut().enumerate() {
                 *fv = match fpos.cmp(&pos) {
                     std::cmp::Ordering::Less => states[fpos],
@@ -774,13 +1277,8 @@ pub mod naive {
                     std::cmp::Ordering::Greater => states[fpos - 1],
                 };
             }
-            *value = f.values[config_index(&full, &f.cards)];
-        }
-        Factor {
-            vars,
-            cards,
-            values,
-        }
+            f.values[config_index(&full, &f.cards)]
+        })
     }
 }
 
@@ -807,6 +1305,9 @@ mod tests {
         let g = f.product(&Factor::unit());
         assert_eq!(g.vars(), f.vars());
         assert_eq!(g.values(), f.values());
+        let h = Factor::unit().product(&f);
+        assert_eq!(h.vars(), f.vars());
+        assert_eq!(h.values(), f.values());
     }
 
     #[test]
@@ -829,6 +1330,35 @@ mod tests {
         assert_eq!(p.vars(), &[0, 1]);
         // (A=0,B=0): 0.1*2; (A=0,B=1): 0.2*10; …
         assert_eq!(p.values(), &[0.2, 2.0, 0.6, 4.0]);
+    }
+
+    #[test]
+    fn mul_assign_matches_product_on_subset_scopes() {
+        let mut ws = QueryWorkspace::new();
+        let values: Vec<f64> = (0..24).map(|i| 0.25 + i as f64 * 0.125).collect();
+        let f = Factor::new(vec![1, 4, 7], vec![2, 3, 4], values).unwrap();
+        // Subsets with the shared variable at every position, plus the
+        // empty scope and the full scope.
+        let subs = vec![
+            Factor::unit(),
+            Factor::new(vec![1], vec![2], vec![2.0, 3.0]).unwrap(),
+            Factor::new(vec![4], vec![3], vec![2.0, 3.0, 5.0]).unwrap(),
+            Factor::new(vec![7], vec![4], vec![2.0, 3.0, 5.0, 7.0]).unwrap(),
+            Factor::new(vec![1, 7], vec![2, 4], (1..=8).map(f64::from).collect()).unwrap(),
+            f.clone(),
+        ];
+        for g in subs {
+            let want = f.product(&g);
+            let mut got = f.clone();
+            assert!(got.mul_assign_ws(&g, &mut ws), "scope {:?}", g.vars());
+            assert_eq!(got.vars(), want.vars());
+            assert_eq!(got.values(), want.values());
+        }
+        // Non-subset scope: untouched, returns false.
+        let other = Factor::new(vec![2], vec![2], vec![1.0, 2.0]).unwrap();
+        let mut got = f.clone();
+        assert!(!got.mul_assign_ws(&other, &mut ws));
+        assert_eq!(got.values(), f.values());
     }
 
     #[test]
@@ -881,6 +1411,29 @@ mod tests {
     }
 
     #[test]
+    fn lane_kernels_handle_non_multiple_of_width_lengths() {
+        // Lengths straddling the 8-wide chunk boundary, including shorter
+        // than one lane.
+        for len in [1usize, 3, 7, 8, 9, 15, 16, 17, 31] {
+            let a: Vec<f64> = (0..len).map(|i| 0.5 + i as f64).collect();
+            let b: Vec<f64> = (0..len).map(|i| 1.5 - i as f64 * 0.25).collect();
+            let mut dst = vec![0.0; len];
+            lanes::mul_into(&mut dst, &a, &b);
+            for i in 0..len {
+                assert_eq!(dst[i], a[i] * b[i]);
+            }
+            let mut acc = a.clone();
+            lanes::add_assign(&mut acc, &b);
+            for i in 0..len {
+                assert_eq!(acc[i], a[i] + b[i]);
+            }
+            let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let d = lanes::dot(&a, &b);
+            assert!((d - seq).abs() <= 1e-12 * seq.abs().max(1.0));
+        }
+    }
+
+    #[test]
     fn workspace_kernels_match_plain_kernels_bitwise() {
         let values: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) * 0.125).collect();
         let f = Factor::new(vec![0, 2, 4], vec![2, 2, 3], values).unwrap();
@@ -927,6 +1480,60 @@ mod tests {
         assert!((z - 1.0).abs() < 1e-12);
         let s: f64 = f.values().iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_kernels_agree_with_linear_kernels() {
+        let values: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) * 0.125).collect();
+        let f = Factor::new(vec![0, 2, 4], vec![2, 2, 3], values).unwrap();
+        let g = Factor::new(vec![1, 2], vec![3, 2], (1..=6).map(f64::from).collect()).unwrap();
+        let mut lf = f.clone();
+        lf.ln_inplace();
+        let mut lg = g.clone();
+        lg.ln_inplace();
+
+        let lin = f.product(&g);
+        let mut log = lf.product_log(&lg);
+        assert_eq!(log.vars(), lin.vars());
+        log.exp_inplace();
+        for (a, b) in log.values().iter().zip(lin.values()) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+
+        let lp = lf.product_log(&lg);
+        for &var in lin.vars() {
+            let lin_s = lin.sum_out(var);
+            let mut log_s = lp.sum_out_log(var);
+            log_s.exp_inplace();
+            for (a, b) in log_s.values().iter().zip(lin_s.values()) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "sum_out_log({var}) diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_sum_out_handles_zero_mass_and_underflow() {
+        // A column of zero mass stays zero mass (−∞), exactly.
+        let f = Factor::new(
+            vec![0, 1],
+            vec![2, 2],
+            vec![f64::NEG_INFINITY, -800.0, f64::NEG_INFINITY, -802.0],
+        )
+        .unwrap();
+        let m = f.sum_out_log(0);
+        assert_eq!(m.values()[0], f64::NEG_INFINITY);
+        // −800 and −802 are both far below ln(f64::MIN_POSITIVE) ≈ −744:
+        // a linear-space pass would read exp(·) = 0 and lose everything.
+        let want = -800.0 + (1.0 + (-2.0f64).exp()).ln();
+        assert!((m.values()[1] - want).abs() < 1e-12);
+        let mut norm = m.clone();
+        let ln_z = norm.normalize_log();
+        assert!((ln_z - want).abs() < 1e-12);
+        assert_eq!(norm.values()[0], 0.0);
+        assert!((norm.values()[1] - 1.0).abs() < 1e-15);
     }
 
     #[test]

@@ -373,8 +373,129 @@ fn eliminate_and_normalize(
     Ok(out)
 }
 
+/// Posterior marginal computed entirely in **log space**: factors carry
+/// `ln φ`, products add, and marginalization is a one-pass streaming
+/// log-sum-exp ([`Factor::sum_out_log_ws`]). Returns ordinary (linear)
+/// probabilities via a final softmax.
+///
+/// This is the path for deep networks whose joint mass underflows `f64` —
+/// a chain of a few hundred multiplied probabilities reaches `Z = 0` in
+/// linear space and [`posterior_marginal`] reports zero-probability
+/// evidence even though the posterior is perfectly well-defined. The log
+/// path never forms the underflowing products, so it stays exact (up to
+/// documented LSE rounding, ≤1e-12 relative vs the linear path where both
+/// are finite).
+pub fn posterior_marginal_logspace(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+) -> Result<Vec<f64>> {
+    posterior_marginal_logspace_with_ws(network, target, evidence, &mut QueryWorkspace::new())
+}
+
+/// [`posterior_marginal_logspace`] drawing all factor scratch from a
+/// caller-held [`QueryWorkspace`].
+pub fn posterior_marginal_logspace_with_ws(
+    network: &BayesianNetwork,
+    target: usize,
+    evidence: &Evidence,
+    ws: &mut QueryWorkspace,
+) -> Result<Vec<f64>> {
+    OBS_VE_QUERIES.incr();
+    let _span = kert_obs::span("ve.query_logspace");
+    let n = network.len();
+    if target >= n {
+        return Err(BayesError::InvalidNode(target));
+    }
+    if evidence.contains_key(&target) {
+        // Point-mass shortcut — shared with the linear path.
+        return posterior_marginal(network, target, evidence);
+    }
+    let cards: Vec<usize> = network
+        .variables()
+        .iter()
+        .map(|v| v.cardinality().unwrap_or(0))
+        .collect();
+    if cards.contains(&0) {
+        return Err(BayesError::InvalidData(
+            "variable elimination requires an all-discrete network".into(),
+        ));
+    }
+    for (&node, &state) in evidence {
+        if node >= n {
+            return Err(BayesError::InvalidNode(node));
+        }
+        if state >= cards[node] {
+            return Err(BayesError::InvalidData(format!(
+                "evidence state {state} out of range for node {node}"
+            )));
+        }
+    }
+
+    // CPDs → log factors, evidence folded in before the ln.
+    let mut factors: Vec<Factor> = Vec::with_capacity(n);
+    for cpd in network.cpds() {
+        let mut f = Factor::from_cpd(cpd, &cards)?;
+        for (&node, &state) in evidence {
+            let reduced = f.reduce_ws(node, state, ws);
+            ws.recycle(f);
+            f = reduced;
+        }
+        f.ln_inplace();
+        factors.push(f);
+    }
+
+    let to_eliminate: Vec<usize> = (0..n)
+        .filter(|i| *i != target && !evidence.contains_key(i))
+        .collect();
+    // The ordering heuristic only looks at scopes, so it is shared verbatim
+    // with the linear path — same order, same clique structure.
+    for var in elimination_ordering(&factors, &to_eliminate, EliminationHeuristic::MinFill) {
+        let (with_var, without_var): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars().contains(&var));
+        factors = without_var;
+        let mut combined = Factor::unit();
+        combined.ln_inplace(); // unit in log space: single 0.0
+        for f in with_var {
+            let next = combined.product_log_ws(&f, ws);
+            ws.recycle(combined);
+            ws.recycle(f);
+            combined = next;
+        }
+        let summed = combined.sum_out_log_ws(var, ws);
+        ws.recycle(combined);
+        factors.push(summed);
+    }
+
+    let mut result = Factor::unit();
+    result.ln_inplace();
+    for f in factors {
+        let next = result.product_log_ws(&f, ws);
+        ws.recycle(result);
+        ws.recycle(f);
+        result = next;
+    }
+    if result.vars() != [target] {
+        return Err(BayesError::Numerical(format!(
+            "elimination left scope {:?}, expected [{target}]",
+            result.vars()
+        )));
+    }
+    let ln_z = result.normalize_log();
+    if ln_z == f64::NEG_INFINITY {
+        return Err(BayesError::Numerical(
+            "evidence has zero probability under the model".into(),
+        ));
+    }
+    let out = result.values().to_vec();
+    ws.recycle(result);
+    Ok(out)
+}
+
 /// Posterior mean of a discrete node under a state-value map (e.g. bin
-/// midpoints) — convenience for dComp/pAccel style summaries.
+/// midpoints) — convenience for dComp/pAccel style summaries. The
+/// expectation uses the FMA dot kernel ([`crate::infer::factor::lanes::dot`]);
+/// its documented reassociation is harmless at summary-statistic precision.
 pub fn posterior_mean(
     network: &BayesianNetwork,
     target: usize,
@@ -389,11 +510,7 @@ pub fn posterior_mean(
             state_values.len()
         )));
     }
-    Ok(probs
-        .iter()
-        .zip(state_values.iter())
-        .map(|(&p, &v)| p * v)
-        .sum())
+    Ok(crate::infer::factor::lanes::dot(&probs, state_values))
 }
 
 /// The pre-optimization VE path, verbatim: greedy smallest-combined-scope
@@ -722,6 +839,65 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
         assert!(a.contains(&0) && a.contains(&2));
+    }
+
+    #[test]
+    fn logspace_marginals_match_linear_marginals() {
+        let bn = sprinkler();
+        let mut ev = Evidence::new();
+        ev.insert(3, 1);
+        for target in 0..3 {
+            let lin = posterior_marginal(&bn, target, &ev).unwrap();
+            let log = posterior_marginal_logspace(&bn, target, &ev).unwrap();
+            for (a, b) in log.iter().zip(lin.iter()) {
+                assert!((a - b).abs() < 1e-12, "target {target}: {log:?} vs {lin:?}");
+            }
+        }
+        // Point-mass shortcut works through the log entry too.
+        let mut on_target = Evidence::new();
+        on_target.insert(2, 1);
+        let p = posterior_marginal_logspace(&bn, 2, &on_target).unwrap();
+        assert_eq!(p, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn logspace_survives_deep_chain_underflow() {
+        // A 200-node binary chain observed in its unlikely alternating
+        // configuration: the joint evidence probability is ~0.001^198 ≈
+        // 1e-594, far below f64's smallest positive value. The linear path
+        // multiplies the evidence-reduced scalar factors together, reaches
+        // Z = 0 exactly, and must report zero-probability evidence; the log
+        // path adds logs instead and recovers the (well-defined) posterior.
+        let n = 200;
+        let vars: Vec<Variable> = (0..n)
+            .map(|i| Variable::discrete(format!("x{i}"), 2))
+            .collect();
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).unwrap();
+        }
+        let mut cpds = vec![Cpd::Tabular(
+            TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap(),
+        )];
+        for i in 1..n {
+            // Sticky chain: stay with 0.999, flip with 0.001.
+            cpds.push(Cpd::Tabular(
+                TabularCpd::new(i, vec![i - 1], 2, vec![2], vec![0.999, 0.001, 0.001, 0.999])
+                    .unwrap(),
+            ));
+        }
+        let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();
+        let mut ev = Evidence::new();
+        for i in 1..n {
+            ev.insert(i, i % 2); // alternate states: every transition flips
+        }
+        let linear = posterior_marginal(&bn, 0, &ev);
+        assert!(linear.is_err(), "linear VE should underflow to Z = 0");
+        let log = posterior_marginal_logspace(&bn, 0, &ev).unwrap();
+        // P(X0 | e) ∝ (0.5·0.001, 0.5·0.999) — the common 0.001^198 tail
+        // cancels in the normalization.
+        assert!((log[0] - 0.001).abs() < 1e-9, "{log:?}");
+        assert!((log[1] - 0.999).abs() < 1e-9, "{log:?}");
     }
 
     #[test]

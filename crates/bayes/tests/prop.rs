@@ -5,10 +5,10 @@
 use kert_bayes::compile::JunctionTree;
 use kert_bayes::cpd::{config_count, config_index, decode_config, Cpd, TabularCpd};
 use kert_bayes::discretize::{BinStrategy, ColumnBins, Discretizer};
-use kert_bayes::infer::factor::{naive as naive_factor, Factor};
+use kert_bayes::infer::factor::{naive as naive_factor, Factor, QueryWorkspace};
 use kert_bayes::infer::ve::{
-    naive as naive_ve, posterior_marginal, posterior_marginal_pruned, posterior_marginal_with,
-    EliminationHeuristic, Evidence,
+    naive as naive_ve, posterior_marginal, posterior_marginal_logspace, posterior_marginal_pruned,
+    posterior_marginal_with, EliminationHeuristic, Evidence,
 };
 use kert_bayes::learn::mle::{fit_tabular, ParamOptions};
 use kert_bayes::{BayesianNetwork, Dag, Dataset, Expr, Variable};
@@ -33,6 +33,27 @@ fn bin_strategy() -> impl Strategy<Value = BinStrategy> {
         Just(BinStrategy::EqualWidth),
         Just(BinStrategy::EqualFrequency),
     ]
+}
+
+/// Build a factor over the masked subset of a variable universe, reading
+/// its table from the front of `pool`. An all-false mask yields an
+/// empty-scope (single-value) factor; card-1 variables yield degenerate
+/// strides; cards 2..5 give inner runs of 1..625 — never a multiple of
+/// the 8-lane chunk width unless by accident.
+fn masked_factor(universe_cards: &[usize], mask: &[bool], pool: &[f64]) -> Factor {
+    let vars: Vec<usize> = (0..universe_cards.len()).filter(|&i| mask[i]).collect();
+    let cards: Vec<usize> = vars.iter().map(|&i| universe_cards[i]).collect();
+    let len: usize = cards.iter().product();
+    Factor::new(vars, cards, pool[..len].to_vec()).unwrap()
+}
+
+/// `prop_assert!`-friendly bitwise comparison of two factors.
+fn factor_bits(f: &Factor) -> (Vec<usize>, Vec<usize>, Vec<u64>) {
+    (
+        f.vars().to_vec(),
+        f.cards().to_vec(),
+        f.values().iter().map(|v| v.to_bits()).collect(),
+    )
 }
 
 /// Strategy: a random expression over up to `n_vars` variables, depth ≤ 3.
@@ -444,6 +465,135 @@ proptest! {
         for c in 0..2 {
             prop_assert_eq!(bits(&d1.column(c).edges), bits(&d2.column(c).edges));
             prop_assert_eq!(bits(&d1.column(c).midpoints), bits(&d2.column(c).midpoints));
+        }
+    }
+}
+
+// Kernel-equivalence properties for the lane-chunked stride kernels: the
+// determinism contract says every element-wise kernel is *bitwise* equal
+// to the per-entry naive reference (no reassociation), across arbitrary
+// scopes and strides — empty scopes, card-1 (single-row) tables, and inner
+// runs that are not multiples of the 8-wide lane chunk. Only `lanes::dot`
+// reassociates, and nothing here routes through it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lane_product_is_bitwise_equal_to_the_reference_on_random_scopes(
+        universe in proptest::collection::vec(1usize..=5, 0..5),
+        mask_a in proptest::collection::vec(proptest::bool::ANY, 4),
+        mask_b in proptest::collection::vec(proptest::bool::ANY, 4),
+        pool_a in proptest::collection::vec(0.01f64..2.0, 640),
+        pool_b in proptest::collection::vec(0.01f64..2.0, 640),
+    ) {
+        let fa = masked_factor(&universe, &mask_a[..universe.len()], &pool_a);
+        let fb = masked_factor(&universe, &mask_b[..universe.len()], &pool_b);
+
+        let slow = naive_factor::product(&fa, &fb);
+        let fast = fa.product(&fb);
+        prop_assert_eq!(factor_bits(&fast), factor_bits(&slow));
+
+        // The workspace variant and the in-place subset absorb must agree
+        // bit-for-bit with the fresh-allocation path.
+        let mut ws = QueryWorkspace::new();
+        let fast_ws = fa.product_ws(&fb, &mut ws);
+        prop_assert_eq!(factor_bits(&fast_ws), factor_bits(&slow));
+        if fb.vars().iter().all(|v| fa.vars().contains(v)) {
+            let mut absorbed = fa.clone();
+            prop_assert!(absorbed.mul_assign_ws(&fb, &mut ws));
+            prop_assert_eq!(factor_bits(&absorbed), factor_bits(&slow));
+        }
+
+        // Symmetric scopes: same table either way (values commute).
+        let ba = fb.product(&fa);
+        prop_assert_eq!(factor_bits(&ba), factor_bits(&slow));
+    }
+
+    #[test]
+    fn lane_sum_out_and_reduce_are_bitwise_equal_on_random_scopes(
+        universe in proptest::collection::vec(1usize..=5, 1..5),
+        mask in proptest::collection::vec(proptest::bool::ANY, 4),
+        pool in proptest::collection::vec(0.01f64..2.0, 640),
+        which in 0usize..4,
+        state_pick in 0usize..8,
+    ) {
+        let f = masked_factor(&universe, &mask[..universe.len()], &pool);
+        prop_assume!(!f.vars().is_empty());
+        let pos = which % f.vars().len();
+        let var = f.vars()[pos];
+        let card = f.cards()[pos];
+
+        // sum_out: positive inputs, eliminated states added ascending —
+        // identical association to the reference, so bitwise equal.
+        let slow = naive_factor::sum_out(&f, var);
+        prop_assert_eq!(factor_bits(&f.sum_out(var)), factor_bits(&slow));
+        let mut ws = QueryWorkspace::new();
+        prop_assert_eq!(factor_bits(&f.sum_out_ws(var, &mut ws)), factor_bits(&slow));
+        prop_assert_eq!(
+            factor_bits(&f.clone().sum_out_owned(var)),
+            factor_bits(&slow)
+        );
+        prop_assert_eq!(
+            factor_bits(&f.clone().sum_out_owned_ws(var, &mut ws)),
+            factor_bits(&slow)
+        );
+
+        // reduce: pure block copies, bitwise by construction.
+        let state = state_pick % card;
+        let slow_r = naive_factor::reduce(&f, var, state);
+        prop_assert_eq!(factor_bits(&f.reduce(var, state)), factor_bits(&slow_r));
+        prop_assert_eq!(
+            factor_bits(&f.reduce_ws(var, state, &mut ws)),
+            factor_bits(&slow_r)
+        );
+    }
+
+    /// Log-space elimination agrees with linear-space elimination wherever
+    /// the linear path is representable, across random sticky chains with
+    /// random evidence — the deep-underflow case (linear fails, log exact)
+    /// is pinned separately in `ve.rs`.
+    #[test]
+    fn logspace_elimination_agrees_with_linear_on_random_chains(
+        n in 3usize..40,
+        p in 0.55f64..0.995,
+        ev_mask in proptest::collection::vec(proptest::bool::ANY, 40),
+        ev_states in proptest::collection::vec(0usize..2, 40),
+        target_pick in 0usize..40,
+    ) {
+        // Binary chain X0 → X1 → … with sticky transition probability p.
+        let vars: Vec<Variable> = (0..n)
+            .map(|i| Variable::discrete(format!("x{i}"), 2))
+            .collect();
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).unwrap();
+        }
+        let mut cpds = vec![Cpd::Tabular(
+            TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap(),
+        )];
+        for i in 1..n {
+            cpds.push(Cpd::Tabular(
+                TabularCpd::new(i, vec![i - 1], 2, vec![2], vec![p, 1.0 - p, 1.0 - p, p])
+                    .unwrap(),
+            ));
+        }
+        let bn = BayesianNetwork::new(vars, dag, cpds).unwrap();
+
+        let target = target_pick % n;
+        let mut ev = Evidence::new();
+        for i in 0..n {
+            if i != target && ev_mask[i] {
+                ev.insert(i, ev_states[i]);
+            }
+        }
+
+        let log = posterior_marginal_logspace(&bn, target, &ev).unwrap();
+        let total: f64 = log.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "log marginal sums to {total}");
+        if let Ok(lin) = posterior_marginal(&bn, target, &ev) {
+            for (a, b) in log.iter().zip(lin.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "{log:?} vs {lin:?}");
+            }
         }
     }
 }

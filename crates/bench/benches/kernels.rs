@@ -1,0 +1,281 @@
+//! Lane-kernel benchmarks: the chunked inner-stride factor kernels
+//! against the PR 4 odometer kernels they replaced, merged into
+//! `BENCH_perf.json` as the `kernels` section.
+//!
+//! The "before" side is a verbatim bench-local copy of the PR 4
+//! implementation (incremental stride walking, but the multi-position
+//! odometer advances inside the innermost loop — one counter sweep per
+//! table entry, one scalar scatter-add per element). The "after" side is
+//! the library's current kernels: odometer hoisted to the outer blocks,
+//! contiguous inner runs processed in 8-wide f64 chunks. Both sides run
+//! the same eDiaMoND-shaped workload as the committed
+//! `inference.factor_*` numbers, so the section is directly comparable
+//! to the PR 4 baseline (`factor_sum_out.after_ns` ≈ 71.3 µs).
+//!
+//! Also measured here: the one-pass log-space VE query path, whose cost
+//! is the price of underflow immunity on deep networks.
+
+use kert_bayes::infer::factor::Factor;
+use kert_bayes::infer::ve;
+use kert_bayes::infer::ve::Evidence;
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_bench::timing::{before_after, bench, merge_bench_perf};
+use kert_core::{DiscreteKertOptions, KertBn};
+use serde::Value;
+use std::hint::black_box;
+
+/// `factor_sum_out.after_ns` committed by PR 4 — the baseline the
+/// acceptance gate compares this run's lane kernel against.
+const PR4_COMMITTED_SUM_OUT_NS: f64 = 71319.58823529411;
+
+/// The PR 4 kernels, preserved as this bench's live "before" side.
+mod pr4 {
+    use kert_bayes::infer::factor::Factor;
+
+    fn strides(cards: &[usize]) -> Vec<usize> {
+        let mut out = vec![0usize; cards.len()];
+        let mut acc = 1usize;
+        for (i, &c) in cards.iter().enumerate().rev() {
+            out[i] = acc;
+            acc *= c;
+        }
+        out
+    }
+
+    /// Per-entry odometer: every `advance` sweeps the counter slots from
+    /// the fastest position, updating each tracked linear index — the
+    /// inner-loop cost the lane kernels hoist out.
+    struct Odometer<'a> {
+        cards: &'a [usize],
+        counters: Vec<usize>,
+    }
+
+    impl<'a> Odometer<'a> {
+        fn new(cards: &'a [usize]) -> Self {
+            Odometer {
+                cards,
+                counters: vec![0; cards.len()],
+            }
+        }
+
+        #[inline]
+        fn advance(&mut self, stride_tables: &[&[usize]], indices: &mut [usize]) {
+            for p in (0..self.cards.len()).rev() {
+                self.counters[p] += 1;
+                for (k, table) in stride_tables.iter().enumerate() {
+                    indices[k] += table[p];
+                }
+                if self.counters[p] < self.cards[p] {
+                    return;
+                }
+                self.counters[p] = 0;
+                for (k, table) in stride_tables.iter().enumerate() {
+                    indices[k] -= table[p] * self.cards[p];
+                }
+            }
+        }
+    }
+
+    pub fn product(a: &Factor, b: &Factor) -> Factor {
+        let (av, ac) = (a.vars(), a.cards());
+        let (bv, bc) = (b.vars(), b.cards());
+        let mut vars: Vec<usize> = Vec::with_capacity(av.len() + bv.len());
+        let mut cards: Vec<usize> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < av.len() || j < bv.len() {
+            let take_left = match (av.get(i), bv.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x == y {
+                        vars.push(x);
+                        cards.push(ac[i]);
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    x < y
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                vars.push(av[i]);
+                cards.push(ac[i]);
+                i += 1;
+            } else {
+                vars.push(bv[j]);
+                cards.push(bc[j]);
+                j += 1;
+            }
+        }
+        let sa_full = strides(ac);
+        let sb_full = strides(bc);
+        let stride_a: Vec<usize> = vars
+            .iter()
+            .map(|v| av.binary_search(v).map(|p| sa_full[p]).unwrap_or(0))
+            .collect();
+        let stride_b: Vec<usize> = vars
+            .iter()
+            .map(|v| bv.binary_search(v).map(|p| sb_full[p]).unwrap_or(0))
+            .collect();
+
+        let total: usize = cards.iter().product();
+        let (aval, bval) = (a.values(), b.values());
+        let mut values = Vec::with_capacity(total);
+        let mut odo = Odometer::new(&cards);
+        let mut idx = [0usize; 2];
+        for _ in 0..total {
+            values.push(aval[idx[0]] * bval[idx[1]]);
+            odo.advance(&[&stride_a, &stride_b], &mut idx);
+        }
+        Factor::new(vars, cards, values).unwrap()
+    }
+
+    pub fn sum_out(f: &Factor, var: usize) -> Factor {
+        let pos = f.vars().binary_search(&var).expect("var in scope");
+        let mut vars = f.vars().to_vec();
+        vars.remove(pos);
+        let mut cards = f.cards().to_vec();
+        cards.remove(pos);
+
+        let out_strides = strides(&cards);
+        let scatter: Vec<usize> = (0..f.vars().len())
+            .map(|ip| match ip.cmp(&pos) {
+                std::cmp::Ordering::Less => out_strides[ip],
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => out_strides[ip - 1],
+            })
+            .collect();
+
+        let total: usize = cards.iter().product();
+        let mut values = vec![0.0; total];
+        let mut odo = Odometer::new(f.cards());
+        let mut idx = [0usize];
+        for &v in f.values() {
+            values[idx[0]] += v;
+            odo.advance(&[&scatter], &mut idx);
+        }
+        Factor::new(vars, cards, values).unwrap()
+    }
+}
+
+/// Same eDiaMoND-shaped factor pair as the `inference` bench.
+fn factor_pair() -> (Factor, Factor) {
+    let cards_a = [5usize, 5, 5, 5, 5];
+    let len_a: usize = cards_a.iter().product();
+    let a = Factor::new(
+        vec![0, 1, 2, 3, 6],
+        cards_a.to_vec(),
+        (0..len_a).map(|i| 1.0 + (i % 17) as f64 * 0.25).collect(),
+    )
+    .unwrap();
+    let cards_b = [5usize, 5, 5];
+    let len_b: usize = cards_b.iter().product();
+    let b = Factor::new(
+        vec![1, 3, 4],
+        cards_b.to_vec(),
+        (0..len_b).map(|i| 0.5 + (i % 11) as f64 * 0.125).collect(),
+    )
+    .unwrap();
+    (a, b)
+}
+
+fn main() {
+    println!("== lane kernels vs PR 4 odometer kernels ==");
+    let (fa, fb) = factor_pair();
+
+    // Sanity first: the determinism contract says the lane kernels are
+    // *bitwise* identical to the kernels they replaced.
+    let bits = |f: &Factor| f.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let prod_old = pr4::product(&fa, &fb);
+    let prod_new = fa.product(&fb);
+    assert_eq!(prod_old.vars(), prod_new.vars());
+    assert_eq!(
+        bits(&prod_old),
+        bits(&prod_new),
+        "product diverged from PR 4"
+    );
+    let sum_old = pr4::sum_out(&prod_old, 3);
+    let sum_new = prod_new.sum_out(3);
+    assert_eq!(bits(&sum_old), bits(&sum_new), "sum_out diverged from PR 4");
+
+    let product_before = bench("factor_product/pr4_odometer", || {
+        pr4::product(black_box(&fa), black_box(&fb))
+    });
+    let product_after = bench("factor_product/lanes", || {
+        black_box(&fa).product(black_box(&fb))
+    });
+
+    let big = fa.product(&fb);
+    let sum_before = bench("factor_sum_out/pr4_odometer", || {
+        pr4::sum_out(black_box(&big), 3)
+    });
+    let sum_after = bench("factor_sum_out/lanes", || black_box(&big).sum_out(3));
+
+    // Log-space VE on the discrete eDiaMoND dComp query: what underflow
+    // immunity costs relative to the linear path on the same workload.
+    let mut env = Environment::ediamond(ScenarioOptions::default());
+    let (train, _) = env.datasets(1200, 1, 1);
+    let model =
+        KertBn::build_discrete(&env.knowledge, &train, DiscreteKertOptions::default()).unwrap();
+    let bn = model.network();
+    let d_node = model.d_node();
+    let mut evidence = Evidence::new();
+    evidence.insert(0, 2);
+    evidence.insert(1, 2);
+    evidence.insert(d_node, 4);
+    let lin = ve::posterior_marginal(bn, 3, &evidence).unwrap();
+    let log = ve::posterior_marginal_logspace(bn, 3, &evidence).unwrap();
+    for (a, b) in log.iter().zip(lin.iter()) {
+        assert!((a - b).abs() < 1e-9, "log-space VE diverged from linear");
+    }
+    let ve_linear = bench("ve_query/linear", || {
+        ve::posterior_marginal(black_box(bn), 3, black_box(&evidence)).unwrap()
+    });
+    let ve_log = bench("ve_query/logspace", || {
+        ve::posterior_marginal_logspace(black_box(bn), 3, black_box(&evidence)).unwrap()
+    });
+
+    merge_bench_perf(
+        "kernels",
+        Value::Map(vec![
+            (
+                "factor_product".into(),
+                before_after(&product_before, &product_after),
+            ),
+            (
+                "factor_sum_out".into(),
+                before_after(&sum_before, &sum_after),
+            ),
+            (
+                "pr4_committed_sum_out_ns".into(),
+                Value::Num(PR4_COMMITTED_SUM_OUT_NS),
+            ),
+            (
+                "sum_out_speedup_vs_committed".into(),
+                Value::Num(PR4_COMMITTED_SUM_OUT_NS / sum_after.median_ns),
+            ),
+            (
+                "ve_query_logspace".into(),
+                Value::Map(vec![
+                    ("linear_ns".into(), Value::Num(ve_linear.median_ns)),
+                    ("logspace_ns".into(), Value::Num(ve_log.median_ns)),
+                    (
+                        "overhead".into(),
+                        Value::Num(ve_log.median_ns / ve_linear.median_ns - 1.0),
+                    ),
+                ]),
+            ),
+            (
+                "note".into(),
+                Value::Str(
+                    "before = live re-run of the PR 4 odometer kernels on this host; \
+                     pr4_committed_sum_out_ns is the number PR 4 committed, kept for \
+                     cross-run comparison. Lane kernels are bitwise-identical to the \
+                     PR 4 kernels (asserted before timing)."
+                        .into(),
+                ),
+            ),
+        ]),
+    );
+}

@@ -15,7 +15,10 @@
 //! `telemetry` section, so the perf artifact carries the counters that
 //! explain its numbers.
 
-use kert_agents::runtime::{decentralized_learn, slice_local_datasets, LearnOptions};
+use kert_agents::health::ModelHealth;
+use kert_agents::runtime::{
+    decentralized_learn, publish_health_gauges, slice_local_datasets, LearnOptions,
+};
 use kert_bayes::compile::JunctionTree;
 use kert_bayes::infer::ve::Evidence;
 use kert_bayes::{Dag, Variable};
@@ -100,6 +103,12 @@ fn main() {
         )
         .unwrap()
     });
+    // The metrics-mode learn just rebuilt all 40 CPDs from fresh fits, but
+    // gauges are only published by the resilient rebuild path — surface the
+    // equivalent all-fresh report here so the committed snapshot carries the
+    // ModelHealth gauges, not an empty array.
+    let health = ModelHealth::all_fresh(variables.len(), locals[0].data.rows());
+    publish_health_gauges(&health);
     let snap = kert_obs::snapshot();
     kert_obs::set_mode(ObsMode::Disabled);
 

@@ -15,7 +15,10 @@
 //! [`crate::dcomp`], [`crate::paccel`] and [`crate::violation`] route
 //! through it automatically for discrete models.
 
-use kert_bayes::compile::{JtState, JunctionTree};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kert_bayes::compile::{configured_workers, JtState, JunctionTree};
 use kert_bayes::discretize::Discretizer;
 
 use crate::dcomp::DCompOutcome;
@@ -37,16 +40,74 @@ static OBS_PACCEL_CANDIDATES: kert_obs::Counter =
 static OBS_VIOLATION_THRESHOLDS: kert_obs::Counter =
     kert_obs::Counter::new("core.compiled.violation_thresholds");
 
+/// One worker's chunk of a batch fan-out: worker index, wall time, the
+/// chunk's per-item (result, compute time) pairs, and the pooled state
+/// handed back for reuse.
+type WorkerChunk<O> = (usize, Duration, Vec<(Result<O>, Duration)>, JtState);
+
+/// Timing of one batch fan-out ([`CompiledKert::dcomp_all`],
+/// [`CompiledKert::paccel_batch`], [`CompiledKert::violation_sweep_batch`]):
+/// how long each item took to compute and how that work distributed across
+/// the worker pool.
+#[derive(Debug, Clone)]
+pub struct FanoutStats {
+    /// Workers the batch actually used (≤ the configured pool width).
+    pub workers: usize,
+    /// Measured compute time per item, in input order.
+    pub item_times: Vec<Duration>,
+    /// Per worker: the sum of its items' compute times — the latency that
+    /// worker's share costs on a core of its own.
+    pub worker_item_sums: Vec<Duration>,
+    /// Per worker: measured wall time including thread scheduling. On a
+    /// single-core host the workers timeshare, so these approach the batch
+    /// total regardless of pool width — which is why the headline number
+    /// is [`FanoutStats::simulated_speedup`], not a wall ratio.
+    pub worker_wall: Vec<Duration>,
+}
+
+impl FanoutStats {
+    /// Host-independent speedup of the fan-out: total per-item compute
+    /// time over the slowest worker's share (Σ/max). This is the factor
+    /// the batch latency divides by with one core per worker, derived
+    /// entirely from per-item times measured on *this* host — the same
+    /// convention as the decentralized-learning speedup in the benches.
+    pub fn simulated_speedup(&self) -> f64 {
+        let max = self
+            .worker_item_sums
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default();
+        if max.is_zero() {
+            return 1.0;
+        }
+        let sum: Duration = self.item_times.iter().sum();
+        sum.as_secs_f64() / max.as_secs_f64()
+    }
+}
+
 /// A discrete [`KertBn`] compiled into a calibrated junction tree, with a
 /// mutable evidence state and reusable query workspace.
 ///
 /// All query methods take `&mut self` because evidence entry and message
 /// propagation mutate the cached state; the compiled tree itself is
-/// immutable and shared across all queries.
+/// immutable, `Arc`-shared, and read concurrently by the batch worker
+/// pool (and by anything that takes a handle via
+/// [`CompiledKert::share_tree`] — e.g. a long-running query daemon).
+/// Batch entry points fan their independent items across
+/// [`CompiledKert::workers`] scoped threads, each with its own pooled
+/// [`JtState`]; per-item results are bitwise identical for any worker
+/// count because message propagation is a deterministic function of
+/// (tree, evidence), never of thread schedule.
 pub struct CompiledKert<'m> {
     model: &'m KertBn,
-    tree: JunctionTree,
+    tree: Arc<JunctionTree>,
     state: JtState,
+    /// Parked per-worker states, reused across batch calls so steady-state
+    /// fan-outs stop allocating propagation state.
+    spare: Vec<JtState>,
+    workers: usize,
+    last_fanout: Option<FanoutStats>,
 }
 
 impl KertBn {
@@ -67,14 +128,50 @@ impl<'m> CompiledKert<'m> {
             ));
         }
         OBS_COMPILES.incr();
-        let tree = JunctionTree::compile(model.network())?;
+        let tree = Arc::new(JunctionTree::compile(model.network())?);
         let state = tree.new_state();
-        Ok(CompiledKert { model, tree, state })
+        Ok(CompiledKert {
+            model,
+            tree,
+            state,
+            spare: Vec::new(),
+            workers: configured_workers(),
+            last_fanout: None,
+        })
     }
 
     /// The model this engine was compiled from.
     pub fn model(&self) -> &'m KertBn {
         self.model
+    }
+
+    /// A shared handle to the compiled tree, for callers that serve
+    /// queries from their own threads (each thread pairs the handle with
+    /// its own [`JunctionTree::new_state`]).
+    pub fn share_tree(&self) -> Arc<JunctionTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Batch worker-pool width (defaults to
+    /// [`configured_workers`]: `KERT_WORKERS` or the host parallelism).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Override the batch worker-pool width. `1` forces sequential
+    /// batches; results are identical for any value. While the tree is
+    /// not yet shared elsewhere, the collect-pass worker count inside the
+    /// tree is updated to match.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+        if let Some(tree) = Arc::get_mut(&mut self.tree) {
+            tree.set_workers(workers.max(1));
+        }
+    }
+
+    /// Timing of the most recent batch fan-out, if any.
+    pub fn last_fanout(&self) -> Option<&FanoutStats> {
+        self.last_fanout.as_ref()
     }
 
     /// Induced width of the compiled tree (largest clique size minus
@@ -87,14 +184,10 @@ impl<'m> CompiledKert<'m> {
         self.model.discretizer().expect("checked at compile")
     }
 
-    /// Replace the current evidence set with `evidence` (raw measurement
-    /// values, binned through the model's discretizer). Entry order is
-    /// deterministic (sorted by node) so repeated calls with permuted
+    /// Bin raw measurement evidence into sorted `(node, state)` pins.
+    /// Sorting makes entry order deterministic, so permuted evidence
     /// slices propagate identically.
-    pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
-        OBS_EVIDENCE_SETS.incr();
-        OBS_EVIDENCE_PINS.add(evidence.len() as u64);
-        self.tree.clear_evidence(&mut self.state)?;
+    fn bin_pins(&self, evidence: &[(usize, f64)]) -> Result<Vec<(usize, usize)>> {
         let disc = self.disc();
         let mut pins: Vec<(usize, usize)> = evidence
             .iter()
@@ -106,10 +199,123 @@ impl<'m> CompiledKert<'m> {
             })
             .collect::<Result<_>>()?;
         pins.sort_unstable();
-        for (node, s) in pins {
-            self.tree.set_evidence(&mut self.state, node, s)?;
+        Ok(pins)
+    }
+
+    /// Replace all evidence on `st` with the given sorted pins.
+    fn apply_pins(tree: &JunctionTree, st: &mut JtState, pins: &[(usize, usize)]) -> Result<()> {
+        tree.clear_evidence(st)?;
+        for &(node, s) in pins {
+            tree.set_evidence(st, node, s)?;
         }
         Ok(())
+    }
+
+    /// Replace the current evidence set with `evidence` (raw measurement
+    /// values, binned through the model's discretizer).
+    pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
+        OBS_EVIDENCE_SETS.incr();
+        OBS_EVIDENCE_PINS.add(evidence.len() as u64);
+        let pins = self.bin_pins(evidence)?;
+        Self::apply_pins(&self.tree, &mut self.state, &pins)
+    }
+
+    /// Fan `items` across the worker pool against the shared tree: every
+    /// worker draws a pooled [`JtState`], applies the shared `pins`, and
+    /// runs `work` on its contiguous chunk of items. Results come back in
+    /// input order; per-item and per-worker times land in
+    /// [`CompiledKert::last_fanout`].
+    ///
+    /// With a pool width of 1 (or a single item) the batch runs on the
+    /// engine's own state with no threads — the two paths produce bitwise
+    /// identical results, so `KERT_WORKERS=1` is purely a latency choice.
+    fn fan_out<T, O>(
+        &mut self,
+        items: &[T],
+        pins: &[(usize, usize)],
+        work: impl Fn(&JunctionTree, &mut JtState, &T) -> Result<O> + Sync,
+    ) -> Result<Vec<O>>
+    where
+        T: Sync,
+        O: Send,
+    {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.min(items.len()).max(1);
+        let mut stats = FanoutStats {
+            workers,
+            item_times: Vec::with_capacity(items.len()),
+            worker_item_sums: Vec::with_capacity(workers),
+            worker_wall: Vec::with_capacity(workers),
+        };
+        let mut out: Vec<O> = Vec::with_capacity(items.len());
+        if workers < 2 {
+            let wall = Instant::now();
+            Self::apply_pins(&self.tree, &mut self.state, pins)?;
+            for item in items {
+                let t0 = Instant::now();
+                let r = work(&self.tree, &mut self.state, item)?;
+                stats.item_times.push(t0.elapsed());
+                out.push(r);
+            }
+            stats.worker_item_sums.push(stats.item_times.iter().sum());
+            stats.worker_wall.push(wall.elapsed());
+        } else {
+            while self.spare.len() < workers {
+                self.spare.push(self.tree.new_state());
+            }
+            let mut states: Vec<JtState> = self.spare.drain(self.spare.len() - workers..).collect();
+            let chunk_len = items.len().div_ceil(workers);
+            let tree: &JunctionTree = &self.tree;
+            let work = &work;
+            // Worker w returns its chunk's per-item (result, time) pairs
+            // and its wall time; a failed pin application or item stops
+            // that worker's chunk at the error.
+            let mut results: Vec<WorkerChunk<O>> = std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(workers);
+                for (w, chunk) in items.chunks(chunk_len).enumerate() {
+                    let mut st = states.pop().expect("one state per worker");
+                    handles.push(s.spawn(move || {
+                        let wall = Instant::now();
+                        let mut outs: Vec<(Result<O>, Duration)> = Vec::with_capacity(chunk.len());
+                        match Self::apply_pins(tree, &mut st, pins) {
+                            Err(e) => outs.push((Err(e), Duration::ZERO)),
+                            Ok(()) => {
+                                for item in chunk {
+                                    let t0 = Instant::now();
+                                    let r = work(tree, &mut st, item);
+                                    let failed = r.is_err();
+                                    outs.push((r, t0.elapsed()));
+                                    if failed {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        (w, wall.elapsed(), outs, st)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            });
+            results.sort_by_key(|&(w, ..)| w);
+            for (_, wall, outs, st) in results {
+                self.spare.push(st);
+                let mut sum = Duration::ZERO;
+                for (r, t) in outs {
+                    out.push(r?);
+                    sum += t;
+                    stats.item_times.push(t);
+                }
+                stats.worker_item_sums.push(sum);
+                stats.worker_wall.push(wall);
+            }
+        }
+        self.last_fanout = Some(stats);
+        Ok(out)
     }
 
     /// Posterior of `target` under the evidence currently entered.
@@ -125,8 +331,9 @@ impl<'m> CompiledKert<'m> {
     /// Batched dComp: prior and posterior of every `target` given one
     /// shared evidence set. Equivalent to calling [`crate::dcomp::dcomp`]
     /// per target, but the network is compiled once, the observed evidence
-    /// is propagated once, and the per-target work is a single collect pass
-    /// toward each target's home clique.
+    /// is propagated once per worker, and the per-target work is a single
+    /// collect pass toward each target's home clique — targets fan across
+    /// the worker pool.
     pub fn dcomp_all(
         &mut self,
         observed: &[(usize, f64)],
@@ -137,29 +344,34 @@ impl<'m> CompiledKert<'m> {
         for &target in targets {
             check_query(self.model.network(), observed, target)?;
         }
-        self.set_evidence(&[])?;
-        let priors: Vec<Posterior> = targets
-            .iter()
-            .map(|&t| self.posterior(t))
-            .collect::<Result<_>>()?;
-        self.set_evidence(observed)?;
-        targets
+        let disc = self.disc();
+        let query = move |tree: &JunctionTree, st: &mut JtState, target: usize| {
+            OBS_POSTERIORS.incr();
+            let probs = tree.marginal(st, target)?;
+            Ok(discrete_posterior(disc, target, probs))
+        };
+        let priors: Vec<Posterior> =
+            self.fan_out(targets, &[], |tree, st, &t| query(tree, st, t))?;
+        let pins = self.bin_pins(observed)?;
+        let posteriors: Vec<Posterior> =
+            self.fan_out(targets, &pins, |tree, st, &t| query(tree, st, t))?;
+        Ok(targets
             .iter()
             .zip(priors)
-            .map(|(&target, prior)| {
-                Ok(DCompOutcome {
-                    target,
-                    prior,
-                    posterior: self.posterior(target)?,
-                })
+            .zip(posteriors)
+            .map(|((&target, prior), posterior)| DCompOutcome {
+                target,
+                prior,
+                posterior,
             })
-            .collect()
+            .collect())
     }
 
     /// Batched pAccel: one projection per `(service, predicted_elapsed)`
-    /// candidate against a single shared prior. Between candidates only
-    /// the service's own pin changes, so each projection re-propagates
-    /// just the affected subtree.
+    /// candidate against a single shared prior. Candidates fan across the
+    /// worker pool; within each worker only the candidate's own pin
+    /// changes between items, so each projection re-propagates just the
+    /// affected subtree of that worker's calibrated state.
     pub fn paccel_batch(&mut self, candidates: &[(usize, f64)]) -> Result<Vec<PAccelOutcome>> {
         OBS_PACCEL_CANDIDATES.add(candidates.len() as u64);
         let _span = kert_obs::span("core.paccel_batch");
@@ -170,22 +382,27 @@ impl<'m> CompiledKert<'m> {
         self.set_evidence(&[])?;
         let prior_d = self.posterior(d_node)?;
         let degraded = self.model.is_degraded();
-        candidates
-            .iter()
-            .map(|&(service, predicted_elapsed)| {
-                let s = self.disc().column(service).state(predicted_elapsed);
-                self.tree.set_evidence(&mut self.state, service, s)?;
-                let projected_d = self.posterior(d_node)?;
-                self.tree.retract_evidence(&mut self.state, service)?;
+        let disc = self.disc();
+        let prior_ref = &prior_d;
+        let outcomes = self.fan_out(
+            candidates,
+            &[],
+            move |tree, st, &(service, predicted_elapsed)| {
+                OBS_POSTERIORS.incr();
+                let s = disc.column(service).state(predicted_elapsed);
+                tree.set_evidence(st, service, s)?;
+                let probs = tree.marginal(st, d_node)?;
+                tree.retract_evidence(st, service)?;
                 Ok(PAccelOutcome {
                     service,
                     predicted_elapsed,
-                    prior_d: prior_d.clone(),
-                    projected_d,
+                    prior_d: prior_ref.clone(),
+                    projected_d: discrete_posterior(disc, d_node, probs),
                     degraded,
                 })
-            })
-            .collect()
+            },
+        )?;
+        Ok(outcomes)
     }
 
     /// `P(D > h | evidence)` for every threshold in `thresholds`: one
@@ -205,6 +422,41 @@ impl<'m> CompiledKert<'m> {
             .iter()
             .map(|&h| posterior.exceedance(h))
             .collect())
+    }
+
+    /// [`CompiledKert::violation_sweep`] over many independent evidence
+    /// sets — the control-loop shape where each monitoring window (or each
+    /// what-if scenario) needs its own `P(D > h)` sweep. Evidence sets fan
+    /// across the worker pool against the shared tree; row `i` of the
+    /// result is the sweep for `evidence_sets[i]`.
+    pub fn violation_sweep_batch(
+        &mut self,
+        evidence_sets: &[Vec<(usize, f64)>],
+        thresholds: &[f64],
+    ) -> Result<Vec<Vec<f64>>> {
+        OBS_VIOLATION_THRESHOLDS.add((evidence_sets.len() * thresholds.len()) as u64);
+        let _span = kert_obs::span("core.violation_sweep_batch");
+        let d_node = self.model.d_node();
+        let mut all_pins = Vec::with_capacity(evidence_sets.len());
+        for evidence in evidence_sets {
+            check_query(self.model.network(), evidence, d_node)?;
+            all_pins.push(self.bin_pins(evidence)?);
+        }
+        let disc = self.disc();
+        self.fan_out(
+            &all_pins,
+            &[],
+            move |tree, st, pins: &Vec<(usize, usize)>| {
+                OBS_POSTERIORS.incr();
+                Self::apply_pins(tree, st, pins)?;
+                let probs = tree.marginal(st, d_node)?;
+                let posterior = discrete_posterior(disc, d_node, probs);
+                Ok(thresholds
+                    .iter()
+                    .map(|&h| posterior.exceedance(h))
+                    .collect())
+            },
+        )
     }
 }
 
@@ -328,6 +580,82 @@ mod tests {
         )
         .unwrap();
         assert!((prior.mean() - fresh.mean()).abs() < 1e-9);
+    }
+
+    fn dprobs(p: &Posterior) -> &[f64] {
+        match p {
+            Posterior::Discrete { probs, .. } => probs,
+            other => panic!("expected a discrete posterior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_pool_results_are_bitwise_identical_to_sequential() {
+        let model = discrete_model();
+        let observed = vec![(0usize, 0.05), (1, 0.06), (6, 0.6)];
+        let targets = [2usize, 3, 4, 5];
+        let candidates = vec![(3usize, 0.3), (0, 0.04), (3, 0.2), (4, 0.05)];
+        let ev_sets: Vec<Vec<(usize, f64)>> = vec![
+            vec![(3, 0.4)],
+            vec![(0, 0.05), (1, 0.06)],
+            vec![],
+            vec![(4, 0.07)],
+        ];
+        let thresholds = [0.4, 0.6, 0.8];
+
+        let mut seq = model.compile().unwrap();
+        seq.set_workers(1);
+        let mut par = model.compile().unwrap();
+        par.set_workers(4);
+        assert_eq!(par.workers(), 4);
+
+        let a = seq.dcomp_all(&observed, &targets).unwrap();
+        let b = par.dcomp_all(&observed, &targets).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(dprobs(&x.prior), dprobs(&y.prior));
+            assert_eq!(dprobs(&x.posterior), dprobs(&y.posterior));
+        }
+
+        let a = seq.paccel_batch(&candidates).unwrap();
+        let b = par.paccel_batch(&candidates).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(dprobs(&x.projected_d), dprobs(&y.projected_d));
+        }
+
+        let a = seq.violation_sweep_batch(&ev_sets, &thresholds).unwrap();
+        let b = par.violation_sweep_batch(&ev_sets, &thresholds).unwrap();
+        assert_eq!(a, b, "violation sweep differed across worker counts");
+
+        // Fan-out stats recorded for the last batch: one time per item,
+        // work split across the pool, Σ/max speedup well-defined.
+        let stats = par.last_fanout().unwrap();
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.item_times.len(), ev_sets.len());
+        assert_eq!(stats.worker_item_sums.len(), 4);
+        assert!(stats.simulated_speedup() >= 1.0);
+        let seq_stats = seq.last_fanout().unwrap();
+        assert_eq!(seq_stats.workers, 1);
+        assert_eq!(seq_stats.worker_wall.len(), 1);
+    }
+
+    #[test]
+    fn violation_sweep_batch_matches_single_sweeps() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        let ev_sets: Vec<Vec<(usize, f64)>> =
+            vec![vec![(3, 0.4)], vec![(0, 0.05)], vec![(3, 0.25), (1, 0.06)]];
+        let thresholds = [0.3, 0.5, 0.7];
+        let batch = compiled
+            .violation_sweep_batch(&ev_sets, &thresholds)
+            .unwrap();
+        assert_eq!(batch.len(), ev_sets.len());
+        for (evidence, row) in ev_sets.iter().zip(&batch) {
+            let single = compiled.violation_sweep(evidence, &thresholds).unwrap();
+            assert_eq!(row, &single, "evidence {evidence:?}");
+        }
+        // The tree handle is shareable for daemon-style callers.
+        let tree = compiled.share_tree();
+        assert!(tree.n_cliques() > 0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod report;
 pub mod violation;
 
 pub use autonomic::{compensate_degraded, Compensation};
-pub use compiled::CompiledKert;
+pub use compiled::{CompiledKert, FanoutStats};
 pub use dcomp::{dcomp, dcomp_all, dcomp_via, DCompOutcome};
 pub use kert::{
     ContinuousKertOptions, DiscreteKertOptions, KertBn, ParamLearning, ResilientKertOptions,
