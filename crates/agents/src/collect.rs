@@ -31,6 +31,15 @@ pub trait ReportSource {
     /// One delivery attempt of `agent`'s report for `window`.
     fn fetch(&mut self, agent: usize, window: usize, attempt: usize)
         -> (Delivery, Vec<FaultEvent>);
+
+    /// Whether shard `shard` (of `n_shards`) is entirely unreachable for
+    /// `window` — a network partition between the coordinator and a slice
+    /// of the fleet. Sources without shard-level faults report `false`;
+    /// the epoch collector short-circuits every fetch in a partitioned
+    /// shard without spending its retry budget.
+    fn shard_outage(&mut self, _shard: usize, _n_shards: usize, _window: usize) -> bool {
+        false
+    }
 }
 
 /// A fleet of monitoring agents reporting trace windows through a
@@ -92,6 +101,10 @@ impl ReportSource for FaultyFleet<'_> {
             self.agents[agent].report_window(&self.windows[window], self.window_starts[window]);
         self.injector.deliver(agent, window, attempt, &report)
     }
+
+    fn shard_outage(&mut self, shard: usize, n_shards: usize, window: usize) -> bool {
+        self.injector.shard_partitioned(shard, n_shards, window)
+    }
 }
 
 /// Retry/backoff policy for one report collection.
@@ -114,14 +127,38 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// A policy that never retries and accepts no straggle — the
+    /// collector's straggler-cutoff mode once a shard's epoch budget is
+    /// exhausted.
+    pub fn cutoff() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            patience_windows: 0,
+        }
+    }
+
+    /// Simulated windows charged for the backoff after retry `attempt`.
+    ///
+    /// Exponential (`2^attempt`) but *saturating*: a pathological retry
+    /// budget (or a caller looping attempts externally) must never wrap
+    /// the `u64` simulated clock — it pins at `u64::MAX` instead.
+    pub fn backoff_windows(attempt: usize) -> u64 {
+        u32::try_from(attempt)
+            .ok()
+            .and_then(|a| 1u64.checked_shl(a))
+            .unwrap_or(u64::MAX)
+    }
+}
+
 /// Accounting for one collection: what it cost and what was observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CollectStats {
     /// Retransmissions performed (0 = first attempt succeeded).
     pub retries: usize,
-    /// Simulated windows spent waiting (backoff 2^i per retry, plus any
-    /// accepted straggle).
-    pub waited_windows: usize,
+    /// Simulated windows spent waiting (saturating backoff 2^i per retry,
+    /// plus any accepted straggle) — saturating, never wrapping.
+    pub waited_windows: u64,
     /// Every fault event seen across all attempts.
     pub faults: Vec<FaultEvent>,
 }
@@ -146,7 +183,7 @@ pub fn collect_report(
         match delivery {
             Delivery::Delivered(report) => return (Some(report), stats),
             Delivery::Delayed { windows, report } if windows <= policy.patience_windows => {
-                stats.waited_windows += windows;
+                stats.waited_windows = stats.waited_windows.saturating_add(windows as u64);
                 OBS_WAITED.add(windows as u64);
                 return (Some(report), stats);
             }
@@ -157,10 +194,11 @@ pub fn collect_report(
                     return (None, stats);
                 }
                 if attempt < policy.max_retries {
+                    let backoff = RetryPolicy::backoff_windows(attempt);
                     stats.retries += 1;
-                    stats.waited_windows += 1 << attempt;
+                    stats.waited_windows = stats.waited_windows.saturating_add(backoff);
                     OBS_RETRIES.incr();
-                    OBS_WAITED.add(1 << attempt);
+                    OBS_WAITED.add(backoff);
                 }
             }
         }
@@ -345,6 +383,43 @@ mod tests {
         let (report, stats) = collect_report(&mut source, 0, 0, &policy);
         assert!(report.is_none());
         assert_eq!(stats.retries, 2);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        // Small attempts keep the exact exponential schedule…
+        assert_eq!(RetryPolicy::backoff_windows(0), 1);
+        assert_eq!(RetryPolicy::backoff_windows(10), 1024);
+        assert_eq!(RetryPolicy::backoff_windows(63), 1 << 63);
+        // …and anything that would overflow the u64 simulated clock pins
+        // at the maximum rather than wrapping to a tiny (or zero) delay.
+        assert_eq!(RetryPolicy::backoff_windows(64), u64::MAX);
+        assert_eq!(RetryPolicy::backoff_windows(1_000_000), u64::MAX);
+        assert_eq!(RetryPolicy::backoff_windows(usize::MAX), u64::MAX);
+
+        // An absurd retry budget accumulates to saturation, not a wrap.
+        struct AlwaysMissing;
+        impl ReportSource for AlwaysMissing {
+            fn n_agents(&self) -> usize {
+                1
+            }
+            fn fetch(
+                &mut self,
+                _agent: usize,
+                _window: usize,
+                _attempt: usize,
+            ) -> (Delivery, Vec<FaultEvent>) {
+                (Delivery::Missing, vec![FaultEvent::Dropped])
+            }
+        }
+        let policy = RetryPolicy {
+            max_retries: 80,
+            patience_windows: 0,
+        };
+        let (report, stats) = collect_report(&mut AlwaysMissing, 0, 0, &policy);
+        assert!(report.is_none());
+        assert_eq!(stats.retries, 80);
+        assert_eq!(stats.waited_windows, u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Simulated fleets of 10³+ agents under deterministic chaos.
+//!
+//! ROADMAP item 4 asks for the PR 2 fault harness at fleet scale:
+//! thousands of monitoring agents, whole-shard partitions, and a
+//! coordinator that dies mid-epoch and must come back *warm*. Running the
+//! discrete-event queueing simulator for thousands of services per epoch
+//! would drown the experiment in simulation cost, so [`SyntheticFleet`]
+//! generates agent reports directly — a deterministic linear-Gaussian
+//! chain whose every value is a pure function of `(seed, node, window,
+//! row)` — and pushes them through the same [`FaultInjector`] delivery
+//! path the six-service test-bed uses. What is under test is the
+//! *coordination plane*: the sharded epoch collector, the fallback
+//! ladder, and the snapshot/restore cycle.
+//!
+//! [`run_fleet_chaos`] is the drill sergeant: it runs a configured number
+//! of epochs, persists a coordinator snapshot after each, and when the
+//! seeded coordinator-crash fault fires it throws away the in-memory
+//! [`CpdCache`] (including a partially collected epoch — the "mid-epoch"
+//! loss), restores from the last snapshot, and re-runs the epoch. Every
+//! number in the resulting [`FleetChaosReport`] is simulated or counted —
+//! no wall clock — so a report is bitwise-reproducible across runs, hosts,
+//! and (absent budget cutoffs and partitions) shard counts.
+
+use std::path::PathBuf;
+
+use kert_bayes::{Dag, Dataset, Variable};
+use kert_sim::{
+    AgentReport, CoordinatorFaultPlan, Delivery, FaultEvent, FaultInjector, FaultPlan,
+    ShardFaultPlan,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::collect::ReportSource;
+use crate::runtime::{CpdCache, ResilientOptions};
+use crate::shard::{sharded_resilient_learn, ShardConfig};
+use crate::snapshot::{fnv1a64, restore_or_cold_start, save_snapshot, CoordinatorSnapshot};
+use crate::{AgentError, Result};
+
+static OBS_CHAOS_EPOCHS: kert_obs::Counter = kert_obs::Counter::new("agents.fleet.epochs");
+static OBS_WARM_RESTORES: kert_obs::Counter = kert_obs::Counter::new("agents.fleet.warm_restores");
+static OBS_COLD_RESTARTS: kert_obs::Counter = kert_obs::Counter::new("agents.fleet.cold_restarts");
+
+/// SplitMix64 avalanche for the synthetic data stream (domain-separated
+/// from the injector's delivery keys by construction — different seeds).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a key, with full 53-bit mantissa coverage.
+fn unit(key: u64) -> f64 {
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic "measurement" of `node` for global row `row_id`.
+///
+/// Mean-centered jitter around a per-node base, so regressions on the
+/// chain have full-rank design matrices and non-degenerate variance.
+fn node_value(seed: u64, node: usize, row_id: u64) -> f64 {
+    let base = 0.1 * ((node % 7) + 1) as f64;
+    let key = splitmix64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9)) ^ row_id;
+    base + 0.2 * (unit(key) - 0.5)
+}
+
+/// A synthetic fleet: one monitoring agent per node of an `n`-node chain
+/// (`X_{i-1} → X_i`), reporting through a seeded [`FaultInjector`].
+pub struct SyntheticFleet {
+    n_agents: usize,
+    rows_per_window: usize,
+    data_seed: u64,
+    injector: FaultInjector,
+    /// Delivery attempts served (collector throughput accounting).
+    pub fetches: u64,
+    /// Measurement rows generated across all served reports.
+    pub rows_generated: u64,
+}
+
+impl SyntheticFleet {
+    /// Build a fleet of `n_agents` with `rows_per_window` rows per report.
+    pub fn new(
+        n_agents: usize,
+        rows_per_window: usize,
+        data_seed: u64,
+        injector: FaultInjector,
+    ) -> Self {
+        SyntheticFleet {
+            n_agents,
+            rows_per_window,
+            data_seed,
+            injector,
+            fetches: 0,
+            rows_generated: 0,
+        }
+    }
+
+    /// The chain structure the fleet reports for: `X_{i-1} → X_i`.
+    pub fn chain_model(n: usize) -> (Vec<Variable>, Dag) {
+        let variables = (0..n)
+            .map(|i| Variable::continuous(format!("X{i}")))
+            .collect();
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).expect("chain edges are acyclic");
+        }
+        (variables, dag)
+    }
+
+    /// Agent `agent`'s pristine report for `window` (before injection).
+    fn pristine_report(&self, agent: usize, window: usize) -> AgentReport {
+        let parents: Vec<usize> = if agent == 0 { vec![] } else { vec![agent - 1] };
+        let mut names: Vec<String> = parents.iter().map(|p| format!("X{p}")).collect();
+        names.push(format!("X{agent}"));
+        let mut data = Dataset::new(names);
+        let first_id = (window * self.rows_per_window) as u64;
+        let mut row_ids = Vec::with_capacity(self.rows_per_window);
+        for r in 0..self.rows_per_window {
+            let row_id = first_id + r as u64;
+            let mut row: Vec<f64> = Vec::with_capacity(parents.len() + 1);
+            let mut parent_sum = 0.0;
+            for &p in &parents {
+                let v = node_value(self.data_seed, p, row_id);
+                parent_sum += v - 0.1 * ((p % 7) + 1) as f64;
+                row.push(v);
+            }
+            // The child tracks its parents (coefficient 0.6) plus its own
+            // deterministic jitter — a learnable linear-Gaussian family.
+            let own = node_value(self.data_seed, agent, row_id) + 0.6 * parent_sum;
+            row.push(own);
+            data.push_row(row).expect("synthetic rows match the width");
+            row_ids.push(row_id);
+        }
+        AgentReport {
+            service: agent,
+            data,
+            row_ids,
+            values_received: parents.len() * self.rows_per_window,
+        }
+    }
+}
+
+impl ReportSource for SyntheticFleet {
+    fn n_agents(&self) -> usize {
+        self.n_agents
+    }
+
+    fn fetch(
+        &mut self,
+        agent: usize,
+        window: usize,
+        attempt: usize,
+    ) -> (Delivery, Vec<FaultEvent>) {
+        self.fetches += 1;
+        self.rows_generated += self.rows_per_window as u64;
+        let report = self.pristine_report(agent, window);
+        self.injector.deliver(agent, window, attempt, &report)
+    }
+
+    fn shard_outage(&mut self, shard: usize, n_shards: usize, window: usize) -> bool {
+        self.injector.shard_partitioned(shard, n_shards, window)
+    }
+}
+
+/// Configuration of one chaos drill.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Fleet size (one agent per model node).
+    pub n_agents: usize,
+    /// Rows per agent report per window.
+    pub rows_per_window: usize,
+    /// Epochs to run (one collection window each).
+    pub epochs: usize,
+    /// Master seed for data, delivery faults, partitions, and crashes.
+    pub seed: u64,
+    /// Shard layout and budgets for the epoch collector.
+    pub shards: ShardConfig,
+    /// Ladder options (retry policy, min rows, prior).
+    pub resilient: ResilientOptions,
+    /// Per-attempt drop probability of every (non-cold) agent; delay and
+    /// corruption scale from it (×0.5 and ×0.25).
+    pub fault_rate: f64,
+    /// Fraction of agents crashed from window 0 — permanently cold nodes
+    /// that exercise the prior rung (0.0 for warm-restore gates).
+    pub cold_fraction: f64,
+    /// Per-(shard, window) partition probability (0.0 disables).
+    pub partition_prob: f64,
+    /// Coordinator crash plan (`None` = coordinator never dies).
+    pub coordinator: Option<CoordinatorFaultPlan>,
+    /// Where coordinator snapshots are persisted. `None` = no persistence:
+    /// a coordinator crash then restarts *cold* (prior rungs).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            n_agents: 1000,
+            rows_per_window: 48,
+            epochs: 6,
+            seed: 1,
+            // No global row alignment at fleet scale: each agent's report
+            // is self-contained (parent columns piggyback on application
+            // traffic, §3.4), and with per-row corruption the probability
+            // that one request id survives in *all* of 10³ reports decays
+            // as p^n — the fleet-wide intersection is empty by
+            // construction. The shared aligned view (`common_rows`) is
+            // still computed and reported for consumers that want it.
+            shards: ShardConfig {
+                align_rows: false,
+                ..ShardConfig::default()
+            },
+            resilient: ResilientOptions {
+                min_rows: 8,
+                ..ResilientOptions::default()
+            },
+            fault_rate: 0.15,
+            cold_fraction: 0.0,
+            partition_prob: 0.0,
+            coordinator: None,
+            snapshot_path: None,
+        }
+    }
+}
+
+impl ChaosOptions {
+    /// The per-agent fault plans this configuration induces.
+    pub fn agent_plans(&self) -> Vec<FaultPlan> {
+        let cold = (self.cold_fraction.clamp(0.0, 1.0) * self.n_agents as f64).round() as usize;
+        (0..self.n_agents)
+            .map(|agent| {
+                // Cold agents are spread across the fleet (every k-th) so
+                // every shard sees some, not just shard 0.
+                let is_cold = cold > 0 && agent % (self.n_agents / cold.max(1)).max(1) == 0;
+                if is_cold && cold > 0 {
+                    FaultPlan::crash_at(0)
+                } else {
+                    FaultPlan {
+                        drop_prob: self.fault_rate,
+                        delay_prob: self.fault_rate * 0.5,
+                        delay_windows: 1,
+                        corrupt_prob: self.fault_rate * 0.25,
+                        ..FaultPlan::healthy()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Build the seeded injector (delivery + shard + coordinator faults).
+    pub fn injector(&self) -> Result<FaultInjector> {
+        let mut injector = FaultInjector::new(self.seed, self.agent_plans())
+            .map_err(|e| AgentError::BadLocalData(format!("chaos fault plan: {e}")))?;
+        if self.partition_prob > 0.0 {
+            injector = injector
+                .with_shard_faults(ShardFaultPlan {
+                    partition_prob: self.partition_prob,
+                })
+                .map_err(|e| AgentError::BadLocalData(format!("chaos shard plan: {e}")))?;
+        }
+        if let Some(plan) = self.coordinator {
+            injector = injector
+                .with_coordinator_faults(plan)
+                .map_err(|e| AgentError::BadLocalData(format!("chaos coordinator plan: {e}")))?;
+        }
+        Ok(injector)
+    }
+}
+
+/// One epoch's outcome in a chaos drill. Every field is deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (= collection window).
+    pub epoch: usize,
+    /// Nodes on the fresh rung this epoch.
+    pub fresh: usize,
+    /// Nodes on the stale rung.
+    pub stale: usize,
+    /// Nodes on the prior rung.
+    pub prior: usize,
+    /// Oldest stale age served this epoch.
+    pub max_stale_age: usize,
+    /// Fault events observed across all report paths.
+    pub faults: usize,
+    /// Agents that delivered nothing usable.
+    pub missing_agents: usize,
+    /// Shards partitioned away this epoch.
+    pub partitioned_shards: usize,
+    /// Members collected under the straggler cutoff.
+    pub cutoff_agents: usize,
+    /// Simulated epoch latency: max over shards of shard sim-windows.
+    pub sim_windows_max: u64,
+    /// Simulated sequential cost: sum over shards.
+    pub sim_windows_sum: u64,
+    /// Whether the coordinator crashed and restarted before this epoch's
+    /// successful pass.
+    pub restored: bool,
+    /// Whether that restart came back warm (snapshot loaded) rather than
+    /// cold (no/corrupt snapshot → empty cache).
+    pub warm: bool,
+    /// FNV-1a-64 over the epoch's serialized CPD set — the bitwise
+    /// equivalence handle for run-twice and cross-shard-count checks.
+    pub cpd_fingerprint: String,
+}
+
+/// The full, deterministic record of one chaos drill.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetChaosReport {
+    /// Fleet size.
+    pub n_agents: usize,
+    /// Shard count used by the collector.
+    pub n_shards: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Rows per report.
+    pub rows_per_window: usize,
+    /// Per-epoch outcomes (successful passes; an epoch aborted by a
+    /// coordinator crash is folded into its retry's `restored` flag).
+    pub epochs: Vec<EpochRecord>,
+    /// Total nodes served per rung across all epochs.
+    pub total_fresh: usize,
+    /// Stale total.
+    pub total_stale: usize,
+    /// Prior total.
+    pub total_prior: usize,
+    /// Coordinator crashes injected.
+    pub coordinator_crashes: usize,
+    /// Restarts that came back warm.
+    pub warm_restores: usize,
+    /// Mean over epochs of `sum/max` shard sim-windows — the simulated
+    /// speedup of collecting shards concurrently.
+    pub simulated_speedup: f64,
+    /// Delivery attempts served by the fleet (includes retries and the
+    /// lost mid-epoch pass of a coordinator crash).
+    pub fetches: u64,
+    /// Measurement rows generated across all served reports.
+    pub rows_generated: u64,
+    /// Fingerprint of the final epoch's CPD set.
+    pub final_fingerprint: String,
+}
+
+/// Hex FNV-1a-64 over the JSON serialization of a CPD set.
+fn fingerprint_cpds(cpds: &[kert_bayes::Cpd]) -> String {
+    let json = serde_json::to_string(cpds).unwrap_or_default();
+    format!("{:016x}", fnv1a64(json.as_bytes()))
+}
+
+/// Run a seeded chaos drill: `epochs` sharded resilient rebuilds over a
+/// synthetic fleet, snapshotting after every epoch, crashing and warm-
+/// restoring the coordinator wherever the seeded fault plan says so.
+pub fn run_fleet_chaos(options: &ChaosOptions) -> Result<FleetChaosReport> {
+    let _span = kert_obs::span("agents.fleet_chaos");
+    let (variables, dag) = SyntheticFleet::chain_model(options.n_agents);
+    let injector = options.injector()?;
+    let mut fleet = SyntheticFleet::new(
+        options.n_agents,
+        options.rows_per_window,
+        // Domain-separate the data stream from the delivery stream.
+        splitmix64(options.seed ^ 0x4441_5441),
+        injector.clone(),
+    );
+    let mut cache = CpdCache::new(options.n_agents);
+    let mut epochs = Vec::with_capacity(options.epochs);
+    let mut coordinator_crashes = 0usize;
+    let mut warm_restores = 0usize;
+
+    for epoch in 0..options.epochs {
+        OBS_CHAOS_EPOCHS.incr();
+        let mut restored = false;
+        let mut warm = false;
+        if injector.coordinator_crashes(epoch as u64) {
+            coordinator_crashes += 1;
+            // The crash lands mid-epoch: the coordinator had already begun
+            // collecting this window. That partial pass is lost — its
+            // fetch traffic happened, its results (including cache stores)
+            // die with the process.
+            let mut lost_cache = std::mem::replace(&mut cache, CpdCache::new(options.n_agents));
+            let _ = sharded_resilient_learn(
+                &variables,
+                &dag,
+                &mut fleet,
+                epoch,
+                &mut lost_cache,
+                &options.resilient,
+                &options.shards,
+            )?;
+            drop(lost_cache);
+            // Restart: resume warm from the last snapshot, or cold when
+            // there is none (or it fails verification).
+            restored = true;
+            if let Some(path) = &options.snapshot_path {
+                let (restored_cache, _epoch, err) = restore_or_cold_start(path, options.n_agents);
+                cache = restored_cache;
+                warm = err.is_none();
+            }
+            if warm {
+                warm_restores += 1;
+                OBS_WARM_RESTORES.incr();
+            } else {
+                OBS_COLD_RESTARTS.incr();
+            }
+        }
+
+        let result = sharded_resilient_learn(
+            &variables,
+            &dag,
+            &mut fleet,
+            epoch,
+            &mut cache,
+            &options.resilient,
+            &options.shards,
+        )?;
+        if let Some(path) = &options.snapshot_path {
+            let snapshot = CoordinatorSnapshot::capture(&cache, (epoch + 1) as u64, epoch + 1);
+            save_snapshot(path, &snapshot)
+                .map_err(|e| AgentError::Internal(format!("snapshot save: {e}")))?;
+        }
+
+        let (fresh, stale, prior) = result.health.source_counts();
+        epochs.push(EpochRecord {
+            epoch,
+            fresh,
+            stale,
+            prior,
+            max_stale_age: result.health.max_stale_age(),
+            faults: result.health.total_faults(),
+            missing_agents: result.shards.iter().map(|s| s.missing).sum(),
+            partitioned_shards: result.shards.iter().filter(|s| s.partitioned).count(),
+            cutoff_agents: result.shards.iter().map(|s| s.cutoff_agents).sum(),
+            sim_windows_max: result
+                .shards
+                .iter()
+                .map(|s| s.sim_windows)
+                .max()
+                .unwrap_or(0),
+            sim_windows_sum: result.shards.iter().map(|s| s.sim_windows).sum(),
+            restored,
+            warm,
+            cpd_fingerprint: fingerprint_cpds(&result.cpds),
+        });
+    }
+
+    let speedups: Vec<f64> = epochs
+        .iter()
+        .filter(|e| e.sim_windows_max > 0)
+        .map(|e| e.sim_windows_sum as f64 / e.sim_windows_max as f64)
+        .collect();
+    let simulated_speedup = if speedups.is_empty() {
+        1.0
+    } else {
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    };
+    kert_obs::set_gauge("agents.fleet.simulated_speedup", simulated_speedup);
+    kert_obs::set_gauge("agents.fleet.size", options.n_agents as f64);
+
+    Ok(FleetChaosReport {
+        n_agents: options.n_agents,
+        n_shards: options.shards.shards_for(options.n_agents),
+        seed: options.seed,
+        rows_per_window: options.rows_per_window,
+        total_fresh: epochs.iter().map(|e| e.fresh).sum(),
+        total_stale: epochs.iter().map(|e| e.stale).sum(),
+        total_prior: epochs.iter().map(|e| e.prior).sum(),
+        coordinator_crashes,
+        warm_restores,
+        simulated_speedup,
+        fetches: fleet.fetches,
+        rows_generated: fleet.rows_generated,
+        final_fingerprint: epochs
+            .last()
+            .map(|e| e.cpd_fingerprint.clone())
+            .unwrap_or_default(),
+        epochs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_reports_are_deterministic_and_learnable() {
+        let injector = FaultInjector::healthy(4);
+        let fleet = SyntheticFleet::new(4, 16, 7, injector.clone());
+        let a = fleet.pristine_report(2, 3);
+        let b = SyntheticFleet::new(4, 16, 7, injector).pristine_report(2, 3);
+        assert_eq!(a.row_ids, b.row_ids);
+        assert_eq!(a.row_ids, (48..64).collect::<Vec<u64>>());
+        assert_eq!(a.data.names(), &["X1".to_string(), "X2".to_string()]);
+        for r in 0..a.data.rows() {
+            assert_eq!(a.data.row(r), b.data.row(r), "row {r}");
+        }
+        // Values vary across rows (non-degenerate regression input).
+        assert_ne!(a.data.row(0)[0], a.data.row(1)[0]);
+    }
+
+    #[test]
+    fn healthy_fleet_learns_all_fresh_at_scale() {
+        let options = ChaosOptions {
+            n_agents: 64,
+            rows_per_window: 16,
+            epochs: 2,
+            fault_rate: 0.0,
+            shards: ShardConfig {
+                n_shards: 4,
+                ..ShardConfig::default()
+            },
+            ..ChaosOptions::default()
+        };
+        let report = run_fleet_chaos(&options).unwrap();
+        assert_eq!(report.total_fresh, 2 * 64);
+        assert_eq!(report.total_stale, 0);
+        assert_eq!(report.total_prior, 0);
+        assert_eq!(report.coordinator_crashes, 0);
+        assert!(report.simulated_speedup > 1.0, "shards collect in parallel");
+    }
+}

@@ -126,6 +126,21 @@ impl ModelHealth {
     pub fn total_faults(&self) -> usize {
         self.nodes.iter().map(|h| h.faults.len()).sum()
     }
+
+    /// Oldest stale age across all nodes (0 when nothing is stale).
+    ///
+    /// Bounded by [`crate::CpdCache::MAX_AGE`] by construction — the cache
+    /// saturates ages on tick — so the staleness gauge can never wrap.
+    pub fn max_stale_age(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|h| match h.source {
+                CpdSource::Stale { age_windows } => Some(age_windows),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

@@ -199,6 +199,16 @@ pub struct CpdCache {
 }
 
 impl CpdCache {
+    /// Maximum age (in windows) a cached CPD ever reports.
+    ///
+    /// Ages saturate here instead of growing without bound: a coordinator
+    /// that has been failing over the same node for years must still
+    /// report a sane staleness to health gauges (which encode ages as
+    /// `f64` and would otherwise lose integer precision past 2⁵³, and
+    /// whose consumers may narrow to `u32`). `u32::MAX` windows is ≫ any
+    /// real deployment lifetime, so saturation is observationally lossless.
+    pub const MAX_AGE: usize = u32::MAX as usize;
+
     /// An empty cache for `n` nodes.
     pub fn new(n: usize) -> Self {
         CpdCache {
@@ -208,10 +218,18 @@ impl CpdCache {
 
     /// Remember `cpd` as `node`'s last-good model (age 0).
     pub fn store(&mut self, node: usize, cpd: Cpd) {
+        self.store_aged(node, cpd, 0);
+    }
+
+    /// Remember `cpd` with an explicit `age` — the snapshot-restore path,
+    /// where a restarted coordinator resumes with *stale* (not prior)
+    /// CPDs carrying their pre-crash ages. Ages above [`Self::MAX_AGE`]
+    /// are clamped.
+    pub fn store_aged(&mut self, node: usize, cpd: Cpd, age: usize) {
         if node >= self.entries.len() {
             self.entries.resize(node + 1, None);
         }
-        self.entries[node] = Some((cpd, 0));
+        self.entries[node] = Some((cpd, age.min(Self::MAX_AGE)));
     }
 
     /// The cached CPD and its age, if any.
@@ -222,10 +240,36 @@ impl CpdCache {
             .map(|(cpd, age)| (cpd, *age))
     }
 
-    /// Advance one window: every cached CPD gets older.
+    /// Number of node slots (occupied or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no node has a cached CPD.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Iterate the occupied slots as `(node, cpd, age)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Cpd, usize)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(node, e)| e.as_ref().map(|(cpd, age)| (node, cpd, *age)))
+    }
+
+    /// Oldest cached age, if anything is cached. Bounded by
+    /// [`Self::MAX_AGE`], so health gauges can never report wrapped or
+    /// precision-mangled staleness.
+    pub fn max_age(&self) -> Option<usize> {
+        self.entries.iter().flatten().map(|(_, age)| *age).max()
+    }
+
+    /// Advance one window: every cached CPD gets older, saturating at
+    /// [`Self::MAX_AGE`].
     pub fn tick(&mut self) {
         for entry in self.entries.iter_mut().flatten() {
-            entry.1 += 1;
+            entry.1 = entry.1.saturating_add(1).min(Self::MAX_AGE);
         }
     }
 }
@@ -349,73 +393,108 @@ pub fn resilient_decentralized_learn(
     let mut cpds = Vec::with_capacity(n);
     let mut nodes = Vec::with_capacity(n);
     for node in 0..n {
-        let (report, stats) = collect_report(source, node, window, &options.retry);
-        let mut rows_dropped = 0usize;
-        let fresh = report.and_then(|mut report| {
-            rows_dropped = sanitize_report(&mut report);
-            let local = LocalDataset {
-                node,
-                parents: dag.parents(node).to_vec(),
-                data: report.data,
-            };
-            if local.data.rows() < options.min_rows {
-                return None;
-            }
-            // A malformed report (wrong column count for the node's
-            // parents) fails validation inside the fit; treat it like any
-            // other unusable delivery and fall down the ladder.
-            fit_node_from_local(variables, &local, options.params)
-                .ok()
-                .map(|cpd| (cpd, local.data.rows()))
-        });
-
-        let (cpd, source_kind, rows_used) = match fresh {
-            Some((cpd, rows)) => {
-                cache.store(node, cpd.clone());
-                (cpd, CpdSource::Fresh, rows)
-            }
-            None => match cache.get(node) {
-                Some((cached, age)) => (cached.clone(), CpdSource::Stale { age_windows: age }, 0),
-                None => (
-                    prior_cpd(variables, dag, node, options.prior)?,
-                    CpdSource::Prior,
-                    0,
-                ),
-            },
-        };
-        let (rung_counter, rung_name) = match source_kind {
-            CpdSource::Fresh => (&OBS_LADDER_FRESH, "fresh"),
-            CpdSource::Stale { .. } => (&OBS_LADDER_STALE, "stale"),
-            CpdSource::Prior => (&OBS_LADDER_PRIOR, "prior"),
-        };
-        rung_counter.incr();
-        OBS_ROWS_DROPPED.add(rows_dropped as u64);
-        if kert_obs::jsonl_enabled() {
-            kert_obs::event(
-                "agents.ladder",
-                rows_used as f64,
-                &[
-                    ("node", &node.to_string()),
-                    ("rung", rung_name),
-                    ("window", &window.to_string()),
-                    ("retries", &stats.retries.to_string()),
-                ],
-            );
-        }
+        let (mut report, stats) = collect_report(source, node, window, &options.retry);
+        let rows_dropped = report.as_mut().map_or(0, sanitize_report);
+        let (cpd, health) = ladder_resolve(
+            variables,
+            dag,
+            node,
+            report,
+            rows_dropped,
+            stats,
+            window,
+            cache,
+            options,
+        )?;
         cpds.push(cpd);
-        nodes.push(NodeHealth {
+        nodes.push(health);
+    }
+    cache.tick();
+    let health = ModelHealth { window, nodes };
+    publish_health_gauges(&health);
+    Ok(ResilientResult { cpds, health })
+}
+
+/// Resolve one node's CPD down the fallback ladder from an
+/// already-sanitized (possibly absent) report, updating the cache and
+/// emitting the per-node ladder telemetry.
+///
+/// Shared by the per-agent path above and the sharded epoch collector
+/// ([`crate::shard::sharded_resilient_learn`]) so both report rungs and
+/// counters identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ladder_resolve(
+    variables: &[Variable],
+    dag: &Dag,
+    node: usize,
+    report: Option<kert_sim::AgentReport>,
+    rows_dropped: usize,
+    stats: crate::collect::CollectStats,
+    window: usize,
+    cache: &mut CpdCache,
+    options: &ResilientOptions,
+) -> Result<(Cpd, NodeHealth)> {
+    let fresh = report.and_then(|report| {
+        let local = LocalDataset {
+            node,
+            parents: dag.parents(node).to_vec(),
+            data: report.data,
+        };
+        if local.data.rows() < options.min_rows {
+            return None;
+        }
+        // A malformed report (wrong column count for the node's
+        // parents) fails validation inside the fit; treat it like any
+        // other unusable delivery and fall down the ladder.
+        fit_node_from_local(variables, &local, options.params)
+            .ok()
+            .map(|cpd| (cpd, local.data.rows()))
+    });
+
+    let (cpd, source_kind, rows_used) = match fresh {
+        Some((cpd, rows)) => {
+            cache.store(node, cpd.clone());
+            (cpd, CpdSource::Fresh, rows)
+        }
+        None => match cache.get(node) {
+            Some((cached, age)) => (cached.clone(), CpdSource::Stale { age_windows: age }, 0),
+            None => (
+                prior_cpd(variables, dag, node, options.prior)?,
+                CpdSource::Prior,
+                0,
+            ),
+        },
+    };
+    let (rung_counter, rung_name) = match source_kind {
+        CpdSource::Fresh => (&OBS_LADDER_FRESH, "fresh"),
+        CpdSource::Stale { .. } => (&OBS_LADDER_STALE, "stale"),
+        CpdSource::Prior => (&OBS_LADDER_PRIOR, "prior"),
+    };
+    rung_counter.incr();
+    OBS_ROWS_DROPPED.add(rows_dropped as u64);
+    if kert_obs::jsonl_enabled() {
+        kert_obs::event(
+            "agents.ladder",
+            rows_used as f64,
+            &[
+                ("node", &node.to_string()),
+                ("rung", rung_name),
+                ("window", &window.to_string()),
+                ("retries", &stats.retries.to_string()),
+            ],
+        );
+    }
+    Ok((
+        cpd,
+        NodeHealth {
             node,
             source: source_kind,
             rows_used,
             rows_dropped,
             retries: stats.retries,
             faults: stats.faults,
-        });
-    }
-    cache.tick();
-    let health = ModelHealth { window, nodes };
-    publish_health_gauges(&health);
-    Ok(ResilientResult { cpds, health })
+        },
+    ))
 }
 
 /// Surface a [`ModelHealth`] report on the telemetry registry: fleet-level
@@ -437,6 +516,10 @@ pub fn publish_health_gauges(health: &ModelHealth) {
     kert_obs::set_gauge(
         "agents.model_health.total_faults",
         health.total_faults() as f64,
+    );
+    kert_obs::set_gauge(
+        "agents.model_health.max_stale_age",
+        health.max_stale_age() as f64,
     );
     for node in &health.nodes {
         let rung = match node.source {
@@ -537,6 +620,35 @@ mod tests {
         };
         let dec = decentralized_learn(&vars, &locals, opts).unwrap();
         assert_eq!(dec.cpds.len(), 5);
+    }
+
+    #[test]
+    fn cache_ages_saturate_at_the_documented_bound() {
+        let mut cache = CpdCache::new(2);
+        cache.store(0, Cpd::LinearGaussian(LinearGaussianCpd::root(0, 1.0, 1.0)));
+        cache.store_aged(
+            1,
+            Cpd::LinearGaussian(LinearGaussianCpd::root(1, 2.0, 1.0)),
+            CpdCache::MAX_AGE - 1,
+        );
+        assert_eq!(cache.max_age(), Some(CpdCache::MAX_AGE - 1));
+        cache.tick();
+        assert_eq!(cache.get(0).unwrap().1, 1);
+        assert_eq!(cache.get(1).unwrap().1, CpdCache::MAX_AGE);
+        // Ticking past the bound pins rather than wraps.
+        cache.tick();
+        assert_eq!(cache.get(1).unwrap().1, CpdCache::MAX_AGE);
+        assert_eq!(cache.max_age(), Some(CpdCache::MAX_AGE));
+        // Restoring an over-bound age clamps on entry.
+        cache.store_aged(
+            0,
+            Cpd::LinearGaussian(LinearGaussianCpd::root(0, 1.0, 1.0)),
+            usize::MAX,
+        );
+        assert_eq!(cache.get(0).unwrap().1, CpdCache::MAX_AGE);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.iter().count(), 2);
     }
 
     #[test]

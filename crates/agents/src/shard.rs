@@ -1,0 +1,406 @@
+//! Sharded epoch collection: fleet-scale report gathering.
+//!
+//! PR 2's collector polls agents one by one — fine for a six-service
+//! test-bed, hopeless for ROADMAP item 4's 10³–10⁴-agent fleets, where a
+//! single straggling shard would stall the whole epoch and one switch
+//! failure looks like a thousand independent agent crashes. This module
+//! replaces per-agent polling with a **sharded epoch barrier**:
+//!
+//! * agents are partitioned into contiguous shards
+//!   ([`shard_of`]/[`shard_range`]);
+//! * each shard runs [`collect_report`] over its members with a per-shard
+//!   **retry/backoff budget** in simulated windows — once a shard has
+//!   burned its budget, remaining members are collected under the
+//!   **straggler cutoff** policy ([`RetryPolicy::cutoff`]: no retries, no
+//!   patience), so one noisy shard can never stretch the epoch unboundedly;
+//! * a whole shard can be partitioned away
+//!   ([`ReportSource::shard_outage`], seeded in `kert_sim::faults`), which
+//!   short-circuits every fetch in it and feeds the fallback ladder
+//!   exactly like per-agent crashes do;
+//! * delivered reports merge into one epoch view via the existing row-id
+//!   intersection ([`intersect_row_ids`]/[`restrict_to_ids`]): the
+//!   coordinator's dataset is the set of requests *every* reporting agent
+//!   measured, so partial shards realign instead of misaligning.
+//!
+//! Collection order is agent order within shard order and every random
+//! decision is keyed in the (seeded) source, so an epoch is bitwise
+//! deterministic — and, as long as no budget cutoff or shard partition
+//! fires, the *outcome* is independent of the shard count (asserted in
+//! `tests/fleet.rs`).
+
+use kert_sim::{AgentReport, FaultEvent};
+
+use crate::collect::{
+    collect_report, intersect_row_ids, restrict_to_ids, sanitize_report, CollectStats,
+    ReportSource, RetryPolicy,
+};
+use crate::health::ModelHealth;
+use crate::runtime::{ladder_resolve, publish_health_gauges, CpdCache, ResilientOptions};
+use crate::{AgentError, Result};
+use kert_bayes::{Cpd, Dag, Variable};
+
+// Epoch-collector telemetry: shard-level outcomes per epoch. The fleet
+// gauges (`agents.fleet.*`) show the latest epoch; counters accumulate.
+static OBS_EPOCHS: kert_obs::Counter = kert_obs::Counter::new("agents.collect.epochs");
+static OBS_SHARD_CUTOFFS: kert_obs::Counter = kert_obs::Counter::new("agents.collect.cutoffs");
+static OBS_SHARD_PARTITIONS: kert_obs::Counter =
+    kert_obs::Counter::new("agents.collect.shard_partitions");
+
+/// How an epoch's shards are laid out and bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards the fleet is partitioned into (≥ 1; clamped to
+    /// the agent count).
+    pub n_shards: usize,
+    /// Per-shard retry/backoff budget per epoch, in simulated windows.
+    /// Once spent, the shard's remaining members are collected under the
+    /// straggler-cutoff policy. `u64::MAX` = unbounded.
+    pub budget_windows: u64,
+    /// Merge delivered reports onto their common row-id set (the global
+    /// alignment step). Disable to keep every delivered row per node.
+    pub align_rows: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            n_shards: 8,
+            budget_windows: u64::MAX,
+            align_rows: true,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Effective shard count for a fleet of `n_agents`.
+    pub fn shards_for(&self, n_agents: usize) -> usize {
+        self.n_shards.clamp(1, n_agents.max(1))
+    }
+}
+
+/// The contiguous agent range of shard `shard` (of `n_shards`) in a fleet
+/// of `n_agents`. Ranges tile `0..n_agents` and differ in size by ≤ 1.
+pub fn shard_range(shard: usize, n_agents: usize, n_shards: usize) -> std::ops::Range<usize> {
+    let k = n_shards.clamp(1, n_agents.max(1));
+    (shard * n_agents / k)..((shard + 1) * n_agents / k)
+}
+
+/// Which shard an agent belongs to under the contiguous partition.
+pub fn shard_of(agent: usize, n_agents: usize, n_shards: usize) -> usize {
+    let k = n_shards.clamp(1, n_agents.max(1));
+    // Inverse of `shard_range`: the unique s with s·n/k ≤ agent < (s+1)·n/k.
+    let s = (agent * k + k - 1) / n_agents.max(1);
+    s.min(k - 1)
+}
+
+/// One shard's accounting for one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Agents assigned to this shard.
+    pub agents: usize,
+    /// Reports that arrived (possibly after retries/straggle).
+    pub delivered: usize,
+    /// Agents that delivered nothing usable this epoch.
+    pub missing: usize,
+    /// Retransmissions spent across the shard.
+    pub retries: usize,
+    /// Simulated windows the shard spent waiting (backoff + straggle).
+    pub waited_windows: u64,
+    /// Members collected under the straggler-cutoff policy after the
+    /// budget ran out.
+    pub cutoff_agents: usize,
+    /// Whether the whole shard was partitioned away this window.
+    pub partitioned: bool,
+    /// Simulated collection time of this shard: one window per fetch
+    /// attempt plus every waited window. Shards run concurrently (one
+    /// collector task per shard), so the epoch's simulated latency is the
+    /// max over shards while a sequential collector would pay the sum.
+    pub sim_windows: u64,
+}
+
+/// Everything one epoch of collection produced.
+#[derive(Debug)]
+pub struct EpochOutcome {
+    /// The window collected.
+    pub window: usize,
+    /// Per-agent sanitized (and, if configured, row-aligned) reports;
+    /// `None` where nothing usable arrived.
+    pub reports: Vec<Option<AgentReport>>,
+    /// Per-agent collection stats (retries, waits, fault events).
+    pub stats: Vec<CollectStats>,
+    /// Per-agent rows dropped by sanitization + row alignment.
+    pub rows_dropped: Vec<usize>,
+    /// Per-shard accounting.
+    pub shards: Vec<ShardStats>,
+    /// The merged row-id set shared by every delivered report (empty when
+    /// nothing was delivered).
+    pub common_rows: Vec<u64>,
+}
+
+impl EpochOutcome {
+    /// `Σ shard sim_windows / max shard sim_windows` — the simulated
+    /// speedup of collecting shards concurrently instead of sequentially.
+    pub fn simulated_speedup(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.sim_windows).max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.shards.iter().map(|s| s.sim_windows).sum();
+        total as f64 / max as f64
+    }
+
+    /// Fraction of agents that delivered nothing usable this epoch.
+    pub fn loss_rate(&self) -> f64 {
+        let n = self.reports.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.reports.iter().filter(|r| r.is_none()).count() as f64 / n as f64
+    }
+}
+
+/// Collect one window from every agent, shard by shard, under per-shard
+/// budgets — the epoch barrier of the fleet-scale collector.
+pub fn collect_epoch(
+    source: &mut dyn ReportSource,
+    window: usize,
+    policy: &RetryPolicy,
+    config: &ShardConfig,
+) -> EpochOutcome {
+    let _span = kert_obs::span("agents.collect_epoch");
+    OBS_EPOCHS.incr();
+    let n = source.n_agents();
+    let k = config.shards_for(n);
+    let mut reports: Vec<Option<AgentReport>> = Vec::with_capacity(n);
+    let mut stats: Vec<CollectStats> = Vec::with_capacity(n);
+    let mut rows_dropped = vec![0usize; n];
+    let mut shards = Vec::with_capacity(k);
+
+    for shard in 0..k {
+        let members = shard_range(shard, n, k);
+        let mut info = ShardStats {
+            shard,
+            agents: members.len(),
+            ..ShardStats::default()
+        };
+        if source.shard_outage(shard, k, window) {
+            // The whole shard is unreachable: every member is missing
+            // with a shard-partition event, and no budget is spent.
+            OBS_SHARD_PARTITIONS.incr();
+            info.partitioned = true;
+            info.missing = members.len();
+            for _agent in members {
+                reports.push(None);
+                stats.push(CollectStats {
+                    faults: vec![FaultEvent::ShardPartitioned { shard }],
+                    ..CollectStats::default()
+                });
+            }
+            shards.push(info);
+            continue;
+        }
+        let mut budget = config.budget_windows;
+        for agent in members {
+            let (policy, cut) = if budget == 0 {
+                (RetryPolicy::cutoff(), true)
+            } else {
+                (*policy, false)
+            };
+            if cut {
+                info.cutoff_agents += 1;
+                OBS_SHARD_CUTOFFS.incr();
+            }
+            let (mut report, cstats) = collect_report(source, agent, window, &policy);
+            if let Some(r) = report.as_mut() {
+                rows_dropped[agent] = sanitize_report(r);
+                info.delivered += 1;
+            } else {
+                info.missing += 1;
+            }
+            budget = budget.saturating_sub(cstats.waited_windows);
+            info.retries += cstats.retries;
+            info.waited_windows = info.waited_windows.saturating_add(cstats.waited_windows);
+            // One simulated window per delivery attempt, plus the waits.
+            info.sim_windows = info
+                .sim_windows
+                .saturating_add(1 + cstats.retries as u64)
+                .saturating_add(cstats.waited_windows);
+            reports.push(report);
+            stats.push(cstats);
+        }
+        shards.push(info);
+    }
+
+    // Merge: the epoch's shared view is the intersection of delivered
+    // row-id sets; every delivered report is restricted onto it so the
+    // coordinator's global dataset stays request-aligned across shards.
+    let delivered: Vec<&AgentReport> = reports.iter().flatten().collect();
+    let common_rows = intersect_row_ids(&delivered);
+    if config.align_rows {
+        for (agent, report) in reports.iter_mut().enumerate() {
+            if let Some(r) = report {
+                rows_dropped[agent] += restrict_to_ids(r, &common_rows);
+            }
+        }
+    }
+
+    EpochOutcome {
+        window,
+        reports,
+        stats,
+        rows_dropped,
+        shards,
+        common_rows,
+    }
+}
+
+/// Outcome of one sharded resilient epoch: the complete CPD set, the
+/// health report, and the collector's shard accounting.
+#[derive(Debug)]
+pub struct ShardedResult {
+    /// One CPD per node, node-ordered — never missing, whatever failed.
+    pub cpds: Vec<Cpd>,
+    /// Per-node ladder provenance (identical semantics to the per-agent
+    /// path's [`crate::ResilientResult`]).
+    pub health: ModelHealth,
+    /// Per-shard collection accounting for the epoch.
+    pub shards: Vec<ShardStats>,
+    /// Row ids shared by every delivered report this epoch.
+    pub common_rows: usize,
+}
+
+/// Fleet-scale resilient learning: one epoch of sharded collection, then
+/// the PR 2 fallback ladder per node.
+///
+/// Semantics match [`crate::resilient_decentralized_learn`] — same ladder,
+/// same telemetry, same "never fails" guarantee — but collection runs
+/// through the epoch barrier: per-shard budgets, straggler cutoffs,
+/// shard-partition faults, and the row-id-intersection merge.
+pub fn sharded_resilient_learn(
+    variables: &[Variable],
+    dag: &Dag,
+    source: &mut dyn ReportSource,
+    window: usize,
+    cache: &mut CpdCache,
+    options: &ResilientOptions,
+    config: &ShardConfig,
+) -> Result<ShardedResult> {
+    let _span = kert_obs::span("agents.sharded_learn");
+    let n = dag.len();
+    if source.n_agents() < n {
+        return Err(AgentError::BadLocalData(format!(
+            "{} agents cannot report for a {n}-node DAG",
+            source.n_agents()
+        )));
+    }
+    let epoch = collect_epoch(source, window, &options.retry, config);
+    let mut cpds = Vec::with_capacity(n);
+    let mut nodes = Vec::with_capacity(n);
+    let mut reports = epoch.reports;
+    let mut stats = epoch.stats;
+    for node in (0..n).rev() {
+        // Drain back-to-front so each node takes ownership of its report
+        // without cloning the fleet's worth of data.
+        let report = reports.pop().expect("one report slot per node");
+        let cstats = stats.pop().expect("one stats slot per node");
+        let (cpd, health) = ladder_resolve(
+            variables,
+            dag,
+            node,
+            report,
+            epoch.rows_dropped[node],
+            cstats,
+            window,
+            cache,
+            options,
+        )?;
+        cpds.push(cpd);
+        nodes.push(health);
+    }
+    cpds.reverse();
+    nodes.reverse();
+    cache.tick();
+    let health = ModelHealth { window, nodes };
+    publish_health_gauges(&health);
+    publish_shard_gauges(&epoch.shards);
+    Ok(ShardedResult {
+        cpds,
+        health,
+        shards: epoch.shards,
+        common_rows: epoch.common_rows.len(),
+    })
+}
+
+/// Surface per-shard collector outcomes as labeled gauges (latest epoch).
+pub fn publish_shard_gauges(shards: &[ShardStats]) {
+    if !kert_obs::enabled() {
+        return;
+    }
+    for s in shards {
+        let label = [("shard", s.shard.to_string())];
+        let labels: Vec<(&str, &str)> = label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        kert_obs::set_gauge_labeled("agents.shard.delivered", &labels, s.delivered as f64);
+        kert_obs::set_gauge_labeled("agents.shard.missing", &labels, s.missing as f64);
+        kert_obs::set_gauge_labeled(
+            "agents.shard.partitioned",
+            &labels,
+            f64::from(u8::from(s.partitioned)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_tile_the_fleet() {
+        for &(n, k) in &[(1usize, 1usize), (7, 3), (100, 8), (1000, 16), (5, 9)] {
+            let kk = k.clamp(1, n);
+            let mut covered = 0usize;
+            for shard in 0..kk {
+                let range = shard_range(shard, n, k);
+                for agent in range.clone() {
+                    assert_eq!(
+                        shard_of(agent, n, k),
+                        shard,
+                        "agent {agent} of {n} in {k} shards"
+                    );
+                }
+                covered += range.len();
+            }
+            assert_eq!(covered, n, "{n} agents over {k} shards");
+            // Balance: sizes differ by at most one.
+            let sizes: Vec<usize> = (0..kk).map(|s| shard_range(s, n, k).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn speedup_and_loss_are_computed_over_shards() {
+        let outcome = EpochOutcome {
+            window: 0,
+            reports: vec![None, None],
+            stats: vec![CollectStats::default(), CollectStats::default()],
+            rows_dropped: vec![0, 0],
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    sim_windows: 30,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    sim_windows: 10,
+                    ..ShardStats::default()
+                },
+            ],
+            common_rows: Vec::new(),
+        };
+        assert!((outcome.simulated_speedup() - 40.0 / 30.0).abs() < 1e-12);
+        assert_eq!(outcome.loss_rate(), 1.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Crash-safe persistence for the fallback ladder: versioned, checksummed
+//! coordinator snapshots.
+//!
+//! The self-healing runtime's whole value is the [`CpdCache`]: when a
+//! window's report is unusable, the ladder serves the last-good CPD
+//! instead of the zero-knowledge prior. But PR 2 kept that cache in
+//! coordinator memory only — a coordinator restart forgot every last-good
+//! CPD and the next faulty window fell straight to the prior rung. This
+//! module makes the ladder survive the coordinator itself:
+//!
+//! * [`CoordinatorSnapshot`] serializes the cache (CPDs **and** their
+//!   ages) plus the coordinator's epoch cursor;
+//! * [`save_snapshot`] is atomic (write to a temp file in the same
+//!   directory, then rename), so a crash mid-write leaves the previous
+//!   snapshot intact, never a half-written one;
+//! * the on-disk format is a one-line header — magic, format version,
+//!   FNV-1a-64 checksum, body length — followed by a JSON body.
+//!   [`load_snapshot`] verifies all four before parsing, so truncation,
+//!   bit flips, version skew, and foreign files are *detected* and
+//!   surfaced as typed [`SnapshotError`]s — the caller degrades to the
+//!   prior rung (an empty cache); it never panics and never silently
+//!   loads garbage as a model.
+//!
+//! JSON is an exact carrier here: CPD parameters are finite `f64`s, and
+//! Rust's float formatting/parsing is shortest-round-trip, so
+//! snapshot → restore → snapshot is bitwise-identical (property-tested in
+//! `tests/snapshot.rs`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use kert_bayes::cpd::Cpd;
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::CpdCache;
+
+// Persistence telemetry: saves/restores succeed silently in the happy
+// path, so the counters are the only trace that warm restarts are
+// actually exercising the snapshot path (the fleet CI gate checks them).
+static OBS_SAVES: kert_obs::Counter = kert_obs::Counter::new("agents.snapshot.saves");
+static OBS_RESTORES: kert_obs::Counter = kert_obs::Counter::new("agents.snapshot.restores");
+static OBS_REJECTED: kert_obs::Counter = kert_obs::Counter::new("agents.snapshot.rejected");
+
+/// Magic tag opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "KERTSNAP";
+/// Current snapshot format version. Bump on any body-schema change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One cached CPD with its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Network node the CPD belongs to.
+    pub node: usize,
+    /// Age in windows at capture time (how stale a warm restore starts).
+    pub age: usize,
+    /// The last-good CPD itself.
+    pub cpd: Cpd,
+}
+
+/// Everything a restarted coordinator needs to resume the ladder warm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoordinatorSnapshot {
+    /// Format version (checked against [`SNAPSHOT_VERSION`] on load).
+    pub version: u32,
+    /// Epochs completed before the capture (the restore resumes at
+    /// `epoch`).
+    pub epoch: u64,
+    /// Window cursor of the collection loop.
+    pub window: usize,
+    /// Node count of the model (cache slots, occupied or not).
+    pub n_nodes: usize,
+    /// The occupied cache slots, node-ordered.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl CoordinatorSnapshot {
+    /// Capture the coordinator's ladder state at the end of an epoch.
+    pub fn capture(cache: &CpdCache, epoch: u64, window: usize) -> Self {
+        CoordinatorSnapshot {
+            version: SNAPSHOT_VERSION,
+            epoch,
+            window,
+            n_nodes: cache.len(),
+            entries: cache
+                .iter()
+                .map(|(node, cpd, age)| SnapshotEntry {
+                    node,
+                    age,
+                    cpd: cpd.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the cache this snapshot captured: every entry comes back
+    /// *stale at its recorded age*, not reset and not forgotten.
+    pub fn restore_cache(&self) -> CpdCache {
+        let mut cache = CpdCache::new(self.n_nodes);
+        for entry in &self.entries {
+            cache.store_aged(entry.node, entry.cpd.clone(), entry.age);
+        }
+        cache
+    }
+}
+
+/// Why a snapshot failed to save or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure (also covers a missing file on load).
+    Io(std::io::Error),
+    /// The file does not start with the `KERTSNAP` header.
+    BadMagic,
+    /// Header fields are present but unparsable.
+    BadHeader(String),
+    /// The header's format version is not [`SNAPSHOT_VERSION`].
+    BadVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The body is shorter than the header promised (torn write).
+    Truncated {
+        /// Bytes the header declared.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The body's FNV-1a checksum does not match the header (bit rot).
+    BadChecksum,
+    /// The body passed the checksum but is not a valid snapshot document.
+    Parse(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a {SNAPSHOT_MAGIC} snapshot file"),
+            SnapshotError::BadHeader(msg) => write!(f, "malformed snapshot header: {msg}"),
+            SnapshotError::BadVersion { found } => write!(
+                f,
+                "snapshot format v{found} unsupported (this build reads v{SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "snapshot truncated: header promised {expected} body bytes, found {found}"
+                )
+            }
+            SnapshotError::BadChecksum => write!(f, "snapshot body fails its checksum"),
+            SnapshotError::Parse(msg) => write!(f, "snapshot body does not parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over the body bytes — dependency-free and plenty for
+/// detecting torn writes and bit rot (this is an integrity check, not an
+/// authentication scheme).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serialize a snapshot into its on-disk byte form (header + JSON body).
+pub fn encode_snapshot(snapshot: &CoordinatorSnapshot) -> Result<Vec<u8>, SnapshotError> {
+    let body = serde_json::to_string(snapshot).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+    let header = format!(
+        "{SNAPSHOT_MAGIC} v{} {:016x} {}\n",
+        snapshot.version,
+        fnv1a64(body.as_bytes()),
+        body.len()
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    Ok(bytes)
+}
+
+/// Parse and verify on-disk bytes back into a snapshot.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<CoordinatorSnapshot, SnapshotError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| SnapshotError::BadMagic)?;
+    let Some((header, body)) = text.split_once('\n') else {
+        return Err(SnapshotError::BadMagic);
+    };
+    let mut fields = header.split(' ');
+    if fields.next() != Some(SNAPSHOT_MAGIC) {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version: u32 = fields
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .ok_or_else(|| SnapshotError::BadHeader("missing version".into()))?
+        .parse()
+        .map_err(|_| SnapshotError::BadHeader("unparsable version".into()))?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    let checksum = u64::from_str_radix(
+        fields
+            .next()
+            .ok_or_else(|| SnapshotError::BadHeader("missing checksum".into()))?,
+        16,
+    )
+    .map_err(|_| SnapshotError::BadHeader("unparsable checksum".into()))?;
+    let length: usize = fields
+        .next()
+        .ok_or_else(|| SnapshotError::BadHeader("missing length".into()))?
+        .parse()
+        .map_err(|_| SnapshotError::BadHeader("unparsable length".into()))?;
+    if fields.next().is_some() {
+        return Err(SnapshotError::BadHeader("trailing header fields".into()));
+    }
+    if body.len() != length {
+        return Err(SnapshotError::Truncated {
+            expected: length,
+            found: body.len(),
+        });
+    }
+    if fnv1a64(body.as_bytes()) != checksum {
+        return Err(SnapshotError::BadChecksum);
+    }
+    let snapshot: CoordinatorSnapshot =
+        serde_json::from_str(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+    if snapshot.version != version {
+        return Err(SnapshotError::Parse(format!(
+            "body version {} disagrees with header v{version}",
+            snapshot.version
+        )));
+    }
+    Ok(snapshot)
+}
+
+/// Atomically persist a snapshot: write `<path>.tmp`, flush, rename.
+///
+/// A crash before the rename leaves the previous snapshot (if any)
+/// untouched; a crash after it leaves the new one complete. There is no
+/// window in which `path` holds a partial file.
+pub fn save_snapshot(path: &Path, snapshot: &CoordinatorSnapshot) -> Result<(), SnapshotError> {
+    let bytes = encode_snapshot(snapshot)?;
+    let tmp: PathBuf = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".tmp");
+        PathBuf::from(name)
+    };
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    OBS_SAVES.incr();
+    Ok(())
+}
+
+/// Load and verify a snapshot.
+///
+/// Every failure mode — missing file, torn write, bit flip, version skew,
+/// junk content — comes back as a typed [`SnapshotError`]; the caller's
+/// correct response is to start with an empty cache (prior rung) and keep
+/// serving. This function never panics on file content.
+pub fn load_snapshot(path: &Path) -> Result<CoordinatorSnapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    match decode_snapshot(&bytes) {
+        Ok(snapshot) => {
+            OBS_RESTORES.incr();
+            Ok(snapshot)
+        }
+        Err(e) => {
+            OBS_REJECTED.incr();
+            Err(e)
+        }
+    }
+}
+
+/// Load a snapshot if a valid one exists, else fall back to an empty
+/// cache — the "resume warm, degrade cold, never crash" restart policy.
+///
+/// Returns the cache to resume with, the epoch to resume from, and the
+/// load error (if any) so callers can log why a restart came up cold.
+pub fn restore_or_cold_start(
+    path: &Path,
+    n_nodes: usize,
+) -> (CpdCache, u64, Option<SnapshotError>) {
+    match load_snapshot(path) {
+        Ok(snapshot) => {
+            let cache = snapshot.restore_cache();
+            let epoch = snapshot.epoch;
+            (cache, epoch, None)
+        }
+        Err(e) => (CpdCache::new(n_nodes), 0, Some(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kert_bayes::cpd::LinearGaussianCpd;
+
+    fn demo_cache() -> CpdCache {
+        let mut cache = CpdCache::new(3);
+        cache.store(
+            0,
+            Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.25, 1.5)),
+        );
+        cache.store_aged(
+            2,
+            Cpd::LinearGaussian(LinearGaussianCpd::new(2, vec![1], 0.1, vec![0.75], 0.5).unwrap()),
+            7,
+        );
+        cache
+    }
+
+    #[test]
+    fn capture_restore_preserves_cpds_and_ages() {
+        let cache = demo_cache();
+        let snap = CoordinatorSnapshot::capture(&cache, 4, 9);
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.n_nodes, 3);
+        assert_eq!(snap.entries.len(), 2);
+        let restored = snap.restore_cache();
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.get(0).unwrap().1, 0);
+        assert_eq!(restored.get(2).unwrap().1, 7);
+        assert!(restored.get(1).is_none());
+        // Bitwise identity through the encode/decode cycle.
+        let bytes = encode_snapshot(&snap).unwrap();
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(encode_snapshot(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_parsed() {
+        let snap = CoordinatorSnapshot::capture(&demo_cache(), 1, 2);
+        let bytes = encode_snapshot(&snap).unwrap();
+
+        // Truncation (torn write).
+        let torn = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            decode_snapshot(torn),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // A single flipped bit in the body.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 5;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            decode_snapshot(&flipped),
+            Err(SnapshotError::BadChecksum) | Err(SnapshotError::Truncated { .. })
+        ));
+
+        // Foreign file.
+        assert!(matches!(
+            decode_snapshot(b"{\"not\": \"a snapshot\"}\n{}"),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // Version skew.
+        let skewed =
+            String::from_utf8(bytes.clone())
+                .unwrap()
+                .replacen("KERTSNAP v1 ", "KERTSNAP v9 ", 1);
+        assert!(matches!(
+            decode_snapshot(skewed.as_bytes()),
+            Err(SnapshotError::BadVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn atomic_save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("kert_snap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("coordinator.snap");
+        let snap = CoordinatorSnapshot::capture(&demo_cache(), 11, 3);
+        save_snapshot(&path, &snap).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(
+            encode_snapshot(&loaded).unwrap(),
+            encode_snapshot(&snap).unwrap()
+        );
+        // No temp-file litter after a successful save.
+        assert!(!dir.join("coordinator.snap.tmp").exists());
+
+        // Overwrite is atomic too: the new snapshot fully replaces the old.
+        let snap2 = CoordinatorSnapshot::capture(&demo_cache(), 12, 4);
+        save_snapshot(&path, &snap2).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().epoch, 12);
+
+        // Missing file → Io, and the cold-start helper degrades cleanly.
+        let missing = dir.join("nope.snap");
+        assert!(matches!(load_snapshot(&missing), Err(SnapshotError::Io(_))));
+        let (cache, epoch, err) = restore_or_cold_start(&missing, 5);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 5);
+        assert_eq!(epoch, 0);
+        assert!(err.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

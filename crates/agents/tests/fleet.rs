@@ -1,0 +1,188 @@
+//! Fleet-scale chaos behavior: shard-count invariance, partition-driven
+//! ladder fallbacks, and straggler-cutoff budgets.
+
+use kert_agents::{
+    collect_epoch, run_fleet_chaos, sharded_resilient_learn, ChaosOptions, CpdCache, ShardConfig,
+    SyntheticFleet,
+};
+use kert_sim::{CoordinatorFaultPlan, FaultInjector};
+
+fn chaos_base(n_agents: usize, seed: u64) -> ChaosOptions {
+    ChaosOptions {
+        n_agents,
+        rows_per_window: 24,
+        epochs: 3,
+        seed,
+        fault_rate: 0.08,
+        ..ChaosOptions::default()
+    }
+}
+
+/// The learned model must not depend on how the fleet is sharded: all
+/// delivery randomness is keyed per (seed, agent, window, attempt), so
+/// re-partitioning the same fleet over 1, 4, or 32 shards yields
+/// bitwise-identical CPDs epoch by epoch.
+#[test]
+fn cpds_are_bitwise_invariant_across_shard_counts() {
+    let mut fingerprints: Vec<Vec<String>> = Vec::new();
+    for n_shards in [1usize, 4, 32] {
+        let options = ChaosOptions {
+            shards: ShardConfig {
+                n_shards,
+                align_rows: false,
+                ..ShardConfig::default()
+            },
+            ..chaos_base(160, 11)
+        };
+        let report = run_fleet_chaos(&options).unwrap();
+        fingerprints.push(
+            report
+                .epochs
+                .iter()
+                .map(|e| e.cpd_fingerprint.clone())
+                .collect(),
+        );
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 4 shards");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 32 shards");
+}
+
+/// Identical configuration → byte-identical report (run-twice check at
+/// the library level, mirroring the CI smoke test).
+#[test]
+fn chaos_report_is_reproducible_run_to_run() {
+    let options = chaos_base(120, 5);
+    let a = run_fleet_chaos(&options).unwrap();
+    let b = run_fleet_chaos(&options).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+/// A partitioned shard delivers nothing: its members fall to the ladder
+/// (stale once the cache has served them, prior before that), while the
+/// rest of the fleet keeps learning fresh.
+#[test]
+fn shard_partition_feeds_the_fallback_ladder() {
+    let options = ChaosOptions {
+        n_agents: 64,
+        rows_per_window: 24,
+        epochs: 4,
+        seed: 2,
+        fault_rate: 0.0,
+        partition_prob: 0.35,
+        shards: ShardConfig {
+            n_shards: 8,
+            align_rows: false,
+            ..ShardConfig::default()
+        },
+        ..ChaosOptions::default()
+    };
+    let report = run_fleet_chaos(&options).unwrap();
+    let partitions: usize = report.epochs.iter().map(|e| e.partitioned_shards).sum();
+    assert!(partitions > 0, "p=0.35 over 8 shards × 4 epochs must fire");
+    // Every partitioned agent landed on a non-fresh rung…
+    let non_fresh = report.total_stale + report.total_prior;
+    assert_eq!(non_fresh, partitions * 8, "8 members per partitioned shard");
+    // …and nothing else did (fault_rate is zero).
+    assert_eq!(
+        report.total_fresh + non_fresh,
+        options.epochs * options.n_agents
+    );
+}
+
+/// An exhausted per-shard budget switches remaining members to the
+/// straggler-cutoff policy (no retries, no patience) instead of stalling
+/// the epoch barrier.
+#[test]
+fn budget_exhaustion_triggers_straggler_cutoffs() {
+    let n = 48;
+    let (variables, dag) = SyntheticFleet::chain_model(n);
+    let plans = ChaosOptions {
+        n_agents: n,
+        fault_rate: 0.5,
+        ..ChaosOptions::default()
+    }
+    .agent_plans();
+    let injector = FaultInjector::new(9, plans).unwrap();
+    let mut fleet = SyntheticFleet::new(n, 24, 77, injector);
+    let config = ShardConfig {
+        n_shards: 4,
+        budget_windows: 2,
+        align_rows: false,
+    };
+    let policy = kert_agents::RetryPolicy {
+        max_retries: 6,
+        patience_windows: 2,
+    };
+    let outcome = collect_epoch(&mut fleet, 0, &policy, &config);
+    let cutoffs: usize = outcome.shards.iter().map(|s| s.cutoff_agents).sum();
+    assert!(
+        cutoffs > 0,
+        "2-window budgets under 50% drop must exhaust: {:?}",
+        outcome.shards
+    );
+    // Budgeted collection still produces a complete CPD set through the
+    // ladder (prior rung for the cutoff casualties on a cold cache).
+    let mut cache = CpdCache::new(n);
+    let injector = FaultInjector::new(
+        9,
+        ChaosOptions {
+            n_agents: n,
+            fault_rate: 0.5,
+            ..ChaosOptions::default()
+        }
+        .agent_plans(),
+    )
+    .unwrap();
+    let mut fleet = SyntheticFleet::new(n, 24, 77, injector);
+    let result = sharded_resilient_learn(
+        &variables,
+        &dag,
+        &mut fleet,
+        0,
+        &mut cache,
+        &kert_agents::ResilientOptions {
+            retry: policy,
+            ..Default::default()
+        },
+        &config,
+    )
+    .unwrap();
+    assert_eq!(result.cpds.len(), n);
+}
+
+/// A coordinator crash without any snapshot persistence restarts cold:
+/// the epoch completes, but the restart is recorded as non-warm.
+#[test]
+fn crash_without_snapshots_restarts_cold() {
+    let options = ChaosOptions {
+        coordinator: Some(CoordinatorFaultPlan::kill_at(1)),
+        snapshot_path: None,
+        ..chaos_base(40, 4)
+    };
+    let report = run_fleet_chaos(&options).unwrap();
+    assert_eq!(report.coordinator_crashes, 1);
+    assert_eq!(report.warm_restores, 0);
+    let crash_epoch = report.epochs.iter().find(|e| e.restored).unwrap();
+    assert!(!crash_epoch.warm);
+}
+
+/// With persistence on, the same crash comes back warm and the run still
+/// matches an uninterrupted run bitwise (the conformance crate holds the
+/// full equivalence gate; this is the in-crate smoke version).
+#[test]
+fn crash_with_snapshots_restores_warm() {
+    let dir = std::env::temp_dir().join(format!("kert_fleet_warm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let options = ChaosOptions {
+        coordinator: Some(CoordinatorFaultPlan::kill_at(2)),
+        snapshot_path: Some(dir.join("coordinator.snap")),
+        ..chaos_base(40, 4)
+    };
+    let report = run_fleet_chaos(&options).unwrap();
+    assert_eq!(report.coordinator_crashes, 1);
+    assert_eq!(report.warm_restores, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,98 @@
+//! Run the fleet-scale chaos drill: 10³ agents, sharded collection, a
+//! coordinator kill mid-drill, snapshot/warm-restore — with wall-clock
+//! collector throughput.
+//!
+//! Usage: `cargo run --release -p kert-bench --bin fleet_chaos`
+//! (`KERT_FLEET_SEED`, `KERT_FLEET_AGENTS`, `KERT_FLEET_EPOCHS` override;
+//! `--quick` / `KERT_BENCH_QUICK=1` shrinks the fleet and skips the
+//! committed artifacts.)
+
+use kert_bench::{dump_json, env_usize, fleet, table, timing};
+use serde::Value;
+
+fn main() {
+    let quick = timing::quick_mode();
+    let seed = env_usize("KERT_FLEET_SEED", 3) as u64;
+    let n_agents = env_usize(
+        "KERT_FLEET_AGENTS",
+        if quick { 200 } else { fleet::FLEET_AGENTS },
+    );
+    let epochs = env_usize("KERT_FLEET_EPOCHS", fleet::FLEET_EPOCHS);
+    eprintln!(
+        "Fleet chaos: {n_agents} agents × {epochs} epochs, {} shards, \
+         fault rate {}, coordinator killed at epoch {}, seed {seed}…",
+        fleet::FLEET_SHARDS,
+        fleet::FLEET_FAULT_RATE,
+        fleet::CRASH_EPOCH
+    );
+
+    let artifact = fleet::run(seed, n_agents, epochs);
+    let r = &artifact.report;
+
+    println!("\nFleet chaos — rung mix and restores per epoch");
+    let widths = [6, 6, 6, 6, 9, 8, 18];
+    table::header(
+        &[
+            "epoch",
+            "fresh",
+            "stale",
+            "prior",
+            "restored",
+            "simwin",
+            "fingerprint",
+        ],
+        &widths,
+    );
+    for e in &r.epochs {
+        table::row(
+            &[
+                format!("{}", e.epoch),
+                format!("{}", e.fresh),
+                format!("{}", e.stale),
+                format!("{}", e.prior),
+                if e.restored {
+                    if e.warm { "warm" } else { "cold" }.to_string()
+                } else {
+                    "-".to_string()
+                },
+                format!("{}", e.sim_windows_max),
+                e.cpd_fingerprint.clone(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\ncrashes {} / warm restores {}; rungs {} fresh, {} stale, {} prior",
+        r.coordinator_crashes, r.warm_restores, r.total_fresh, r.total_stale, r.total_prior
+    );
+    println!(
+        "simulated speedup {:.2}× over {} shards; wall {:.1} ms, \
+         {:.0} reports/s, {:.0} rows/s",
+        r.simulated_speedup,
+        r.n_shards,
+        artifact.wall_ms,
+        artifact.reports_per_sec,
+        artifact.rows_per_sec
+    );
+
+    if quick {
+        eprintln!("(quick mode: committed artifacts left untouched)");
+        return;
+    }
+    dump_json("fleet_chaos", &artifact);
+    timing::merge_bench_perf(
+        "fleet",
+        Value::Map(vec![
+            ("n_agents".into(), Value::Num(r.n_agents as f64)),
+            ("n_shards".into(), Value::Num(r.n_shards as f64)),
+            ("epochs".into(), Value::Num(r.epochs.len() as f64)),
+            ("simulated_speedup".into(), Value::Num(r.simulated_speedup)),
+            ("wall_ms".into(), Value::Num(artifact.wall_ms)),
+            (
+                "reports_per_sec".into(),
+                Value::Num(artifact.reports_per_sec),
+            ),
+            ("rows_per_sec".into(), Value::Num(artifact.rows_per_sec)),
+        ]),
+    );
+}

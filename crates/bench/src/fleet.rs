@@ -1,0 +1,113 @@
+//! Fleet-scale chaos benchmark — collector throughput and resilience
+//! accounting at 10³ agents.
+//!
+//! This is the committed-artifact companion of `kertctl fleet chaos`: the
+//! same seeded drill (sharded epoch collection, coordinator kill at a
+//! fixed epoch, snapshot/warm-restore), run under the standard gate
+//! configuration, with wall-clock throughput measured around it. The
+//! deterministic core (`report`) is byte-stable for a fixed seed; the
+//! throughput fields are host-dependent and gated only loosely (> 0).
+//!
+//! Committed as `results/fleet_chaos.json` (shape-gated by
+//! [`crate::shape::fleet_chaos_gate`]) and merged as the `fleet` section
+//! of `BENCH_perf.json`.
+
+use std::time::Instant;
+
+use kert_agents::{
+    run_fleet_chaos, ChaosOptions, FleetChaosReport, ResilientOptions, RetryPolicy, ShardConfig,
+};
+use kert_sim::CoordinatorFaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// Fleet size of the committed run (the 10³-agent scale claim).
+pub const FLEET_AGENTS: usize = 1000;
+/// Epochs per drill.
+pub const FLEET_EPOCHS: usize = 4;
+/// Rows per agent report per window.
+pub const FLEET_ROWS: usize = 32;
+/// Shards of the committed run.
+pub const FLEET_SHARDS: usize = 8;
+/// Per-attempt fault rate of the drill.
+pub const FLEET_FAULT_RATE: f64 = 0.1;
+/// Retries per report — high enough that a window-0 report is effectively
+/// never lost (P ≈ rate⁶ per agent), so the committed run has zero
+/// prior-rung fallbacks.
+pub const FLEET_RETRIES: usize = 5;
+/// Epoch at which the coordinator is killed mid-drill.
+pub const CRASH_EPOCH: u64 = 2;
+
+/// The committed artifact: deterministic drill outcome + host throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetChaosArtifact {
+    /// Master seed of the drill.
+    pub seed: u64,
+    /// Per-attempt fault rate.
+    pub fault_rate: f64,
+    /// Retries per report collection.
+    pub retries: usize,
+    /// Coordinator kill epoch.
+    pub crash_epoch: u64,
+    /// The deterministic drill record (seed-stable byte for byte).
+    pub report: FleetChaosReport,
+    /// Wall-clock time of the whole drill, milliseconds (host-dependent).
+    pub wall_ms: f64,
+    /// Collector throughput: delivery attempts served per second.
+    pub reports_per_sec: f64,
+    /// Measurement-row throughput through the collector.
+    pub rows_per_sec: f64,
+}
+
+/// The gate configuration as [`ChaosOptions`].
+pub fn gate_options(seed: u64, n_agents: usize, epochs: usize) -> ChaosOptions {
+    ChaosOptions {
+        n_agents,
+        rows_per_window: FLEET_ROWS,
+        epochs,
+        seed,
+        shards: ShardConfig {
+            n_shards: FLEET_SHARDS,
+            align_rows: false,
+            ..ShardConfig::default()
+        },
+        resilient: ResilientOptions {
+            retry: RetryPolicy {
+                max_retries: FLEET_RETRIES,
+                ..RetryPolicy::default()
+            },
+            ..ResilientOptions::default()
+        },
+        fault_rate: FLEET_FAULT_RATE,
+        cold_fraction: 0.0,
+        partition_prob: 0.0,
+        coordinator: Some(CoordinatorFaultPlan::kill_at(CRASH_EPOCH)),
+        snapshot_path: None, // set per run below
+    }
+}
+
+/// Run the drill and measure throughput around it.
+pub fn run(seed: u64, n_agents: usize, epochs: usize) -> FleetChaosArtifact {
+    let dir = std::env::temp_dir().join(format!("kert_bench_fleet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    let options = ChaosOptions {
+        snapshot_path: Some(dir.join("coordinator.snap")),
+        ..gate_options(seed, n_agents, epochs)
+    };
+
+    let start = Instant::now();
+    let report = run_fleet_chaos(&options).expect("chaos drill must complete");
+    let wall = start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let secs = wall.as_secs_f64().max(1e-9);
+    FleetChaosArtifact {
+        seed,
+        fault_rate: FLEET_FAULT_RATE,
+        retries: FLEET_RETRIES,
+        crash_epoch: CRASH_EPOCH,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        reports_per_sec: report.fetches as f64 / secs,
+        rows_per_sec: report.rows_generated as f64 / secs,
+        report,
+    }
+}

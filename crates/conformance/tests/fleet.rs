@@ -1,0 +1,109 @@
+//! Conformance gate: a coordinator that crashes mid-epoch and warm-
+//! restores from its snapshot must be *indistinguishable in output* from
+//! a coordinator that never crashed.
+//!
+//! This is the fleet-resilience analogue of the differential oracles: the
+//! uninterrupted run is the ground truth, the crash-and-restore run is
+//! the system under test, and the comparison is bitwise on the per-epoch
+//! CPD fingerprints — not approximate, not statistical.
+
+use kert_agents::{run_fleet_chaos, ChaosOptions, FleetChaosReport};
+use kert_sim::CoordinatorFaultPlan;
+
+fn base_options(seed: u64) -> ChaosOptions {
+    ChaosOptions {
+        n_agents: 96,
+        rows_per_window: 24,
+        epochs: 5,
+        seed,
+        fault_rate: 0.05,
+        ..ChaosOptions::default()
+    }
+}
+
+fn epoch_fingerprints(report: &FleetChaosReport) -> Vec<&str> {
+    report
+        .epochs
+        .iter()
+        .map(|e| e.cpd_fingerprint.as_str())
+        .collect()
+}
+
+/// The equivalence gate, per seed: kill the coordinator mid-drill, warm-
+/// restore it, and demand the learned models match the uninterrupted run
+/// epoch by epoch — with zero prior-rung fallbacks caused by the crash.
+fn restored_run_matches_uninterrupted(seed: u64) {
+    let uninterrupted = run_fleet_chaos(&base_options(seed)).unwrap();
+    assert_eq!(uninterrupted.coordinator_crashes, 0);
+
+    let dir = std::env::temp_dir().join(format!("kert_conf_fleet_{}_{}", std::process::id(), seed));
+    std::fs::create_dir_all(&dir).unwrap();
+    let crashed = run_fleet_chaos(&ChaosOptions {
+        coordinator: Some(CoordinatorFaultPlan::kill_at(2)),
+        snapshot_path: Some(dir.join("coordinator.snap")),
+        ..base_options(seed)
+    })
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(crashed.coordinator_crashes, 1, "the kill must fire");
+    assert_eq!(crashed.warm_restores, 1, "the restart must come back warm");
+    assert_eq!(
+        epoch_fingerprints(&uninterrupted),
+        epoch_fingerprints(&crashed),
+        "seed {seed}: crash + warm restore must reproduce the \
+         uninterrupted model bitwise, every epoch"
+    );
+    // The crash must not push any node down the ladder relative to the
+    // uninterrupted run: identical rung totals, and the restore itself
+    // introduces zero prior-rung fallbacks.
+    assert_eq!(uninterrupted.total_fresh, crashed.total_fresh);
+    assert_eq!(uninterrupted.total_stale, crashed.total_stale);
+    assert_eq!(uninterrupted.total_prior, crashed.total_prior);
+}
+
+#[test]
+fn restored_coordinator_matches_uninterrupted_seed_1() {
+    restored_run_matches_uninterrupted(1);
+}
+
+#[test]
+fn restored_coordinator_matches_uninterrupted_seed_2() {
+    restored_run_matches_uninterrupted(2);
+}
+
+#[test]
+fn restored_coordinator_matches_uninterrupted_seed_3() {
+    restored_run_matches_uninterrupted(3);
+}
+
+/// Restoring is *warm*, not amnesiac: the restored cache serves stale
+/// CPDs (with their pre-crash ages) for agents that go missing right
+/// after the restart, rather than falling to the prior rung.
+#[test]
+fn warm_restore_serves_stale_not_prior_after_crash() {
+    let dir = std::env::temp_dir().join(format!("kert_conf_stale_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // High fault rate so post-restart epochs contain missing reports.
+    let report = run_fleet_chaos(&ChaosOptions {
+        fault_rate: 0.3,
+        epochs: 6,
+        coordinator: Some(CoordinatorFaultPlan::kill_at(3)),
+        snapshot_path: Some(dir.join("coordinator.snap")),
+        ..base_options(7)
+    })
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(report.warm_restores, 1);
+    let post_restart: Vec<_> = report.epochs.iter().filter(|e| e.epoch >= 3).collect();
+    assert!(
+        post_restart.iter().any(|e| e.stale > 0),
+        "30% faults must produce stale serves after the restart: {post_restart:?}"
+    );
+    assert_eq!(
+        post_restart.iter().map(|e| e.prior).sum::<usize>(),
+        0,
+        "a warm cache means missing reports fall to stale, never prior"
+    );
+}
