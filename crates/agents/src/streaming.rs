@@ -1,0 +1,390 @@
+//! Server-side streaming window assembly: [`AgentReport`] row deltas feed
+//! incremental learning instead of forcing a batch relearn.
+//!
+//! Each control period the management server collects one report per
+//! monitoring agent ([`crate::collect`]). The conventional scheduler then
+//! relearns every CPD from the full sliding window; the
+//! [`StreamingCollector`] instead reconciles the arriving reports into
+//! *joint rows* (keyed by global request id) and streams only the delta
+//! into a [`StreamingLearner`]'s sufficient statistics — each period costs
+//! `O(rows entering + rows leaving)`, not `O(window)`.
+//!
+//! Reconciliation rules mirror the lossy data plane of PR 2:
+//! * rows with non-finite values are sanitized away per report;
+//! * only request ids present in **every** agent's report become joint
+//!   rows (id intersection — truncated or straggling reports cannot
+//!   misalign columns);
+//! * an epoch with any agent missing (crashed, dropped past the retry
+//!   budget) contributes nothing — a crashed agent's columns cannot be
+//!   fabricated. When the agent rejoins, later epochs stream normally, so
+//!   the learner state always equals a batch relearn over exactly the
+//!   reconciled rows in the window;
+//! * duplicate redeliveries (straggler replays) are dropped by id.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use kert_bayes::cpd::Cpd;
+use kert_bayes::graph::Dag;
+use kert_bayes::learn::incremental::StreamingLearner;
+use kert_bayes::learn::mle::ParamOptions;
+use kert_bayes::variable::Variable;
+use kert_bayes::Dataset;
+use kert_sim::AgentReport;
+
+use crate::collect::{intersect_row_ids, restrict_to_ids, sanitize_report};
+use crate::{AgentError, Result};
+
+static OBS_EPOCHS: kert_obs::Counter = kert_obs::Counter::new("agents.stream.epochs");
+static OBS_ROWS_IN: kert_obs::Counter = kert_obs::Counter::new("agents.stream.rows_in");
+static OBS_ROWS_OUT: kert_obs::Counter = kert_obs::Counter::new("agents.stream.rows_out");
+static OBS_SKIPPED: kert_obs::Counter = kert_obs::Counter::new("agents.stream.epochs_skipped");
+
+/// What one epoch's ingest did to the window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestSummary {
+    /// Joint rows appended to the window.
+    pub rows_added: usize,
+    /// Rows evicted to keep the window at capacity.
+    pub rows_evicted: usize,
+    /// Rows sanitized away across all reports (non-finite values).
+    pub rows_sanitized: usize,
+    /// Rows whose ids appeared in some reports but not all (realignment
+    /// loss from truncation), counted against the widest report.
+    pub rows_unaligned: usize,
+    /// Redelivered ids already in the window, dropped.
+    pub rows_duplicate: usize,
+    /// Agents whose report was missing; non-empty ⇒ the epoch was skipped.
+    pub missing_agents: Vec<usize>,
+}
+
+impl IngestSummary {
+    /// True when the epoch contributed nothing because an agent was down.
+    pub fn skipped(&self) -> bool {
+        !self.missing_agents.is_empty()
+    }
+}
+
+/// A sliding window of reconciled joint rows with incrementally maintained
+/// learning statistics — the streaming replacement for the scheduler's
+/// per-`T_CON` batch relearn.
+///
+/// Agent `i`'s report supplies node `i`'s column (reports carry
+/// `[parents…, own]`; only the own column is read — parent values are
+/// re-derived from the parents' *own* reports, so one corrupted piggyback
+/// column cannot fork the joint view).
+#[derive(Debug)]
+pub struct StreamingCollector {
+    learner: StreamingLearner,
+    /// `(id, joint row)` in arrival order; front is oldest.
+    window: VecDeque<(u64, Vec<f64>)>,
+    /// Ids currently in the window, for duplicate rejection.
+    ids: BTreeSet<u64>,
+    capacity: usize,
+    n_nodes: usize,
+}
+
+impl StreamingCollector {
+    /// A collector for `variables.len()` learned nodes (one monitoring
+    /// agent per node) holding at most `capacity` joint rows.
+    pub fn new(
+        variables: &[Variable],
+        dag: &Dag,
+        capacity: usize,
+        params: ParamOptions,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(AgentError::BadSchedule(
+                "window capacity must be ≥ 1".into(),
+            ));
+        }
+        let learner = StreamingLearner::new(variables, dag, params)
+            .map_err(|e| AgentError::BadLocalData(e.to_string()))?;
+        Ok(StreamingCollector {
+            learner,
+            window: VecDeque::with_capacity(capacity + 1),
+            ids: BTreeSet::new(),
+            capacity,
+            n_nodes: variables.len(),
+        })
+    }
+
+    /// Joint rows currently in the window.
+    pub fn window_rows(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when the window holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Maximum joint rows before oldest-first eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The reconciled window as a dataset (`names` = one per node), for
+    /// differential testing against a batch relearn.
+    pub fn window_dataset(&self, names: Vec<String>) -> Result<Dataset> {
+        let mut out = Dataset::new(names);
+        for (_, row) in &self.window {
+            out.push_row(row.clone())
+                .map_err(|e| AgentError::Internal(e.to_string()))?;
+        }
+        Ok(out)
+    }
+
+    /// Ingest one epoch of per-agent reports (`reports[i]` from node `i`'s
+    /// agent, `None` when collection failed). Reconciles, streams the
+    /// delta, and slides the window. Cost is proportional to the delta —
+    /// rows reconciled in plus rows evicted — never the window length.
+    pub fn ingest(&mut self, reports: &mut [Option<AgentReport>]) -> Result<IngestSummary> {
+        if reports.len() != self.n_nodes {
+            return Err(AgentError::BadLocalData(format!(
+                "{} reports for {} nodes",
+                reports.len(),
+                self.n_nodes
+            )));
+        }
+        OBS_EPOCHS.incr();
+        let mut summary = IngestSummary {
+            missing_agents: reports
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_none())
+                .map(|(i, _)| i)
+                .collect(),
+            ..IngestSummary::default()
+        };
+        if summary.skipped() {
+            // A missing agent leaves its column unobservable for every row
+            // of this epoch; nothing can be reconciled.
+            OBS_SKIPPED.incr();
+            return Ok(summary);
+        }
+
+        let mut widest = 0usize;
+        for report in reports.iter_mut().flatten() {
+            summary.rows_sanitized += sanitize_report(report);
+            widest = widest.max(report.data.rows());
+        }
+        let present: Vec<&AgentReport> = reports.iter().flatten().collect();
+        let shared = intersect_row_ids(&present);
+        summary.rows_unaligned = widest.saturating_sub(shared.len());
+        for report in reports.iter_mut().flatten() {
+            restrict_to_ids(report, &shared);
+        }
+
+        // After restriction every report carries exactly `shared` in the
+        // same order; joint row r = each agent's own (last) column.
+        for (r, &id) in shared.iter().enumerate() {
+            if self.ids.contains(&id) {
+                summary.rows_duplicate += 1;
+                continue;
+            }
+            let row: Vec<f64> = reports
+                .iter()
+                .flatten()
+                .map(|rep| {
+                    let own = rep.data.columns() - 1;
+                    rep.data.get(r, own)
+                })
+                .collect();
+            self.learner
+                .insert_row(&row)
+                .map_err(|e| AgentError::BadLocalData(e.to_string()))?;
+            self.window.push_back((id, row));
+            self.ids.insert(id);
+            summary.rows_added += 1;
+            OBS_ROWS_IN.incr();
+            if self.window.len() > self.capacity {
+                let (old_id, old_row) = self.window.pop_front().expect("window non-empty");
+                self.learner
+                    .evict_row(&old_row)
+                    .map_err(|e| AgentError::Internal(e.to_string()))?;
+                self.ids.remove(&old_id);
+                summary.rows_evicted += 1;
+                OBS_ROWS_OUT.incr();
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Fit every node's CPD from the current window statistics —
+    /// equivalent to a batch relearn over [`Self::window_dataset`].
+    pub fn fit_all(&mut self) -> Result<Vec<Cpd>> {
+        self.learner.fit_all().map_err(|e| AgentError::LearnFailed {
+            node: usize::MAX,
+            cause: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kert_bayes::learn::incremental::cpd_movement;
+    use kert_bayes::learn::mle::fit_all_parameters;
+    use kert_sim::trace::TraceRow;
+    use kert_sim::{MonitoringAgent, Trace};
+
+    fn chain_dag(n: usize) -> Dag {
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).unwrap();
+        }
+        dag
+    }
+
+    fn chain_agents(n: usize) -> Vec<MonitoringAgent> {
+        (0..n)
+            .map(|i| MonitoringAgent::new(i, if i == 0 { vec![] } else { vec![i - 1] }))
+            .collect()
+    }
+
+    fn demo_windows(n: usize, windows: usize, rows: usize) -> Vec<Trace> {
+        let mut t = Trace::new(n);
+        for i in 0..(windows * rows) {
+            t.push(TraceRow {
+                completed_at: i as f64,
+                elapsed: (0..n)
+                    .map(|s| 0.05 * (s + 1) as f64 + ((i * (s + 3)) % 17) as f64 * 0.01)
+                    .collect(),
+                response_time: 1.0,
+                resources: Vec::new(),
+            });
+        }
+        t.windows(rows)
+    }
+
+    fn reports_for(
+        agents: &[MonitoringAgent],
+        window: &Trace,
+        start: u64,
+    ) -> Vec<Option<AgentReport>> {
+        agents
+            .iter()
+            .map(|a| Some(a.report_window(window, start)))
+            .collect()
+    }
+
+    fn continuous_vars(n: usize) -> Vec<Variable> {
+        (0..n)
+            .map(|i| Variable::continuous(format!("X{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_epochs_match_batch_relearn() {
+        let n = 3;
+        let agents = chain_agents(n);
+        let dag = chain_dag(n);
+        let windows = demo_windows(n, 4, 8);
+        let vars = continuous_vars(n);
+        let mut collector =
+            StreamingCollector::new(&vars, &dag, 16, ParamOptions::default()).unwrap();
+        let mut start = 0u64;
+        for w in &windows {
+            let mut reports = reports_for(&agents, w, start);
+            let summary = collector.ingest(&mut reports).unwrap();
+            assert!(!summary.skipped());
+            assert_eq!(summary.rows_added, 8);
+            start += w.len() as u64;
+        }
+        // 32 rows streamed through a 16-row window → 16 evicted.
+        assert_eq!(collector.window_rows(), 16);
+
+        let names = (0..n).map(|i| format!("X{i}")).collect();
+        let current = collector.window_dataset(names).unwrap();
+        let batch = fit_all_parameters(&vars, &dag, &current, ParamOptions::default()).unwrap();
+        let streamed = collector.fit_all().unwrap();
+        for (node, (s, b)) in streamed.iter().zip(batch.iter()).enumerate() {
+            let m = cpd_movement(s, b);
+            assert!(m <= 1e-9, "node {node} drifted {m} from batch");
+        }
+    }
+
+    #[test]
+    fn missing_agent_skips_the_epoch() {
+        let n = 2;
+        let agents = chain_agents(n);
+        let dag = chain_dag(n);
+        let windows = demo_windows(n, 1, 6);
+        let vars = continuous_vars(n);
+        let mut collector =
+            StreamingCollector::new(&vars, &dag, 32, ParamOptions::default()).unwrap();
+        let mut reports = reports_for(&agents, &windows[0], 0);
+        reports[1] = None;
+        let summary = collector.ingest(&mut reports).unwrap();
+        assert!(summary.skipped());
+        assert_eq!(summary.missing_agents, vec![1]);
+        assert_eq!(summary.rows_added, 0);
+        assert!(collector.is_empty());
+    }
+
+    #[test]
+    fn duplicate_redelivery_adds_nothing() {
+        let n = 2;
+        let agents = chain_agents(n);
+        let dag = chain_dag(n);
+        let windows = demo_windows(n, 1, 5);
+        let vars = continuous_vars(n);
+        let mut collector =
+            StreamingCollector::new(&vars, &dag, 32, ParamOptions::default()).unwrap();
+        let mut reports = reports_for(&agents, &windows[0], 0);
+        assert_eq!(collector.ingest(&mut reports).unwrap().rows_added, 5);
+        // A straggler replay of the same window: every id is a duplicate.
+        let mut replay = reports_for(&agents, &windows[0], 0);
+        let summary = collector.ingest(&mut replay).unwrap();
+        assert_eq!(summary.rows_added, 0);
+        assert_eq!(summary.rows_duplicate, 5);
+        assert_eq!(collector.window_rows(), 5);
+    }
+
+    #[test]
+    fn truncated_reports_realign_by_id_intersection() {
+        let n = 2;
+        let agents = chain_agents(n);
+        let dag = chain_dag(n);
+        let windows = demo_windows(n, 1, 6);
+        let vars = continuous_vars(n);
+        let mut collector =
+            StreamingCollector::new(&vars, &dag, 32, ParamOptions::default()).unwrap();
+        let mut reports = reports_for(&agents, &windows[0], 0);
+        // Truncate agent 1's report to its first 4 rows.
+        if let Some(rep) = reports[1].as_mut() {
+            let keep: Vec<u64> = rep.row_ids[..4].to_vec();
+            restrict_to_ids(rep, &keep);
+        }
+        let summary = collector.ingest(&mut reports).unwrap();
+        assert_eq!(summary.rows_added, 4);
+        assert_eq!(summary.rows_unaligned, 2);
+    }
+
+    #[test]
+    fn poisoned_rows_are_sanitized_before_alignment() {
+        let n = 2;
+        let agents = chain_agents(n);
+        let dag = chain_dag(n);
+        let windows = demo_windows(n, 1, 5);
+        let vars = continuous_vars(n);
+        let mut collector =
+            StreamingCollector::new(&vars, &dag, 32, ParamOptions::default()).unwrap();
+        let mut reports = reports_for(&agents, &windows[0], 0);
+        if let Some(rep) = reports[0].as_mut() {
+            let mut data = Dataset::new(rep.data.names().to_vec());
+            for r in 0..rep.data.rows() {
+                let mut row = rep.data.row(r).to_vec();
+                if r == 2 {
+                    row[0] = f64::NAN;
+                }
+                data.push_row(row).unwrap();
+            }
+            rep.data = data;
+        }
+        let summary = collector.ingest(&mut reports).unwrap();
+        assert_eq!(summary.rows_sanitized, 1);
+        assert_eq!(summary.rows_added, 4);
+    }
+}

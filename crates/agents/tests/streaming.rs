@@ -1,0 +1,157 @@
+//! Windowed re-entry: an agent crashes mid-window (PR 2 fault plans),
+//! rejoins after a restart, and the streaming collector's state still
+//! equals a batch relearn over exactly the reconciled rows.
+
+use kert_agents::collect::{collect_report, FaultyFleet, ReportSource, RetryPolicy};
+use kert_agents::streaming::StreamingCollector;
+use kert_bayes::graph::Dag;
+use kert_bayes::learn::incremental::cpd_movement;
+use kert_bayes::learn::mle::{fit_all_parameters, ParamOptions};
+use kert_bayes::variable::Variable;
+use kert_bayes::Dataset;
+use kert_sim::trace::TraceRow;
+use kert_sim::{Delivery, FaultEvent, FaultInjector, FaultPlan, MonitoringAgent, Trace};
+
+const N: usize = 4;
+const WINDOWS: usize = 6;
+const ROWS: usize = 10;
+const CRASH_AGENT: usize = 2;
+const CRASH_WINDOW: usize = 2;
+
+fn chain_dag() -> Dag {
+    let mut dag = Dag::new(N);
+    for i in 1..N {
+        dag.add_edge(i - 1, i).unwrap();
+    }
+    dag
+}
+
+fn chain_agents() -> Vec<MonitoringAgent> {
+    (0..N)
+        .map(|i| MonitoringAgent::new(i, if i == 0 { vec![] } else { vec![i - 1] }))
+        .collect()
+}
+
+fn trace_windows() -> Vec<Trace> {
+    let mut t = Trace::new(N);
+    for i in 0..(WINDOWS * ROWS) {
+        t.push(TraceRow {
+            completed_at: i as f64,
+            elapsed: (0..N)
+                .map(|s| 0.03 * (s + 1) as f64 + ((i * (2 * s + 3)) % 23) as f64 * 0.007)
+                .collect(),
+            response_time: 1.0,
+            resources: Vec::new(),
+        });
+    }
+    t.windows(ROWS)
+}
+
+/// A fleet whose crashed agent is restarted before `rejoin_window`: faults
+/// follow the crash plan up to then, and a healthy injector afterwards —
+/// the monitoring agent itself is stateless, so re-entry is just reports
+/// flowing again.
+struct RejoiningFleet<'a> {
+    crashed: FaultyFleet<'a>,
+    healthy: FaultyFleet<'a>,
+    rejoin_window: usize,
+}
+
+impl ReportSource for RejoiningFleet<'_> {
+    fn n_agents(&self) -> usize {
+        self.crashed.n_agents()
+    }
+
+    fn fetch(
+        &mut self,
+        agent: usize,
+        window: usize,
+        attempt: usize,
+    ) -> (Delivery, Vec<FaultEvent>) {
+        if window < self.rejoin_window {
+            self.crashed.fetch(agent, window, attempt)
+        } else {
+            self.healthy.fetch(agent, window, attempt)
+        }
+    }
+}
+
+#[test]
+fn crashed_agent_rejoins_and_streaming_matches_batch_over_reconciled_rows() {
+    let agents = chain_agents();
+    let windows = trace_windows();
+    let vars: Vec<Variable> = (0..N)
+        .map(|i| Variable::continuous(format!("X{i}")))
+        .collect();
+    let dag = chain_dag();
+
+    let mut plans = vec![FaultPlan::healthy(); N];
+    plans[CRASH_AGENT] = FaultPlan::crash_at(CRASH_WINDOW);
+    let crash_injector = FaultInjector::new(7, plans).unwrap();
+    let healthy_injector = FaultInjector::healthy(N);
+    let mut fleet = RejoiningFleet {
+        crashed: FaultyFleet::new(&agents, &windows, &crash_injector),
+        healthy: FaultyFleet::new(&agents, &windows, &healthy_injector),
+        rejoin_window: CRASH_WINDOW + 1,
+    };
+
+    let capacity = 3 * ROWS;
+    let mut collector =
+        StreamingCollector::new(&vars, &dag, capacity, ParamOptions::default()).expect("collector");
+    let policy = RetryPolicy::default();
+    let mut skipped = Vec::new();
+    for w in 0..WINDOWS {
+        let mut reports = Vec::with_capacity(N);
+        for a in 0..N {
+            let (report, _) = collect_report(&mut fleet, a, w, &policy);
+            reports.push(report);
+        }
+        let summary = collector.ingest(&mut reports).expect("ingest");
+        if summary.skipped() {
+            assert_eq!(summary.missing_agents, vec![CRASH_AGENT]);
+            skipped.push(w);
+        } else {
+            assert_eq!(summary.rows_added, ROWS, "window {w} must reconcile fully");
+        }
+    }
+    // Exactly the crash window was lost; re-entry resumed the very next one.
+    assert_eq!(skipped, vec![CRASH_WINDOW]);
+    assert_eq!(collector.window_rows(), capacity);
+
+    // Batch reference over exactly the reconciled rows: every window except
+    // the crashed one, sliding-window truncated to the last `capacity`.
+    let names: Vec<String> = (0..N).map(|i| format!("X{i}")).collect();
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    for (w, window) in windows.iter().enumerate() {
+        if w == CRASH_WINDOW {
+            continue;
+        }
+        for row in window.rows() {
+            all_rows.push(row.elapsed.clone());
+        }
+    }
+    let mut reconciled = Dataset::new(names);
+    for row in all_rows.split_off(all_rows.len() - capacity) {
+        reconciled.push_row(row).unwrap();
+    }
+
+    // The collector's window must hold those exact rows…
+    let got = collector
+        .window_dataset((0..N).map(|i| format!("X{i}")).collect())
+        .unwrap();
+    assert_eq!(got.rows(), reconciled.rows());
+    for r in 0..got.rows() {
+        assert_eq!(got.row(r), reconciled.row(r), "row {r} diverged");
+    }
+
+    // …and its streamed fit must match the batch relearn over them.
+    let batch = fit_all_parameters(&vars, &dag, &reconciled, ParamOptions::default()).unwrap();
+    let streamed = collector.fit_all().unwrap();
+    for (node, (s, b)) in streamed.iter().zip(batch.iter()).enumerate() {
+        let m = cpd_movement(s, b);
+        assert!(
+            m <= 1e-9,
+            "node {node} drifted {m} from batch after re-entry"
+        );
+    }
+}

@@ -66,6 +66,7 @@ static OBS_JT_MSGS_CALIBRATE: kert_obs::Counter =
     kert_obs::Counter::new("bayes.jt.messages.calibrate");
 static OBS_JT_MSGS_INCREMENTAL: kert_obs::Counter =
     kert_obs::Counter::new("bayes.jt.messages.incremental");
+static OBS_JT_CPD_REFRESH: kert_obs::Counter = kert_obs::Counter::new("bayes.jt.cpd_refresh");
 
 /// An undirected edge of the clique tree with its separator scope.
 #[derive(Debug, Clone)]
@@ -103,6 +104,12 @@ pub struct JunctionTree {
     /// ones table multiplied by every CPD factor assigned to the clique),
     /// so evidence zeroing always finds its variable in scope.
     base: Vec<Factor>,
+    /// Current CPD factor per network node, kept so a parameter refresh
+    /// can rebuild just the dirty clique bases (same multiply order as
+    /// compile, hence bitwise-equal to a fresh compilation).
+    factors: Vec<Factor>,
+    /// Home clique per node factor (first clique covering its scope).
+    factor_home: Vec<usize>,
     /// Per node: the smallest-table clique containing it (queries and
     /// evidence for the node route through this clique).
     node_home: Vec<usize>,
@@ -293,13 +300,15 @@ impl JunctionTree {
                 Factor::new(scope.clone(), scope_cards, vec![1.0; total])
             })
             .collect::<Result<_>>()?;
-        for f in factors {
+        let mut factor_home = Vec::with_capacity(factors.len());
+        for f in &factors {
             let home = (0..m)
                 .find(|&i| is_subset(f.vars(), &cliques[i]))
                 .ok_or_else(|| {
                     BayesError::Numerical(format!("junction tree lost factor scope {:?}", f.vars()))
                 })?;
-            base[home] = base[home].product(&f);
+            base[home] = base[home].product(f);
+            factor_home.push(home);
         }
 
         let clique_strides: Vec<Vec<usize>> = base.iter().map(|f| strides(f.cards())).collect();
@@ -319,9 +328,80 @@ impl JunctionTree {
             edges,
             neighbors,
             base,
+            factors,
+            factor_home,
             node_home,
             workers: configured_workers(),
         })
+    }
+
+    /// Swap in new CPDs for a set of nodes and rebuild only the affected
+    /// clique base potentials, returning the dirty clique indices
+    /// (ascending, deduplicated).
+    ///
+    /// Each replacement must keep the node's family scope (same child, same
+    /// parents) — exactly what a sliding-window parameter refresh produces.
+    /// Dirty bases are rebuilt as the ones table times every assigned
+    /// factor in ascending node order, the same multiply order as
+    /// [`JunctionTree::compile`], so a refreshed tree is **bitwise
+    /// identical** to a fresh compile of the updated network.
+    ///
+    /// Existing [`JtState`]s still hold potentials and messages derived
+    /// from the old bases; pass the returned cliques to
+    /// [`JunctionTree::refresh_state_cliques`] for every live state.
+    pub fn refresh_cpds(&mut self, updates: &[(usize, crate::cpd::Cpd)]) -> Result<Vec<usize>> {
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for (node, cpd) in updates {
+            let node = *node;
+            if node >= self.factors.len() {
+                return Err(BayesError::InvalidNode(node));
+            }
+            if cpd.child() != node {
+                return Err(BayesError::InvalidCpd(format!(
+                    "refresh for node {node} carries a CPD for child {}",
+                    cpd.child()
+                )));
+            }
+            let f = Factor::from_cpd(cpd, &self.cards)?;
+            if f.vars() != self.factors[node].vars() {
+                return Err(BayesError::InvalidCpd(format!(
+                    "refresh for node {node} changes family scope {:?} -> {:?}",
+                    self.factors[node].vars(),
+                    f.vars()
+                )));
+            }
+            self.factors[node] = f;
+            dirty.insert(self.factor_home[node]);
+        }
+        OBS_JT_CPD_REFRESH.add(updates.len() as u64);
+        for &c in &dirty {
+            let scope = &self.cliques[c];
+            let scope_cards: Vec<usize> = scope.iter().map(|&v| self.cards[v]).collect();
+            let total: usize = scope_cards.iter().product();
+            let mut pot = Factor::new(scope.clone(), scope_cards, vec![1.0; total])?;
+            for (node, f) in self.factors.iter().enumerate() {
+                if self.factor_home[node] == c {
+                    pot = pot.product(f);
+                }
+            }
+            self.base[c] = pot;
+        }
+        Ok(dirty.into_iter().collect())
+    }
+
+    /// Re-derive a state's evidence-adjusted potentials and invalidate the
+    /// message subtrees for cliques whose base potentials changed (the
+    /// output of [`JunctionTree::refresh_cpds`]). Evidence pins survive the
+    /// refresh; only the underlying tables are rebuilt.
+    pub fn refresh_state_cliques(&self, st: &mut JtState, cliques: &[usize]) -> Result<()> {
+        self.check_state(st)?;
+        for &c in cliques {
+            if c >= self.cliques.len() {
+                return Err(BayesError::InvalidNode(c));
+            }
+            self.refresh_clique(st, c);
+        }
+        Ok(())
     }
 
     /// Override the collect-pass worker count (compile reads
@@ -1044,6 +1124,61 @@ mod tests {
         // Don't mutate the process environment (tests run threaded);
         // just pin the default-path invariant.
         assert!(configured_workers() >= 1);
+    }
+
+    #[test]
+    fn cpd_refresh_matches_fresh_compile_bitwise() {
+        let bn = sprinkler();
+        let mut jt = JunctionTree::compile(&bn).unwrap();
+        let mut st = jt.new_state();
+        jt.set_evidence(&mut st, 3, 1).unwrap();
+        let _ = jt.marginal(&mut st, 1).unwrap(); // warm message caches
+
+        // Move two CPDs (same scopes, new parameters).
+        let new_rain = Cpd::Tabular(
+            TabularCpd::new(2, vec![0], 2, vec![2], vec![0.7, 0.3, 0.1, 0.9]).unwrap(),
+        );
+        let new_cloudy =
+            Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.6, 0.4]).unwrap());
+        let dirty = jt
+            .refresh_cpds(&[(2, new_rain.clone()), (0, new_cloudy.clone())])
+            .unwrap();
+        assert!(!dirty.is_empty());
+        jt.refresh_state_cliques(&mut st, &dirty).unwrap();
+
+        // Reference: recompile the updated network from scratch.
+        let mut bn2 = sprinkler();
+        bn2.set_cpd(2, new_rain).unwrap();
+        bn2.set_cpd(0, new_cloudy).unwrap();
+        let jt2 = JunctionTree::compile(&bn2).unwrap();
+        for (a, b) in jt.base.iter().zip(jt2.base.iter()) {
+            assert_eq!(
+                a.values(),
+                b.values(),
+                "refreshed base differs from recompile"
+            );
+        }
+        let mut st2 = jt2.new_state();
+        jt2.set_evidence(&mut st2, 3, 1).unwrap();
+        for t in 0..3 {
+            assert_eq!(
+                jt.marginal(&mut st, t).unwrap(),
+                jt2.marginal(&mut st2, t).unwrap(),
+                "refreshed marginal differs for target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpd_refresh_rejects_scope_changes() {
+        let bn = sprinkler();
+        let mut jt = JunctionTree::compile(&bn).unwrap();
+        // Node 2's family is {0, 2}; a parentless replacement changes scope.
+        let rogue = Cpd::Tabular(TabularCpd::new(2, vec![], 2, vec![], vec![0.5, 0.5]).unwrap());
+        assert!(jt.refresh_cpds(&[(2, rogue)]).is_err());
+        // Wrong child index is also rejected.
+        let misfiled = Cpd::Tabular(TabularCpd::new(0, vec![], 2, vec![], vec![0.5, 0.5]).unwrap());
+        assert!(jt.refresh_cpds(&[(1, misfiled)]).is_err());
     }
 
     #[test]

@@ -1,0 +1,991 @@
+//! Incremental sliding-window parameter learning.
+//!
+//! The autonomic loop relearns the KERT every `T_CON` from a window
+//! `W = K·T_CON`. Batch relearning ([`super::fit_all_parameters`]) costs
+//! `O(window)` per reconstruction; the [`StreamingLearner`] here maintains
+//! per-family *sufficient statistics* so each reconstruction costs
+//! `O(delta)` — proportional to the rows that entered or left the window,
+//! not the window size.
+//!
+//! Equivalence contract (enforced by `crates/conformance/tests/streaming.rs`):
+//!
+//! * **Discrete families** keep sparse *integer* counts per parent
+//!   configuration. Rebuilding a CPT routes the densified counts through the
+//!   exact same [`TabularCpd::from_counts`] arithmetic as
+//!   [`super::fit_tabular`], so streaming CPTs are **bitwise identical** to
+//!   a batch relearn over the same window — and evicting every row of a
+//!   family returns the counts exactly to the prior (integer arithmetic
+//!   cannot drift the way repeated `+1.0 … −1.0` float round-trips can).
+//! * **Linear-Gaussian families** keep the Gram matrix `XᵀX`, the moment
+//!   vector `Xᵀy`, and scalar moments of `y`, with the Cholesky factor of
+//!   the Gram maintained by rank-1 up/downdates
+//!   ([`Cholesky::rank_one_update`] / [`Cholesky::rank_one_downdate`]).
+//!   A condition trigger (pivot-ratio check, op-count budget, or a failed
+//!   downdate) falls back to a full refactorization from the exactly-
+//!   maintained Gram, so downdates never go indefinite silently. The
+//!   rebuilt CPD agrees with [`super::fit_linear_gaussian`] to ≤1e-9.
+
+use std::collections::BTreeMap;
+
+use kert_linalg::{Cholesky, Matrix};
+
+use crate::cpd::{config_count, Cpd, LinearGaussianCpd, TabularCpd};
+use crate::dataset::Dataset;
+use crate::graph::Dag;
+use crate::learn::mle::ParamOptions;
+use crate::variable::{Variable, VariableKind};
+use crate::{BayesError, Result};
+
+static OBS_STREAM_INSERTS: kert_obs::Counter = kert_obs::Counter::new("bayes.stream.inserts");
+static OBS_STREAM_EVICTS: kert_obs::Counter = kert_obs::Counter::new("bayes.stream.evicts");
+static OBS_STREAM_REFACTORS: kert_obs::Counter = kert_obs::Counter::new("bayes.stream.refactors");
+
+/// Refactorize the maintained Cholesky factor after this many rank-1
+/// operations even if no trigger fired, bounding accumulated rounding drift
+/// far below the 1e-9 conformance gate on long streams.
+const REFACTOR_OP_BUDGET: usize = 512;
+
+/// Pivot-ratio condition trigger: when the smallest diagonal of `L` falls
+/// below `√EPS` times the largest, the factor is close enough to breakdown
+/// that the next downdate may be inaccurate — refactorize from the Gram.
+const PIVOT_RATIO_TRIGGER: f64 = 1e-7;
+
+/// Stack-buffer size for per-row design vectors (`1 + |parents|`); families
+/// with wider fan-in fall back to a heap vector transparently.
+const DESIGN_STACK: usize = 8;
+
+/// Sufficient statistics for one discrete family `P(child | parents)`.
+///
+/// Counts are exact integers keyed by parent-configuration index in a
+/// `BTreeMap`, giving the same deterministic densification order as the
+/// batch path regardless of row arrival order.
+#[derive(Debug, Clone)]
+struct DiscreteStats {
+    card: usize,
+    parent_cards: Vec<usize>,
+    counts: BTreeMap<usize, Vec<i64>>,
+}
+
+impl DiscreteStats {
+    fn config_of(&self, node: usize, parents: &[usize], row: &[f64]) -> Result<(usize, usize)> {
+        let mut idx = 0usize;
+        for (&p, &pc) in parents.iter().zip(self.parent_cards.iter()) {
+            let s = row[p] as usize;
+            if s >= pc {
+                return Err(BayesError::InvalidData(format!(
+                    "node {p} state {s} exceeds cardinality {pc}"
+                )));
+            }
+            idx = idx * pc + s;
+        }
+        let child_state = row[node] as usize;
+        if child_state >= self.card {
+            return Err(BayesError::InvalidData(format!(
+                "child {node} state {child_state} exceeds cardinality {}",
+                self.card
+            )));
+        }
+        Ok((idx, child_state))
+    }
+
+    fn insert(&mut self, node: usize, parents: &[usize], row: &[f64]) -> Result<()> {
+        let (idx, state) = self.config_of(node, parents, row)?;
+        self.counts.entry(idx).or_insert_with(|| vec![0; self.card])[state] += 1;
+        Ok(())
+    }
+
+    fn evict(&mut self, node: usize, parents: &[usize], row: &[f64]) -> Result<()> {
+        let (idx, state) = self.config_of(node, parents, row)?;
+        let entry = self.counts.get_mut(&idx).ok_or_else(|| {
+            BayesError::InvalidData(format!(
+                "evicting unseen parent config {idx} for node {node}"
+            ))
+        })?;
+        if entry[state] == 0 {
+            return Err(BayesError::InvalidData(format!(
+                "count underflow evicting node {node} state {state} (config {idx})"
+            )));
+        }
+        entry[state] -= 1;
+        // Drop exhausted configurations so a fully evicted family is
+        // *structurally* identical to a freshly seeded one (the drift trap:
+        // a lingering all-zero entry would be invisible in the CPT but
+        // betray that floats, not integers, were being round-tripped).
+        if entry.iter().all(|&c| c == 0) {
+            self.counts.remove(&idx);
+        }
+        Ok(())
+    }
+
+    fn fit(&self, node: usize, parents: &[usize], options: ParamOptions) -> Result<TabularCpd> {
+        let configs = config_count(&self.parent_cards);
+        let mut counts = vec![0.0; configs * self.card];
+        for (&idx, row_counts) in &self.counts {
+            for (slot, &c) in counts[idx * self.card..(idx + 1) * self.card]
+                .iter_mut()
+                .zip(row_counts.iter())
+            {
+                *slot = c as f64;
+            }
+        }
+        TabularCpd::from_counts(
+            node,
+            parents.to_vec(),
+            self.card,
+            self.parent_cards.clone(),
+            &counts,
+            options.dirichlet_alpha,
+        )
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Sufficient statistics for one linear-Gaussian family.
+///
+/// For a family with parents the design row is `x = [1, parent values…]`
+/// (matching [`super::fit_linear_gaussian`]); the stats are
+/// `G = Σ x·xᵀ`, `v = Σ x·y`, `Σy²`, and `Σy`. `G` and `v` are maintained
+/// exactly by add/subtract; the Cholesky factor of `G` is maintained by
+/// rank-1 up/downdates with a refactorization fallback from `G`.
+#[derive(Debug, Clone)]
+struct GaussianStats {
+    n: usize,
+    sum_y: f64,
+    yty: f64,
+    /// `p×p` Gram matrix (`p = parents + 1`); empty for root nodes.
+    gram: Matrix,
+    xty: Vec<f64>,
+    /// Maintained factor of `gram`; `None` = needs refactorization.
+    chol: Option<Cholesky>,
+    ops_since_refactor: usize,
+    refactorizations: u64,
+}
+
+impl GaussianStats {
+    fn new(p: usize) -> Self {
+        GaussianStats {
+            n: 0,
+            sum_y: 0.0,
+            yty: 0.0,
+            gram: Matrix::zeros(p, p),
+            xty: vec![0.0; p],
+            chol: None,
+            ops_since_refactor: 0,
+            refactorizations: 0,
+        }
+    }
+
+    /// Fill `buf` (length `parents.len() + 1`) with the design row
+    /// `[1, parent values…]` matching [`super::fit_linear_gaussian`].
+    fn fill_design(buf: &mut [f64], parents: &[usize], row: &[f64]) {
+        buf[0] = 1.0;
+        for (slot, &p) in buf[1..].iter_mut().zip(parents.iter()) {
+            *slot = row[p];
+        }
+    }
+
+    fn insert(&mut self, node: usize, parents: &[usize], row: &[f64]) {
+        let y = row[node];
+        self.n += 1;
+        self.sum_y += y;
+        self.yty += y * y;
+        if parents.is_empty() {
+            return;
+        }
+        // This runs once per family per window row: the design vector stays
+        // on the stack (KERT fan-in is far below the buffer size).
+        let p = parents.len() + 1;
+        let mut x_stack = [0.0f64; DESIGN_STACK];
+        let mut x_heap = Vec::new();
+        let x: &mut [f64] = if p <= DESIGN_STACK {
+            &mut x_stack[..p]
+        } else {
+            x_heap.resize(p, 0.0);
+            &mut x_heap
+        };
+        Self::fill_design(x, parents, row);
+        for i in 0..p {
+            let xi = x[i];
+            self.xty[i] += xi * y;
+            for (g, &xj) in self.gram.row_mut(i)[..p].iter_mut().zip(x.iter()) {
+                *g += xi * xj;
+            }
+        }
+        if let Some(ch) = self.chol.as_mut() {
+            if ch.rank_one_update(x).is_err() {
+                self.chol = None;
+            }
+        }
+        self.after_rank_one_op();
+    }
+
+    fn evict(&mut self, node: usize, parents: &[usize], row: &[f64]) -> Result<()> {
+        if self.n == 0 {
+            return Err(BayesError::InvalidData(format!(
+                "evicting from an empty window for node {node}"
+            )));
+        }
+        let y = row[node];
+        self.n -= 1;
+        self.sum_y -= y;
+        self.yty -= y * y;
+        if parents.is_empty() {
+            return Ok(());
+        }
+        let p = parents.len() + 1;
+        let mut x_stack = [0.0f64; DESIGN_STACK];
+        let mut x_heap = Vec::new();
+        let x: &mut [f64] = if p <= DESIGN_STACK {
+            &mut x_stack[..p]
+        } else {
+            x_heap.resize(p, 0.0);
+            &mut x_heap
+        };
+        Self::fill_design(x, parents, row);
+        for i in 0..p {
+            let xi = x[i];
+            self.xty[i] -= xi * y;
+            for (g, &xj) in self.gram.row_mut(i)[..p].iter_mut().zip(x.iter()) {
+                *g -= xi * xj;
+            }
+        }
+        if let Some(ch) = self.chol.as_mut() {
+            // A failed downdate means `G − xxᵀ` is (numerically) indefinite
+            // for the *factor's* drifted state; the Gram itself is exact, so
+            // dropping the factor and refactorizing later is always sound.
+            if ch.rank_one_downdate(x).is_err() {
+                self.chol = None;
+            }
+        }
+        self.after_rank_one_op();
+        Ok(())
+    }
+
+    /// Fused insert + evict for the sliding-window hot path. Each
+    /// accumulator sees exactly the same operation sequence as
+    /// `insert(new)` followed by `evict(old)` (add before subtract), so
+    /// the resulting statistics are bitwise identical to the two-call
+    /// path; only the loop/dispatch overhead and the condition check are
+    /// paid once instead of twice.
+    fn replace(&mut self, node: usize, parents: &[usize], old: &[f64], new: &[f64]) -> Result<()> {
+        if self.n == 0 {
+            return Err(BayesError::InvalidData(format!(
+                "evicting from an empty window for node {node}"
+            )));
+        }
+        let yn = new[node];
+        let yo = old[node];
+        self.sum_y += yn;
+        self.sum_y -= yo;
+        self.yty += yn * yn;
+        self.yty -= yo * yo;
+        if parents.is_empty() {
+            return Ok(());
+        }
+        let p = parents.len() + 1;
+        let mut xn_stack = [0.0f64; DESIGN_STACK];
+        let mut xo_stack = [0.0f64; DESIGN_STACK];
+        let mut xn_heap = Vec::new();
+        let mut xo_heap = Vec::new();
+        let (xn, xo): (&mut [f64], &mut [f64]) = if p <= DESIGN_STACK {
+            (&mut xn_stack[..p], &mut xo_stack[..p])
+        } else {
+            xn_heap.resize(p, 0.0);
+            xo_heap.resize(p, 0.0);
+            (&mut xn_heap, &mut xo_heap)
+        };
+        Self::fill_design(xn, parents, new);
+        Self::fill_design(xo, parents, old);
+        for i in 0..p {
+            let xni = xn[i];
+            let xoi = xo[i];
+            self.xty[i] += xni * yn;
+            self.xty[i] -= xoi * yo;
+            for ((g, &xnj), &xoj) in self.gram.row_mut(i)[..p]
+                .iter_mut()
+                .zip(xn.iter())
+                .zip(xo.iter())
+            {
+                *g += xni * xnj;
+                *g -= xoi * xoj;
+            }
+        }
+        if let Some(ch) = self.chol.as_mut() {
+            if ch.rank_one_update(xn).is_err() {
+                self.chol = None;
+            }
+        }
+        if let Some(ch) = self.chol.as_mut() {
+            if ch.rank_one_downdate(xo).is_err() {
+                self.chol = None;
+            }
+        }
+        // Two rank-1 ops against the budget, one pivot scan.
+        self.ops_since_refactor += 1;
+        self.after_rank_one_op();
+        Ok(())
+    }
+
+    /// Condition trigger: refactorize from the exact Gram when the factor
+    /// has absorbed many rank-1 ops or its pivots have become ill-scaled.
+    fn after_rank_one_op(&mut self) {
+        self.ops_since_refactor += 1;
+        let needs = match self.chol.as_ref() {
+            None => true,
+            Some(ch) => {
+                if self.ops_since_refactor >= REFACTOR_OP_BUDGET {
+                    true
+                } else {
+                    let n = ch.dim();
+                    let mut min_d = f64::INFINITY;
+                    let mut max_d = 0.0f64;
+                    for i in 0..n {
+                        let d = ch.l().get(i, i);
+                        min_d = min_d.min(d);
+                        max_d = max_d.max(d);
+                    }
+                    min_d <= max_d * PIVOT_RATIO_TRIGGER
+                }
+            }
+        };
+        if needs {
+            self.refactorize();
+        }
+    }
+
+    fn refactorize(&mut self) {
+        self.ops_since_refactor = 0;
+        self.refactorizations += 1;
+        OBS_STREAM_REFACTORS.incr();
+        // A singular Gram (e.g. collinear parents in a short window) is not
+        // an error here: `fit` mirrors the batch path's ridge fallback.
+        self.chol = Cholesky::factor(&self.gram).ok();
+    }
+
+    fn fit(&mut self, node: usize, parents: &[usize]) -> Result<LinearGaussianCpd> {
+        if self.n == 0 {
+            return Err(BayesError::InvalidData(
+                "cannot fit a Gaussian CPD on an empty window".into(),
+            ));
+        }
+        let n = self.n as f64;
+        // Same relative variance floor as `fit_linear_gaussian`.
+        let mean_sq = (self.yty / n).max(0.0);
+        let var_floor = mean_sq * 1e-6;
+        if parents.is_empty() {
+            let mean = self.sum_y / n;
+            let var = if self.n < 2 {
+                0.0
+            } else {
+                ((self.yty - self.sum_y * self.sum_y / n) / (n - 1.0)).max(0.0)
+            };
+            return LinearGaussianCpd::new(node, Vec::new(), mean, Vec::new(), var.max(var_floor));
+        }
+        let p = parents.len() + 1;
+        if self.chol.is_none() {
+            self.refactorize();
+        }
+        let coeffs = match self.chol.as_ref() {
+            Some(ch) => ch.solve(self.xty.clone()).map_err(BayesError::from)?,
+            None => {
+                // Mirror `lstsq`'s scale-aware tiny ridge for singular Grams:
+                // the average squared column norm is exactly trace(G)/p.
+                let scale = (self.gram.trace() / p as f64).max(1.0);
+                let mut ridged = self.gram.clone();
+                for i in 0..p {
+                    ridged.add_at(i, i, 1e-8 * scale);
+                }
+                Cholesky::factor(&ridged)
+                    .and_then(|ch| ch.solve(self.xty.clone()))
+                    .map_err(BayesError::from)?
+            }
+        };
+        // rss = ‖y − Xβ‖² expanded through the sufficient statistics:
+        // Σy² − 2·βᵀ(Xᵀy) + βᵀG β.
+        let mut quad = 0.0;
+        for i in 0..p {
+            let mut gi = 0.0;
+            for (j, &bj) in coeffs.iter().enumerate().take(p) {
+                gi += self.gram.get(i, j) * bj;
+            }
+            quad += coeffs[i] * gi;
+        }
+        let cross: f64 = coeffs
+            .iter()
+            .zip(self.xty.iter())
+            .map(|(&b, &v)| b * v)
+            .sum();
+        let rss = (self.yty - 2.0 * cross + quad).max(0.0);
+        let dof = self.n.saturating_sub(p);
+        let residual_variance = if dof > 0 { rss / dof as f64 } else { rss / n };
+        LinearGaussianCpd::new(
+            node,
+            parents.to_vec(),
+            coeffs[0],
+            coeffs[1..].to_vec(),
+            residual_variance.max(var_floor),
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum FamilyStats {
+    Discrete(DiscreteStats),
+    Gaussian(GaussianStats),
+}
+
+/// Incremental learner maintaining per-family sufficient statistics over a
+/// sliding window of rows.
+///
+/// Rows are full network-order records (one value per variable, exactly like
+/// [`Dataset`] rows). The learner is a *multiset* over rows: duplicates are
+/// counted, and every [`Self::evict_row`] must match a previously inserted
+/// row or the statistics error out rather than silently drifting.
+#[derive(Debug, Clone)]
+pub struct StreamingLearner {
+    variables: Vec<Variable>,
+    parents: Vec<Vec<usize>>,
+    options: ParamOptions,
+    families: Vec<FamilyStats>,
+    rows: usize,
+}
+
+impl StreamingLearner {
+    /// An empty learner for the given structure.
+    pub fn new(variables: &[Variable], dag: &Dag, options: ParamOptions) -> Result<Self> {
+        let n = variables.len();
+        if dag.len() != n {
+            return Err(BayesError::InvalidData(format!(
+                "dag has {} nodes for {} variables",
+                dag.len(),
+                n
+            )));
+        }
+        let cards: Vec<usize> = variables
+            .iter()
+            .map(|v| v.cardinality().unwrap_or(0))
+            .collect();
+        let mut families = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        for (i, v) in variables.iter().enumerate() {
+            let ps = dag.parents(i).to_vec();
+            families.push(match v.kind {
+                VariableKind::Discrete { .. } => {
+                    let card = cards[i];
+                    if card == 0 {
+                        return Err(BayesError::InvalidNode(i));
+                    }
+                    let parent_cards: Vec<usize> = ps
+                        .iter()
+                        .map(|&p| match cards.get(p) {
+                            Some(&c) if c > 0 => Ok(c),
+                            _ => Err(BayesError::InvalidNode(p)),
+                        })
+                        .collect::<Result<_>>()?;
+                    FamilyStats::Discrete(DiscreteStats {
+                        card,
+                        parent_cards,
+                        counts: BTreeMap::new(),
+                    })
+                }
+                VariableKind::Continuous => {
+                    let p = if ps.is_empty() { 0 } else { ps.len() + 1 };
+                    FamilyStats::Gaussian(GaussianStats::new(p))
+                }
+            });
+            parents.push(ps);
+        }
+        Ok(StreamingLearner {
+            variables: variables.to_vec(),
+            parents,
+            options,
+            families,
+            rows: 0,
+        })
+    }
+
+    /// Seed a learner with an initial window.
+    pub fn from_dataset(
+        variables: &[Variable],
+        dag: &Dag,
+        data: &Dataset,
+        options: ParamOptions,
+    ) -> Result<Self> {
+        let mut learner = Self::new(variables, dag, options)?;
+        for r in 0..data.rows() {
+            learner.insert_row(data.row(r))?;
+        }
+        Ok(learner)
+    }
+
+    /// Number of rows currently in the window.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total Gram refactorizations taken by the condition-triggered
+    /// fallback across all Gaussian families (telemetry / tests).
+    pub fn refactorizations(&self) -> u64 {
+        self.families
+            .iter()
+            .map(|f| match f {
+                FamilyStats::Gaussian(g) => g.refactorizations,
+                FamilyStats::Discrete(_) => 0,
+            })
+            .sum()
+    }
+
+    /// True when every discrete family has dropped all of its count
+    /// entries — i.e. the window has been fully evicted and the learner is
+    /// structurally identical to a freshly constructed one.
+    pub fn discrete_counts_empty(&self) -> bool {
+        self.families.iter().all(|f| match f {
+            FamilyStats::Discrete(d) => d.is_empty(),
+            FamilyStats::Gaussian(_) => true,
+        })
+    }
+
+    fn check_row(&self, row: &[f64]) -> Result<()> {
+        if row.len() != self.variables.len() {
+            return Err(BayesError::InvalidData(format!(
+                "row has {} values for {} variables",
+                row.len(),
+                self.variables.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Add one row to the window: `O(Σ family size)`, independent of the
+    /// number of rows already in the window.
+    pub fn insert_row(&mut self, row: &[f64]) -> Result<()> {
+        self.check_row(row)?;
+        // Validate the full row before mutating any family so a bad row
+        // cannot leave the statistics half-applied.
+        for (i, fam) in self.families.iter().enumerate() {
+            if let FamilyStats::Discrete(d) = fam {
+                d.config_of(i, &self.parents[i], row)?;
+            }
+        }
+        for (i, fam) in self.families.iter_mut().enumerate() {
+            match fam {
+                FamilyStats::Discrete(d) => d.insert(i, &self.parents[i], row)?,
+                FamilyStats::Gaussian(g) => g.insert(i, &self.parents[i], row),
+            }
+        }
+        self.rows += 1;
+        OBS_STREAM_INSERTS.incr();
+        Ok(())
+    }
+
+    /// Remove one previously inserted row from the window.
+    pub fn evict_row(&mut self, row: &[f64]) -> Result<()> {
+        self.check_row(row)?;
+        if self.rows == 0 {
+            return Err(BayesError::InvalidData(
+                "evicting from an empty window".into(),
+            ));
+        }
+        for (i, fam) in self.families.iter().enumerate() {
+            if let FamilyStats::Discrete(d) = fam {
+                let (idx, state) = d.config_of(i, &self.parents[i], row)?;
+                match d.counts.get(&idx) {
+                    Some(entry) if entry[state] > 0 => {}
+                    _ => {
+                        return Err(BayesError::InvalidData(format!(
+                            "evicting a row never inserted (node {i}, config {idx})"
+                        )))
+                    }
+                }
+            }
+        }
+        for (i, fam) in self.families.iter_mut().enumerate() {
+            match fam {
+                FamilyStats::Discrete(d) => d.evict(i, &self.parents[i], row)?,
+                FamilyStats::Gaussian(g) => g.evict(i, &self.parents[i], row)?,
+            }
+        }
+        self.rows -= 1;
+        OBS_STREAM_EVICTS.incr();
+        Ok(())
+    }
+
+    /// Replace one previously inserted row with a new one — the shape of a
+    /// full sliding-window slide — in a single fused pass over the
+    /// families. Produces bitwise-identical sufficient statistics to
+    /// `insert_row(new)` followed by `evict_row(old)`, but pays the
+    /// dispatch, validation, and condition-check overhead once. Both rows
+    /// are validated before any family is touched, so a failure leaves the
+    /// learner unmodified.
+    pub fn replace_row(&mut self, old: &[f64], new: &[f64]) -> Result<()> {
+        self.check_row(old)?;
+        self.check_row(new)?;
+        if self.rows == 0 {
+            return Err(BayesError::InvalidData(
+                "evicting from an empty window".into(),
+            ));
+        }
+        for (i, fam) in self.families.iter().enumerate() {
+            if let FamilyStats::Discrete(d) = fam {
+                d.config_of(i, &self.parents[i], new)?;
+                let (idx, state) = d.config_of(i, &self.parents[i], old)?;
+                match d.counts.get(&idx) {
+                    Some(entry) if entry[state] > 0 => {}
+                    _ => {
+                        return Err(BayesError::InvalidData(format!(
+                            "evicting a row never inserted (node {i}, config {idx})"
+                        )))
+                    }
+                }
+            }
+        }
+        for (i, fam) in self.families.iter_mut().enumerate() {
+            match fam {
+                FamilyStats::Discrete(d) => {
+                    d.insert(i, &self.parents[i], new)?;
+                    d.evict(i, &self.parents[i], old)?;
+                }
+                FamilyStats::Gaussian(g) => g.replace(i, &self.parents[i], old, new)?,
+            }
+        }
+        OBS_STREAM_INSERTS.incr();
+        OBS_STREAM_EVICTS.incr();
+        Ok(())
+    }
+
+    /// Apply a batch of evictions then insertions (the shape of one
+    /// sliding-window step). Either list may be empty.
+    pub fn apply_delta(&mut self, evicted: &Dataset, inserted: &Dataset) -> Result<()> {
+        for r in 0..evicted.rows() {
+            self.evict_row(evicted.row(r))?;
+        }
+        for r in 0..inserted.rows() {
+            self.insert_row(inserted.row(r))?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild one node's CPD from the current sufficient statistics.
+    pub fn fit_node(&mut self, node: usize) -> Result<Cpd> {
+        let parents = self
+            .parents
+            .get(node)
+            .ok_or(BayesError::InvalidNode(node))?;
+        match &mut self.families[node] {
+            FamilyStats::Discrete(d) => d.fit(node, parents, self.options).map(Cpd::Tabular),
+            FamilyStats::Gaussian(g) => g.fit(node, parents).map(Cpd::LinearGaussian),
+        }
+    }
+
+    /// Rebuild every node's CPD, in node order — the streaming counterpart
+    /// of [`super::fit_all_parameters`].
+    pub fn fit_all(&mut self) -> Result<Vec<Cpd>> {
+        (0..self.variables.len())
+            .map(|i| self.fit_node(i))
+            .collect()
+    }
+}
+
+/// Maximum absolute parameter difference between two CPDs of the same
+/// family — the movement metric used to decide which junction-tree cliques
+/// need recalibration after a streaming refresh.
+///
+/// Mixed families (or deterministic CPDs, which the streaming learner never
+/// produces) return `∞` so callers always treat them as moved.
+pub fn cpd_movement(old: &Cpd, new: &Cpd) -> f64 {
+    match (old, new) {
+        (Cpd::Tabular(a), Cpd::Tabular(b)) => {
+            if a.table().len() != b.table().len() {
+                return f64::INFINITY;
+            }
+            a.table()
+                .iter()
+                .zip(b.table().iter())
+                .map(|(&x, &y)| (x - y).abs())
+                .fold(0.0, f64::max)
+        }
+        (Cpd::LinearGaussian(a), Cpd::LinearGaussian(b)) => {
+            if a.coeffs().len() != b.coeffs().len() {
+                return f64::INFINITY;
+            }
+            let mut m = (a.intercept() - b.intercept()).abs();
+            m = m.max((a.variance() - b.variance()).abs());
+            for (&x, &y) in a.coeffs().iter().zip(b.coeffs().iter()) {
+                m = m.max((x - y).abs());
+            }
+            m
+        }
+        _ => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::mle::{fit_all_parameters, fit_linear_gaussian, fit_tabular};
+    use crate::variable::Variable;
+
+    fn chain_dag(n: usize) -> Dag {
+        let mut dag = Dag::new(n);
+        for i in 1..n {
+            dag.add_edge(i - 1, i).unwrap();
+        }
+        dag
+    }
+
+    fn discrete_vars() -> Vec<Variable> {
+        vec![Variable::discrete("a", 2), Variable::discrete("b", 3)]
+    }
+
+    fn deterministic_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = (i % 2) as f64;
+                let b = ((i * 7 + 3) % 3) as f64;
+                vec![a, b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn discrete_streaming_is_bitwise_equal_to_batch() {
+        let vars = discrete_vars();
+        let dag = chain_dag(2);
+        let rows = deterministic_rows(40);
+        let data = Dataset::from_rows(vec!["a".into(), "b".into()], rows.clone()).unwrap();
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::from_dataset(&vars, &dag, &data, opts).unwrap();
+        let batch = fit_tabular(1, &[0], &data, &[2, 3], opts).unwrap();
+        match learner.fit_node(1).unwrap() {
+            Cpd::Tabular(t) => assert_eq!(t.table(), batch.table(), "bitwise CPT mismatch"),
+            other => panic!("unexpected family {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_then_remove_returns_bitwise_identical_cpt() {
+        // The drift-trap regression: insert a block of rows, fit, insert a
+        // second block, evict it again row by row — the CPT must come back
+        // bitwise identical and the count maps structurally empty of the
+        // evicted configurations.
+        let vars = discrete_vars();
+        let dag = chain_dag(2);
+        let base = deterministic_rows(24);
+        let data = Dataset::from_rows(vec!["a".into(), "b".into()], base).unwrap();
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::from_dataset(&vars, &dag, &data, opts).unwrap();
+        let before = match learner.fit_node(1).unwrap() {
+            Cpd::Tabular(t) => t.table().to_vec(),
+            other => panic!("unexpected family {other:?}"),
+        };
+        let extra = deterministic_rows(60);
+        for row in &extra {
+            learner.insert_row(row).unwrap();
+        }
+        for row in extra.iter().rev() {
+            learner.evict_row(row).unwrap();
+        }
+        let after = match learner.fit_node(1).unwrap() {
+            Cpd::Tabular(t) => t.table().to_vec(),
+            other => panic!("unexpected family {other:?}"),
+        };
+        assert_eq!(before, after, "CPT drifted across add/remove round-trip");
+    }
+
+    #[test]
+    fn full_eviction_returns_exactly_to_prior() {
+        let vars = discrete_vars();
+        let dag = chain_dag(2);
+        let rows = deterministic_rows(30);
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::new(&vars, &dag, opts).unwrap();
+        for row in &rows {
+            learner.insert_row(row).unwrap();
+        }
+        for row in &rows {
+            learner.evict_row(row).unwrap();
+        }
+        assert_eq!(learner.rows(), 0);
+        assert!(learner.discrete_counts_empty(), "count maps must be empty");
+        // An empty window fits the pure prior: uniform under smoothing.
+        match learner.fit_node(1).unwrap() {
+            Cpd::Tabular(t) => {
+                for &p in t.table() {
+                    assert_eq!(p, 1.0 / 3.0);
+                }
+            }
+            other => panic!("unexpected family {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_of_unseen_row_is_an_error_not_a_drift() {
+        let vars = discrete_vars();
+        let dag = chain_dag(2);
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::new(&vars, &dag, opts).unwrap();
+        learner.insert_row(&[0.0, 1.0]).unwrap();
+        assert!(learner.evict_row(&[1.0, 2.0]).is_err());
+        // The failed evict must not have decremented anything.
+        assert_eq!(learner.rows(), 1);
+        learner.evict_row(&[0.0, 1.0]).unwrap();
+        assert_eq!(learner.rows(), 0);
+    }
+
+    #[test]
+    fn replace_row_is_bitwise_identical_to_insert_then_evict() {
+        // The fused sliding-window path must leave every family holding
+        // bitwise-identical sufficient statistics to the two-call path —
+        // discrete counts and Gaussian accumulators alike.
+        let opts = ParamOptions::default();
+
+        let vars = discrete_vars();
+        let dag = chain_dag(2);
+        let rows = deterministic_rows(20);
+        let mut fused = StreamingLearner::new(&vars, &dag, opts).unwrap();
+        let mut twostep = fused.clone();
+        for row in &rows[..10] {
+            fused.insert_row(row).unwrap();
+            twostep.insert_row(row).unwrap();
+        }
+        for (old, new) in rows[..10].iter().zip(rows[10..].iter()) {
+            fused.replace_row(old, new).unwrap();
+            twostep.insert_row(new).unwrap();
+            twostep.evict_row(old).unwrap();
+        }
+        assert_eq!(fused.rows(), twostep.rows());
+        match (fused.fit_node(1).unwrap(), twostep.fit_node(1).unwrap()) {
+            (Cpd::Tabular(a), Cpd::Tabular(b)) => {
+                assert_eq!(a.table(), b.table(), "fused CPT diverged");
+            }
+            other => panic!("unexpected families {other:?}"),
+        }
+
+        let cvars = vec![
+            Variable::continuous("a"),
+            Variable::continuous("b"),
+            Variable::continuous("c"),
+        ];
+        let mut cdag = chain_dag(3);
+        cdag.add_edge(0, 2).unwrap();
+        let crows = linear_rows(40, 0);
+        let mut cfused = StreamingLearner::new(&cvars, &cdag, opts).unwrap();
+        let mut ctwostep = cfused.clone();
+        for row in &crows[..20] {
+            cfused.insert_row(row).unwrap();
+            ctwostep.insert_row(row).unwrap();
+        }
+        for (old, new) in crows[..20].iter().zip(crows[20..].iter()) {
+            cfused.replace_row(old, new).unwrap();
+            ctwostep.insert_row(new).unwrap();
+            ctwostep.evict_row(old).unwrap();
+        }
+        for (f, t) in cfused
+            .fit_all()
+            .unwrap()
+            .iter()
+            .zip(ctwostep.fit_all().unwrap().iter())
+        {
+            match (f, t) {
+                (Cpd::LinearGaussian(a), Cpd::LinearGaussian(b)) => {
+                    assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+                    assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+                    for (ca, cb) in a.coeffs().iter().zip(b.coeffs().iter()) {
+                        assert_eq!(ca.to_bits(), cb.to_bits(), "fused coeff diverged");
+                    }
+                }
+                other => panic!("unexpected families {other:?}"),
+            }
+        }
+    }
+
+    fn linear_rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let k = (i + offset) as f64;
+                let a = 0.05 + 0.01 * (k % 17.0);
+                let b = 0.02 + 0.7 * a + 0.001 * ((k * 3.0) % 11.0);
+                let c = 0.01 + 0.4 * a + 0.3 * b + 0.0005 * ((k * 5.0) % 7.0);
+                vec![a, b, c]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gaussian_streaming_matches_batch_within_1e9() {
+        let vars = vec![
+            Variable::continuous("a"),
+            Variable::continuous("b"),
+            Variable::continuous("c"),
+        ];
+        let mut dag = chain_dag(3);
+        dag.add_edge(0, 2).unwrap();
+        let names = vec!["a".into(), "b".into(), "c".into()];
+        let window = linear_rows(200, 0);
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::new(&vars, &dag, opts).unwrap();
+        for row in &window {
+            learner.insert_row(row).unwrap();
+        }
+        // Slide: evict the first 50, insert 50 new.
+        let incoming = linear_rows(50, 500);
+        for row in &window[..50] {
+            learner.evict_row(row).unwrap();
+        }
+        for row in &incoming {
+            learner.insert_row(row).unwrap();
+        }
+        let mut current: Vec<Vec<f64>> = window[50..].to_vec();
+        current.extend(incoming.iter().cloned());
+        let data = Dataset::from_rows(names, current).unwrap();
+        let streamed = learner.fit_all().unwrap();
+        let batch = fit_all_parameters(&vars, &dag, &data, opts).unwrap();
+        for (s, b) in streamed.iter().zip(batch.iter()) {
+            let m = cpd_movement(s, b);
+            assert!(m <= 1e-9, "streaming vs batch moved by {m}");
+        }
+    }
+
+    #[test]
+    fn downdate_failures_fall_back_to_refactorization() {
+        // A window collapsing to 2 rows stresses the downdate path hard
+        // enough to exercise the fallback; the result must still match
+        // batch.
+        let vars = vec![Variable::continuous("a"), Variable::continuous("b")];
+        let dag = chain_dag(2);
+        let rows = linear_rows(64, 0)
+            .into_iter()
+            .map(|r| vec![r[0], r[1]])
+            .collect::<Vec<_>>();
+        let opts = ParamOptions::default();
+        let mut learner = StreamingLearner::new(&vars, &dag, opts).unwrap();
+        for row in &rows {
+            learner.insert_row(row).unwrap();
+        }
+        for row in &rows[..62] {
+            learner.evict_row(row).unwrap();
+        }
+        let data = Dataset::from_rows(vec!["a".into(), "b".into()], rows[62..].to_vec()).unwrap();
+        let batch = fit_linear_gaussian(1, &[0], &data).unwrap();
+        match learner.fit_node(1).unwrap() {
+            Cpd::LinearGaussian(lg) => {
+                assert!((lg.intercept() - batch.intercept()).abs() <= 1e-9);
+                assert!((lg.coeffs()[0] - batch.coeffs()[0]).abs() <= 1e-9);
+                assert!((lg.variance() - batch.variance()).abs() <= 1e-9);
+            }
+            other => panic!("unexpected family {other:?}"),
+        }
+    }
+
+    #[test]
+    fn movement_metric_distinguishes_families() {
+        let t = Cpd::Tabular(TabularCpd::uniform(0, vec![], 2, vec![]));
+        let g = Cpd::LinearGaussian(LinearGaussianCpd::root(0, 0.0, 1.0));
+        assert_eq!(cpd_movement(&t, &t), 0.0);
+        assert_eq!(cpd_movement(&g, &g), 0.0);
+        assert!(cpd_movement(&t, &g).is_infinite());
+    }
+}

@@ -119,6 +119,32 @@ impl BayesianNetwork {
         }
     }
 
+    /// Replace node `i`'s CPD in place, re-running the same family
+    /// validation as construction. The DAG is immutable, so the new CPD's
+    /// parent list must match the existing structure — this is the
+    /// sliding-window refresh path, where only parameters move.
+    pub fn set_cpd(&mut self, i: usize, cpd: Cpd) -> Result<()> {
+        if i >= self.variables.len() {
+            return Err(BayesError::InvalidNode(i));
+        }
+        if cpd.child() != i {
+            return Err(BayesError::InvalidCpd(format!(
+                "set_cpd({i}) given a CPD for child {}",
+                cpd.child()
+            )));
+        }
+        if cpd.parents() != self.dag.parents(i) {
+            return Err(BayesError::InvalidCpd(format!(
+                "CPD for node {i} has parents {:?}, DAG says {:?}",
+                cpd.parents(),
+                self.dag.parents(i)
+            )));
+        }
+        Self::check_family(&self.variables, i, &cpd)?;
+        self.cpds[i] = cpd;
+        Ok(())
+    }
+
     /// Variables in node order.
     pub fn variables(&self) -> &[Variable] {
         &self.variables

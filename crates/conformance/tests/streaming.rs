@@ -1,0 +1,278 @@
+//! Streaming-vs-batch differential gates: the incremental sliding-window
+//! learner against a full batch relearn, after every step of randomized
+//! insert/evict streams.
+//!
+//! Equivalence contract (the PR's headline): discrete CPTs are **bitwise**
+//! equal to `fit_all_parameters` over the window's rows; linear-Gaussian
+//! CPDs agree within 1e-9. The master seed comes from `KERT_CONF_SEED`
+//! (default 1) so CI fans the suite over seeds 1–3; `KERT_STREAM_SOAK`
+//! raises the soak-test update count (CI uses 10⁴).
+
+use kert_bayes::cpd::Cpd;
+use kert_bayes::learn::incremental::cpd_movement;
+use kert_bayes::learn::mle::{fit_all_parameters, ParamOptions};
+use kert_bayes::{Dag, Dataset};
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_core::{ContinuousKertOptions, DiscreteKertOptions, KertBn, StreamingWindow};
+use kert_workflow::GenOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn conf_seed() -> u64 {
+    std::env::var("KERT_CONF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A random sequential KERT environment and a row pool in training layout.
+fn pool(seed: u64, rows: usize) -> (kert_workflow::WorkflowKnowledge, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_services = rng.gen_range(3..=5);
+    let options = ScenarioOptions {
+        gen: GenOptions::sequential_only(),
+        ..ScenarioOptions::default()
+    };
+    let mut env = Environment::random(n_services, options, seed);
+    let (data, _) = env.datasets(rows, 1, seed ^ 0x5eed_0001);
+    (env.knowledge.clone(), data)
+}
+
+/// The learned-node sub-DAG (services and resources; `D` is
+/// knowledge-generated, never learned).
+fn learned_dag(model: &KertBn) -> Dag {
+    let m = model.d_node();
+    let mut dag = Dag::new(m);
+    for (from, to) in model.network().dag().edges() {
+        if from < m && to < m {
+            dag.add_edge(from, to).unwrap();
+        }
+    }
+    dag
+}
+
+/// Batch oracle: relearn the learned nodes over `window` with the model's
+/// variables, structure, and (for discrete models) original discretizer.
+fn batch_cpds(model: &KertBn, window: &Dataset) -> Vec<Cpd> {
+    let m = model.d_node();
+    let vars = &model.network().variables()[..m];
+    let dag = learned_dag(model);
+    let cols: Vec<usize> = (0..m).collect();
+    let learned = match model.discretizer() {
+        Some(disc) => disc.transform(window).unwrap().project(&cols).unwrap(),
+        None => window.project(&cols).unwrap(),
+    };
+    fit_all_parameters(vars, &dag, &learned, ParamOptions::default()).unwrap()
+}
+
+/// Assert streaming == batch for one model/window state: bitwise for
+/// CPTs, ≤1e-9 for linear-Gaussian CPDs.
+fn assert_stream_matches_batch(model: &KertBn, window: &mut StreamingWindow, context: &str) {
+    let names = model
+        .network()
+        .variables()
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    let current = window.to_dataset(names).unwrap();
+    let batch = batch_cpds(model, &current);
+    let outcome = window.refresh_outcome(model).unwrap();
+    assert_eq!(outcome.updates.len(), batch.len(), "{context}: node count");
+    for (update, want) in outcome.updates.iter().zip(batch.iter()) {
+        match (&update.cpd, want) {
+            (Cpd::Tabular(got), Cpd::Tabular(exp)) => {
+                assert_eq!(
+                    got.table(),
+                    exp.table(),
+                    "{context}: node {} CPT not bitwise equal to batch",
+                    update.node
+                );
+            }
+            _ => {
+                let m = cpd_movement(&update.cpd, want);
+                assert!(
+                    m <= 1e-9,
+                    "{context}: node {} drifted {m:e} from batch",
+                    update.node
+                );
+            }
+        }
+    }
+}
+
+/// Drive one model through a randomized insert/evict stream, gating
+/// streaming against batch after **every** step.
+fn drive_random_stream(model: &KertBn, data: &Dataset, seed: u64, steps: usize, context: &str) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+    let capacity = 96;
+    let mut window = StreamingWindow::new(model, capacity, ParamOptions::default()).unwrap();
+    let mut cursor = 0usize;
+    // Seed the window part-full so early evictions bite.
+    for _ in 0..capacity / 2 {
+        window.push_row(data.row(cursor % data.rows())).unwrap();
+        cursor += 1;
+    }
+    for step in 0..steps {
+        let inserts = rng.gen_range(0..=4);
+        let evicts = rng.gen_range(0..=2);
+        for _ in 0..inserts {
+            window.push_row(data.row(cursor % data.rows())).unwrap();
+            cursor += 1;
+        }
+        window.evict_oldest(evicts).unwrap();
+        assert_stream_matches_batch(model, &mut window, &format!("{context} step {step}"));
+    }
+}
+
+#[test]
+fn continuous_random_streams_match_batch_after_every_step() {
+    let seed = conf_seed();
+    for i in 0..4u64 {
+        let instance_seed = seed.wrapping_mul(1000).wrapping_add(i);
+        let (knowledge, data) = pool(instance_seed, 320);
+        let (train, _) = data.split_at(200);
+        let model =
+            KertBn::build_continuous(&knowledge, &train, ContinuousKertOptions::default()).unwrap();
+        drive_random_stream(
+            &model,
+            &data,
+            instance_seed,
+            20,
+            &format!("continuous instance {i}"),
+        );
+    }
+}
+
+#[test]
+fn discrete_random_streams_are_bitwise_equal_after_every_step() {
+    let seed = conf_seed();
+    for i in 0..4u64 {
+        let instance_seed = seed.wrapping_mul(2000).wrapping_add(i);
+        let (knowledge, data) = pool(instance_seed, 320);
+        let (train, _) = data.split_at(200);
+        let model = KertBn::build_discrete(
+            &knowledge,
+            &train,
+            DiscreteKertOptions {
+                bins: 3,
+                ..DiscreteKertOptions::default()
+            },
+        )
+        .unwrap();
+        drive_random_stream(
+            &model,
+            &data,
+            instance_seed,
+            20,
+            &format!("discrete instance {i}"),
+        );
+    }
+}
+
+#[test]
+fn duplicate_rows_stream_exactly_like_batch() {
+    let seed = conf_seed();
+    let (knowledge, data) = pool(seed.wrapping_add(77), 120);
+    for discrete in [false, true] {
+        let model = if discrete {
+            KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+        } else {
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap()
+        };
+        let mut window = StreamingWindow::new(&model, 64, ParamOptions::default()).unwrap();
+        // The same 8 rows inserted 4 times each: the window holds exact
+        // duplicates, as a replayed report would produce upstream.
+        for round in 0..4 {
+            for r in 0..8 {
+                window.push_row(data.row(r)).unwrap();
+            }
+            assert_stream_matches_batch(
+                &model,
+                &mut window,
+                &format!("duplicates discrete={discrete} round {round}"),
+            );
+        }
+        // Evicting duplicates one copy at a time must keep matching too.
+        for k in 0..3 {
+            window.evict_oldest(8).unwrap();
+            assert_stream_matches_batch(
+                &model,
+                &mut window,
+                &format!("duplicate eviction discrete={discrete} round {k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_delta_refresh_is_bitwise_stable() {
+    let seed = conf_seed();
+    let (knowledge, data) = pool(seed.wrapping_add(99), 150);
+    for discrete in [false, true] {
+        let mut model = if discrete {
+            KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+        } else {
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap()
+        };
+        let mut window = StreamingWindow::new(&model, 128, ParamOptions::default()).unwrap();
+        window.extend(&data).unwrap();
+        model.refresh_from_window(&mut window).unwrap();
+        // No rows entered or left: a second refresh must report exactly
+        // zero movement on every node and still match the batch oracle.
+        let outcome = window.refresh_outcome(&model).unwrap();
+        assert_eq!(
+            outcome.max_movement(),
+            0.0,
+            "empty delta moved parameters (discrete={discrete})"
+        );
+        assert_stream_matches_batch(
+            &model,
+            &mut window,
+            &format!("empty delta discrete={discrete}"),
+        );
+    }
+}
+
+/// Long-haul soak: thousands of single-row slides through a 10³-row
+/// window, gated against a final batch relearn (and periodically along
+/// the way). `KERT_STREAM_SOAK` sets the update count; the default keeps
+/// local runs fast while CI drives 10⁴.
+#[test]
+fn soak_many_updates_match_final_batch_relearn() {
+    let updates: usize = std::env::var("KERT_STREAM_SOAK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let seed = conf_seed();
+    let (knowledge, data) = pool(seed.wrapping_add(4242), 600);
+    for discrete in [false, true] {
+        let model = if discrete {
+            KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+        } else {
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap()
+        };
+        let mut window = StreamingWindow::new(&model, 1000, ParamOptions::default()).unwrap();
+        let mut cursor = 0usize;
+        for _ in 0..1000 {
+            window.push_row(data.row(cursor % data.rows())).unwrap();
+            cursor += 1;
+        }
+        for step in 0..updates {
+            window.push_row(data.row(cursor % data.rows())).unwrap();
+            cursor += 1;
+            if (step + 1) % 2000 == 0 {
+                assert_stream_matches_batch(
+                    &model,
+                    &mut window,
+                    &format!("soak discrete={discrete} step {step}"),
+                );
+            }
+        }
+        assert_eq!(window.len(), 1000);
+        assert_stream_matches_batch(
+            &model,
+            &mut window,
+            &format!("soak discrete={discrete} final ({updates} updates)"),
+        );
+    }
+}

@@ -19,12 +19,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kert_bayes::compile::{configured_workers, JtState, JunctionTree};
+use kert_bayes::cpd::Cpd;
 use kert_bayes::discretize::Discretizer;
 
 use crate::dcomp::DCompOutcome;
 use crate::kert::KertBn;
 use crate::paccel::PAccelOutcome;
 use crate::posterior::{check_query, discrete_posterior, Posterior};
+use crate::streaming::RefreshOutcome;
 use crate::{CoreError, Result};
 
 // Facade telemetry: evidence churn (full replacements via `set_evidence`)
@@ -172,6 +174,43 @@ impl<'m> CompiledKert<'m> {
     /// Timing of the most recent batch fan-out, if any.
     pub fn last_fanout(&self) -> Option<&FanoutStats> {
         self.last_fanout.as_ref()
+    }
+
+    /// Recalibrate the engine in place from a streaming refresh: swap in
+    /// every update whose movement exceeds `threshold` and rebuild only the
+    /// junction-tree cliques that host them (messages re-derive lazily via
+    /// subtree invalidation). Returns the number of cliques rebuilt.
+    ///
+    /// Pass `threshold = 0.0` for exact tracking; a positive threshold
+    /// defers sub-threshold updates — they are *dropped*, not queued, so
+    /// the caller should keep feeding subsequent outcomes (each measures
+    /// movement against the model the engine was compiled from, so deferred
+    /// drift accumulates rather than vanishing). After any refresh the tree
+    /// diverges from `model()`'s CPDs by design.
+    ///
+    /// Fails when the tree handle has been shared via [`Self::share_tree`]
+    /// — recalibrating under live external readers would race.
+    pub fn refresh_cpds(&mut self, outcome: &RefreshOutcome, threshold: f64) -> Result<usize> {
+        let updates: Vec<(usize, Cpd)> = outcome
+            .updates
+            .iter()
+            .filter(|u| u.movement > threshold && u.movement > 0.0)
+            .map(|u| (u.node, u.cpd.clone()))
+            .collect();
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let tree = Arc::get_mut(&mut self.tree).ok_or_else(|| {
+            CoreError::BadRequest(
+                "cannot refresh CPDs while the tree is shared (share_tree handles alive)".into(),
+            )
+        })?;
+        let dirty = tree.refresh_cpds(&updates)?;
+        self.tree.refresh_state_cliques(&mut self.state, &dirty)?;
+        for st in &mut self.spare {
+            self.tree.refresh_state_cliques(st, &dirty)?;
+        }
+        Ok(dirty.len())
     }
 
     /// Induced width of the compiled tree (largest clique size minus

@@ -441,6 +441,17 @@ impl KertBn {
         &self.network
     }
 
+    /// Mutable network access for the streaming refresh path.
+    pub(crate) fn network_mut(&mut self) -> &mut BayesianNetwork {
+        &mut self.network
+    }
+
+    /// Record that every learned CPD was just refitted over `rows` rows
+    /// (streaming refresh keeps provenance honest without a rebuild).
+    pub(crate) fn mark_refreshed(&mut self, rows: usize) {
+        self.health = ModelHealth::all_fresh(self.d_node, rows);
+    }
+
     /// Number of service nodes (`D` is node `n_services`).
     pub fn n_services(&self) -> usize {
         self.n_services
@@ -539,7 +550,7 @@ fn knowledge_dag(
 
 /// Restrict the full DAG to the learned nodes `0..m` (services and
 /// resources; `D`'s CPD is knowledge-generated, never learned).
-fn learned_subdag(dag: &Dag, m: usize) -> Dag {
+pub(crate) fn learned_subdag(dag: &Dag, m: usize) -> Dag {
     let mut sub = Dag::new(m);
     for (from, to) in dag.edges() {
         if from < m && to < m {

@@ -40,6 +40,7 @@ pub mod paccel;
 pub mod persist;
 pub mod posterior;
 pub mod report;
+pub mod streaming;
 pub mod violation;
 
 pub use autonomic::{compensate_degraded, Compensation};
@@ -53,6 +54,7 @@ pub use paccel::{paccel, paccel_candidates, paccel_model, paccel_via, PAccelOutc
 pub use persist::{ModelKind, SavedModel};
 pub use posterior::{query_posterior, query_posterior_via, shifted_posterior, Engine, Posterior};
 pub use report::BuildReport;
+pub use streaming::{CpdUpdate, RefreshOutcome, RefreshSummary, StreamingWindow};
 pub use violation::{
     assess_violation, assess_violation_sweep, empirical_violation_probability,
     relative_violation_error, violation_probability_via, ViolationAssessment,

@@ -116,6 +116,78 @@ proptest! {
     }
 
     #[test]
+    fn rank_one_update_agrees_with_refactorization(
+        a in spd(4),
+        x in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.rank_one_update(&x).unwrap();
+        let mut ax = a.clone();
+        for i in 0..4 {
+            for j in 0..4 {
+                ax.add_at(i, j, x[i] * x[j]);
+            }
+        }
+        let fresh = Cholesky::factor(&ax).unwrap();
+        prop_assert!(ch.l().max_abs_diff(fresh.l()) < 1e-9 * (1.0 + ax.trace().abs()));
+    }
+
+    #[test]
+    fn feasible_downdate_agrees_with_refactorization(
+        a in spd(4),
+        x in proptest::collection::vec(-0.5f64..0.5, 4),
+    ) {
+        // BᵀB + I minus a small xxᵀ (‖x‖² ≤ 1) stays positive definite, so
+        // this downdate must always take the fast path.
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.rank_one_downdate(&x).unwrap();
+        let mut ax = a.clone();
+        for i in 0..4 {
+            for j in 0..4 {
+                ax.add_at(i, j, -x[i] * x[j]);
+            }
+        }
+        let fresh = Cholesky::factor(&ax).unwrap();
+        prop_assert!(ch.l().max_abs_diff(fresh.l()) < 1e-9 * (1.0 + ax.trace().abs()));
+    }
+
+    #[test]
+    fn update_downdate_round_trip_is_identity(
+        a in spd(4),
+        x in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let before = Cholesky::factor(&a).unwrap();
+        let mut ch = before.clone();
+        ch.rank_one_update(&x).unwrap();
+        ch.rank_one_downdate(&x).unwrap();
+        prop_assert!(ch.l().max_abs_diff(before.l()) < 1e-9 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn infeasible_downdates_error_cleanly_never_nan(
+        a in spd(3),
+        x in proptest::collection::vec(-3.0f64..3.0, 3),
+        scale in 2.0f64..50.0,
+    ) {
+        // Scale x until xxᵀ dominates A: λ_max(A) ≤ trace(A), so
+        // ‖x‖² > trace(A) forces A − xxᵀ indefinite.
+        let norm2: f64 = x.iter().map(|v| v * v).sum();
+        prop_assume!(norm2 > 1e-6);
+        let factor = (a.trace() / norm2).sqrt() * scale;
+        let big: Vec<f64> = x.iter().map(|v| v * factor).collect();
+        let mut ch = Cholesky::factor(&a).unwrap();
+        let before = ch.l().clone();
+        let res = ch.rank_one_downdate(&big);
+        prop_assert!(res.is_err(), "downdate of dominated matrix must fail");
+        prop_assert!(ch.l().max_abs_diff(&before) == 0.0);
+        for i in 0..3 {
+            for j in 0..=i {
+                prop_assert!(ch.l().get(i, j).is_finite());
+            }
+        }
+    }
+
+    #[test]
     fn quantiles_are_monotone(
         mut xs in proptest::collection::vec(-100.0f64..100.0, 1..40),
         q1 in 0.0f64..1.0,
