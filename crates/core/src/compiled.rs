@@ -42,10 +42,56 @@ static OBS_PACCEL_CANDIDATES: kert_obs::Counter =
 static OBS_VIOLATION_THRESHOLDS: kert_obs::Counter =
     kert_obs::Counter::new("core.compiled.violation_thresholds");
 
+/// Bin raw measurement evidence into sorted `(node, state)` pins.
+/// Sorting makes entry order deterministic, so permuted evidence slices
+/// propagate identically. Shared by [`CompiledKert`] and the serving
+/// sessions in [`crate::serve`] — both paths MUST bin and order evidence
+/// identically for their results to be bitwise-comparable.
+pub(crate) fn bin_evidence(
+    model: &KertBn,
+    evidence: &[(usize, f64)],
+) -> Result<Vec<(usize, usize)>> {
+    let disc = model
+        .discretizer()
+        .expect("discrete model checked at engine construction");
+    let mut pins: Vec<(usize, usize)> = evidence
+        .iter()
+        .map(|&(node, value)| {
+            if node >= model.network().len() {
+                return Err(CoreError::BadRequest(format!("no evidence node {node}")));
+            }
+            Ok((node, disc.column(node).state(value)))
+        })
+        .collect::<Result<_>>()?;
+    pins.sort_unstable();
+    Ok(pins)
+}
+
+/// Replace all evidence on `st` with the given sorted pins (clear, then
+/// enter in ascending node order). Shared with [`crate::serve`].
+pub(crate) fn apply_pins(
+    tree: &JunctionTree,
+    st: &mut JtState,
+    pins: &[(usize, usize)],
+) -> Result<()> {
+    tree.clear_evidence(st)?;
+    for &(node, s) in pins {
+        tree.set_evidence(st, node, s)?;
+    }
+    Ok(())
+}
+
 /// One worker's chunk of a batch fan-out: worker index, wall time, the
-/// chunk's per-item (result, compute time) pairs, and the pooled state
-/// handed back for reuse.
-type WorkerChunk<O> = (usize, Duration, Vec<(Result<O>, Duration)>, JtState);
+/// chunk's per-item (result, compute time) pairs, the pooled state handed
+/// back for reuse, and the panic payload if the worker's closure
+/// panicked mid-chunk.
+type WorkerChunk<O> = (
+    usize,
+    Duration,
+    Vec<(Result<O>, Duration)>,
+    JtState,
+    Option<String>,
+);
 
 /// Timing of one batch fan-out ([`CompiledKert::dcomp_all`],
 /// [`CompiledKert::paccel_batch`], [`CompiledKert::violation_sweep_batch`]):
@@ -224,30 +270,13 @@ impl<'m> CompiledKert<'m> {
     }
 
     /// Bin raw measurement evidence into sorted `(node, state)` pins.
-    /// Sorting makes entry order deterministic, so permuted evidence
-    /// slices propagate identically.
     fn bin_pins(&self, evidence: &[(usize, f64)]) -> Result<Vec<(usize, usize)>> {
-        let disc = self.disc();
-        let mut pins: Vec<(usize, usize)> = evidence
-            .iter()
-            .map(|&(node, value)| {
-                if node >= self.model.network().len() {
-                    return Err(CoreError::BadRequest(format!("no evidence node {node}")));
-                }
-                Ok((node, disc.column(node).state(value)))
-            })
-            .collect::<Result<_>>()?;
-        pins.sort_unstable();
-        Ok(pins)
+        bin_evidence(self.model, evidence)
     }
 
     /// Replace all evidence on `st` with the given sorted pins.
     fn apply_pins(tree: &JunctionTree, st: &mut JtState, pins: &[(usize, usize)]) -> Result<()> {
-        tree.clear_evidence(st)?;
-        for &(node, s) in pins {
-            tree.set_evidence(st, node, s)?;
-        }
-        Ok(())
+        apply_pins(tree, st, pins)
     }
 
     /// Replace the current evidence set with `evidence` (raw measurement
@@ -310,7 +339,10 @@ impl<'m> CompiledKert<'m> {
             let work = &work;
             // Worker w returns its chunk's per-item (result, time) pairs
             // and its wall time; a failed pin application or item stops
-            // that worker's chunk at the error.
+            // that worker's chunk at the error. The per-item closure runs
+            // under `catch_unwind` so a panicking item surfaces as an
+            // error *after* every worker's pooled state has been handed
+            // back — a panic must never drain the state pool.
             let mut results: Vec<WorkerChunk<O>> = std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(workers);
                 for (w, chunk) in items.chunks(chunk_len).enumerate() {
@@ -318,31 +350,56 @@ impl<'m> CompiledKert<'m> {
                     handles.push(s.spawn(move || {
                         let wall = Instant::now();
                         let mut outs: Vec<(Result<O>, Duration)> = Vec::with_capacity(chunk.len());
-                        match Self::apply_pins(tree, &mut st, pins) {
-                            Err(e) => outs.push((Err(e), Duration::ZERO)),
-                            Ok(()) => {
-                                for item in chunk {
-                                    let t0 = Instant::now();
-                                    let r = work(tree, &mut st, item);
-                                    let failed = r.is_err();
-                                    outs.push((r, t0.elapsed()));
-                                    if failed {
-                                        break;
+                        let panicked =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                match Self::apply_pins(tree, &mut st, pins) {
+                                    Err(e) => outs.push((Err(e), Duration::ZERO)),
+                                    Ok(()) => {
+                                        for item in chunk {
+                                            let t0 = Instant::now();
+                                            let r = work(tree, &mut st, item);
+                                            let failed = r.is_err();
+                                            outs.push((r, t0.elapsed()));
+                                            if failed {
+                                                break;
+                                            }
+                                        }
                                     }
                                 }
-                            }
-                        }
-                        (w, wall.elapsed(), outs, st)
+                            }))
+                            .err()
+                            .map(|payload| {
+                                payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "opaque panic payload".into())
+                            });
+                        (w, wall.elapsed(), outs, st, panicked)
                     }));
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("batch worker panicked"))
+                    .map(|h| h.join().expect("batch worker thread died"))
                     .collect()
             });
             results.sort_by_key(|&(w, ..)| w);
-            for (_, wall, outs, st) in results {
+            // First pass: recycle every state unconditionally, so an early
+            // `return Err` below cannot leak workers' propagation states.
+            let mut panic_msg: Option<String> = None;
+            let mut chunks = Vec::with_capacity(results.len());
+            for (_, wall, outs, st, panicked) in results {
                 self.spare.push(st);
+                if panic_msg.is_none() {
+                    panic_msg = panicked;
+                }
+                chunks.push((wall, outs));
+            }
+            if let Some(msg) = panic_msg {
+                self.last_fanout = None;
+                return Err(CoreError::Internal(format!("batch worker panicked: {msg}")));
+            }
+            for (wall, outs) in chunks {
                 let mut sum = Duration::ZERO;
                 for (r, t) in outs {
                     out.push(r?);
@@ -703,6 +760,62 @@ mod tests {
         let model =
             KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap();
         assert!(matches!(model.compile(), Err(CoreError::BadRequest(_))));
+    }
+
+    /// Regression: a panic inside a batch worker must surface as a typed
+    /// error, recycle every pooled `JtState` (not drop them with the
+    /// panicking thread), and leave the engine fully serviceable — the
+    /// next batch must be bitwise-identical to a fresh engine's.
+    #[test]
+    fn worker_panic_recycles_pooled_states_and_reports_an_error() {
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        compiled.set_workers(4);
+        let items = [0usize, 1, 2, 3, 4, 5, 6, 7];
+
+        // Warm the pool so we can observe recycling (not re-allocation).
+        let _ = compiled
+            .fan_out(&items, &[], |tree, st, &i| {
+                let probs = tree.marginal(st, i % 6)?;
+                Ok(probs.len())
+            })
+            .unwrap();
+        let pooled_before = compiled.spare.len();
+        assert!(pooled_before >= 4, "warm-up should have parked 4 states");
+
+        let err = compiled
+            .fan_out(&items, &[], |tree, st, &i| {
+                if i == 5 {
+                    panic!("injected worker panic on item {i}");
+                }
+                let probs = tree.marginal(st, i % 6)?;
+                Ok(probs.len())
+            })
+            .unwrap_err();
+        match err {
+            CoreError::Internal(msg) => assert!(
+                msg.contains("injected worker panic"),
+                "panic payload lost: {msg}"
+            ),
+            other => panic!("expected CoreError::Internal, got {other:?}"),
+        }
+        assert_eq!(
+            compiled.spare.len(),
+            pooled_before,
+            "a worker panic dropped pooled JtStates instead of recycling them"
+        );
+
+        // The engine still answers, and bitwise-matches a fresh one.
+        let observed = vec![(0usize, 0.05), (1, 0.06)];
+        let targets = [2usize, 3, 4, 5];
+        let after = compiled.dcomp_all(&observed, &targets).unwrap();
+        let mut fresh = model.compile().unwrap();
+        fresh.set_workers(4);
+        let expect = fresh.dcomp_all(&observed, &targets).unwrap();
+        for (x, y) in after.iter().zip(&expect) {
+            assert_eq!(dprobs(&x.prior), dprobs(&y.prior));
+            assert_eq!(dprobs(&x.posterior), dprobs(&y.posterior));
+        }
     }
 
     #[test]

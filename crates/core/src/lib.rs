@@ -19,6 +19,9 @@
 //! * [`compiled`] — compile-once junction-tree engine for discrete models:
 //!   batched dComp/pAccel/violation queries with incremental evidence over
 //!   one calibrated tree.
+//! * [`serve`] — the shared-core serving split: one `Arc`-shared
+//!   calibrated tree, many concurrent per-client [`serve::Session`]s with
+//!   pooled propagation states (what the `kertd` daemon is built on).
 //! * [`dcomp`] — **dComp**: estimate an unobservable service's elapsed-time
 //!   distribution from the observable services (§5.1).
 //! * [`paccel`] — **pAccel**: project the end-to-end response-time
@@ -40,6 +43,7 @@ pub mod paccel;
 pub mod persist;
 pub mod posterior;
 pub mod report;
+pub mod serve;
 pub mod streaming;
 pub mod violation;
 
@@ -54,6 +58,7 @@ pub use paccel::{paccel, paccel_candidates, paccel_model, paccel_via, PAccelOutc
 pub use persist::{ModelKind, SavedModel};
 pub use posterior::{query_posterior, query_posterior_via, shifted_posterior, Engine, Posterior};
 pub use report::BuildReport;
+pub use serve::{Session, SharedKert};
 pub use streaming::{CpdUpdate, RefreshOutcome, RefreshSummary, StreamingWindow};
 pub use violation::{
     assess_violation, assess_violation_sweep, empirical_violation_probability,
@@ -69,6 +74,9 @@ pub enum CoreError {
     Agents(String),
     /// The request contradicts the model (unknown node, wrong family…).
     BadRequest(String),
+    /// The engine itself failed (e.g. a batch worker panicked). The
+    /// request may be retried; pooled state has been recycled.
+    Internal(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -77,6 +85,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Bayes(msg) => write!(f, "bayes: {msg}"),
             CoreError::Agents(msg) => write!(f, "agents: {msg}"),
             CoreError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal: {msg}"),
         }
     }
 }

@@ -1,0 +1,477 @@
+//! Shared-core serving sessions: one calibrated tree, many clients.
+//!
+//! [`CompiledKert`](crate::compiled::CompiledKert) borrows its model and
+//! owns a single evidence state — the right shape for a control loop that
+//! asks batched questions of its own model. A serving daemon inverts the
+//! ownership: the model outlives any caller, queries arrive from many
+//! threads at once, and every client carries *different* evidence.
+//! [`SharedKert`] is that split, made explicit:
+//!
+//! * the expensive parts — the model and the calibrated junction tree —
+//!   are compiled **once** and shared immutably (`Arc`), never locked on
+//!   the query path;
+//! * the cheap part — per-client evidence deltas and message caches — is
+//!   a [`Session`] holding a pooled [`JtState`], checked out per request
+//!   (or held across requests) and recycled on drop.
+//!
+//! Sessions produce results **bitwise identical** to [`KertBn::compile`]'s
+//! engine: both route through the same pin binning, the same evidence
+//! entry order, and the same propagation kernels. That identity is what
+//! lets a conformance harness gate a network daemon against direct
+//! in-process calls.
+
+use std::sync::{Arc, Mutex};
+
+use kert_bayes::compile::{JtState, JunctionTree};
+use kert_bayes::discretize::Discretizer;
+
+use crate::compiled::{apply_pins, bin_evidence};
+use crate::dcomp::DCompOutcome;
+use crate::kert::KertBn;
+use crate::paccel::PAccelOutcome;
+use crate::persist::SavedModel;
+use crate::posterior::{check_query, discrete_posterior, Posterior};
+use crate::{CoreError, Result};
+
+static OBS_SESSIONS: kert_obs::Counter = kert_obs::Counter::new("core.serve.sessions");
+static OBS_SESSION_QUERIES: kert_obs::Counter = kert_obs::Counter::new("core.serve.queries");
+
+/// Default ceiling on parked [`JtState`]s. States above the cap are
+/// dropped on session return instead of parked; the cap only bounds idle
+/// memory, never concurrency — `session()` always succeeds.
+const DEFAULT_POOL_CAP: usize = 64;
+
+/// An owned, thread-safe serving engine: a discrete [`KertBn`] compiled
+/// once into an `Arc`-shared calibrated [`JunctionTree`], plus a pool of
+/// per-session propagation states.
+///
+/// `&SharedKert` is `Sync`: any number of threads may hold [`Session`]s
+/// concurrently. The only synchronization on the query path is a
+/// short-lived mutex around the state pool at checkout/return; evidence
+/// entry and message propagation run lock-free on the session's own
+/// state against the immutable shared tree.
+pub struct SharedKert {
+    model: KertBn,
+    tree: Arc<JunctionTree>,
+    pool: Mutex<Vec<JtState>>,
+    pool_cap: usize,
+}
+
+impl SharedKert {
+    /// Compile `model` for shared serving. Requires a discrete model,
+    /// like [`KertBn::compile`].
+    pub fn new(model: KertBn) -> Result<Self> {
+        Self::with_pool_cap(model, DEFAULT_POOL_CAP)
+    }
+
+    /// [`SharedKert::new`] with an explicit idle-state pool ceiling.
+    pub fn with_pool_cap(model: KertBn, pool_cap: usize) -> Result<Self> {
+        if model.discretizer().is_none() {
+            return Err(CoreError::BadRequest(
+                "junction-tree compilation requires a discrete model".into(),
+            ));
+        }
+        let tree = Arc::new(JunctionTree::compile(model.network())?);
+        Ok(SharedKert {
+            model,
+            tree,
+            pool: Mutex::new(Vec::new()),
+            pool_cap: pool_cap.max(1),
+        })
+    }
+
+    /// Rehydrate a persisted model and compile it for serving — the
+    /// daemon startup path (`kertctl build` → `kertctl serve`).
+    pub fn from_saved(saved: SavedModel) -> Result<Self> {
+        Self::new(KertBn::from_saved(saved)?)
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &KertBn {
+        &self.model
+    }
+
+    /// A shared handle to the calibrated tree (same contract as
+    /// [`crate::compiled::CompiledKert::share_tree`]).
+    pub fn share_tree(&self) -> Arc<JunctionTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Induced width of the compiled tree.
+    pub fn width(&self) -> usize {
+        self.tree.width()
+    }
+
+    /// Idle states currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().expect("state pool poisoned").len()
+    }
+
+    /// Check a session out of the pool (or mint a fresh state when the
+    /// pool is empty). The session starts with **no evidence** entered:
+    /// recycled states are cleared on checkout, so a session never
+    /// observes a previous client's pins.
+    pub fn session(&self) -> Session<'_> {
+        OBS_SESSIONS.incr();
+        let parked = self.pool.lock().expect("state pool poisoned").pop();
+        let mut st = parked.unwrap_or_else(|| self.tree.new_state());
+        // Clearing on an already-clean state is a no-op; on a recycled
+        // state it retracts leftover pins without touching still-valid
+        // message caches for the prior-evidence case.
+        self.tree
+            .clear_evidence(&mut st)
+            .expect("clear_evidence on a pooled state cannot fail");
+        Session {
+            core: self,
+            st: Some(st),
+        }
+    }
+
+    fn disc(&self) -> &Discretizer {
+        self.model.discretizer().expect("checked at construction")
+    }
+
+    fn return_state(&self, st: JtState) {
+        let mut pool = self.pool.lock().expect("state pool poisoned");
+        if pool.len() < self.pool_cap {
+            pool.push(st);
+        }
+    }
+}
+
+/// One client's cheap, mutable slice of a [`SharedKert`]: a pooled
+/// propagation state plus the evidence currently entered on it. Dropping
+/// the session recycles the state into the pool.
+///
+/// All methods take `&mut self`; concurrency comes from many sessions,
+/// not from sharing one.
+pub struct Session<'k> {
+    core: &'k SharedKert,
+    /// `Some` until drop; `Option` only so `Drop` can move the state out.
+    st: Option<JtState>,
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        if let Some(st) = self.st.take() {
+            self.core.return_state(st);
+        }
+    }
+}
+
+impl Session<'_> {
+    fn st(&mut self) -> &mut JtState {
+        self.st.as_mut().expect("state present until drop")
+    }
+
+    /// The engine this session belongs to.
+    pub fn core(&self) -> &SharedKert {
+        self.core
+    }
+
+    /// Replace all evidence with `evidence` (raw measurement values,
+    /// binned through the model's discretizer — same binning and entry
+    /// order as [`crate::compiled::CompiledKert::set_evidence`]).
+    pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
+        let core = self.core;
+        let pins = bin_evidence(&core.model, evidence)?;
+        apply_pins(&core.tree, self.st(), &pins)
+    }
+
+    /// Posterior of `target` under the evidence currently entered.
+    pub fn posterior(&mut self, target: usize) -> Result<Posterior> {
+        OBS_SESSION_QUERIES.incr();
+        let core = self.core;
+        if target >= core.model.network().len() {
+            return Err(CoreError::BadRequest(format!("no node {target}")));
+        }
+        let probs = core.tree.marginal(self.st(), target)?;
+        Ok(discrete_posterior(core.disc(), target, probs))
+    }
+
+    /// The coalescing primitive: enter `evidence` **once**, then answer
+    /// every target with a single marginal read against the now-cached
+    /// messages. `k` targets cost one evidence propagation plus `k`
+    /// collect passes — this is what a serving daemon's micro-batcher
+    /// amortizes when it folds concurrent single-target requests that
+    /// share an evidence set into one group.
+    pub fn posterior_group(
+        &mut self,
+        evidence: &[(usize, f64)],
+        targets: &[usize],
+    ) -> Result<Vec<Posterior>> {
+        for &target in targets {
+            check_query(self.core.model.network(), evidence, target)?;
+        }
+        self.set_evidence(evidence)?;
+        targets.iter().map(|&t| self.posterior(t)).collect()
+    }
+
+    /// dComp for every target given one shared evidence set: prior and
+    /// posterior per target, with the evidence propagated once for the
+    /// whole group. Sequentially identical to
+    /// [`crate::compiled::CompiledKert::dcomp_all`] with one worker.
+    pub fn dcomp(
+        &mut self,
+        observed: &[(usize, f64)],
+        targets: &[usize],
+    ) -> Result<Vec<DCompOutcome>> {
+        for &target in targets {
+            check_query(self.core.model.network(), observed, target)?;
+        }
+        let priors = self.posterior_group(&[], targets)?;
+        let posteriors = self.posterior_group(observed, targets)?;
+        Ok(targets
+            .iter()
+            .zip(priors)
+            .zip(posteriors)
+            .map(|((&target, prior), posterior)| DCompOutcome {
+                target,
+                prior,
+                posterior,
+            })
+            .collect())
+    }
+
+    /// pAccel projections for each `(service, predicted_elapsed)`
+    /// candidate against the shared prior — the sequential path of
+    /// [`crate::compiled::CompiledKert::paccel_batch`].
+    pub fn paccel(&mut self, candidates: &[(usize, f64)]) -> Result<Vec<PAccelOutcome>> {
+        let core = self.core;
+        let d_node = core.model.d_node();
+        for &(service, value) in candidates {
+            check_query(core.model.network(), &[(service, value)], d_node)?;
+        }
+        self.set_evidence(&[])?;
+        let prior_d = self.posterior(d_node)?;
+        let degraded = core.model.is_degraded();
+        let disc = core.disc();
+        let st = self.st.as_mut().expect("state present until drop");
+        candidates
+            .iter()
+            .map(|&(service, predicted_elapsed)| {
+                OBS_SESSION_QUERIES.incr();
+                let s = disc.column(service).state(predicted_elapsed);
+                core.tree.set_evidence(st, service, s)?;
+                let probs = core.tree.marginal(st, d_node)?;
+                core.tree.retract_evidence(st, service)?;
+                Ok(PAccelOutcome {
+                    service,
+                    predicted_elapsed,
+                    prior_d: prior_d.clone(),
+                    projected_d: discrete_posterior(disc, d_node, probs),
+                    degraded,
+                })
+            })
+            .collect()
+    }
+
+    /// `P(D > h | evidence)` for every threshold: one posterior, many
+    /// exceedance reads — identical to
+    /// [`crate::compiled::CompiledKert::violation_sweep`].
+    pub fn violation_sweep(
+        &mut self,
+        evidence: &[(usize, f64)],
+        thresholds: &[f64],
+    ) -> Result<Vec<f64>> {
+        let d_node = self.core.model.d_node();
+        check_query(self.core.model.network(), evidence, d_node)?;
+        self.set_evidence(evidence)?;
+        let posterior = self.posterior(d_node)?;
+        Ok(thresholds
+            .iter()
+            .map(|&h| posterior.exceedance(h))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kert::{ContinuousKertOptions, DiscreteKertOptions};
+    use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem};
+    use kert_workflow::{derive_structure, ediamond_workflow, ResourceMap, WorkflowKnowledge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rows: usize, seed: u64) -> (WorkflowKnowledge, kert_bayes::Dataset) {
+        let wf = ediamond_workflow();
+        let knowledge = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
+        let means = [0.05, 0.05, 0.04, 0.35, 0.04, 0.10];
+        let stations = means
+            .iter()
+            .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+            .collect();
+        let mut sys = SimSystem::new(
+            &wf,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 0.5 },
+                warmup: 50,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(rows, &mut rng);
+        (knowledge, trace.to_dataset(None))
+    }
+
+    fn discrete_model() -> KertBn {
+        let (knowledge, data) = setup(600, 61);
+        KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+    }
+
+    fn dbits(p: &Posterior) -> Vec<u64> {
+        match p {
+            Posterior::Discrete { probs, .. } => probs.iter().map(|v| v.to_bits()).collect(),
+            other => panic!("expected a discrete posterior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_queries_match_compiled_engine_bitwise() {
+        let model = discrete_model();
+        let shared = SharedKert::new(discrete_model()).unwrap();
+        let mut compiled = model.compile().unwrap();
+        compiled.set_workers(1);
+
+        let evidence = vec![(0usize, 0.05), (1, 0.06), (6, 0.6)];
+        let targets = [2usize, 3, 4];
+
+        // posterior
+        let mut session = shared.session();
+        session.set_evidence(&evidence).unwrap();
+        let a = session.posterior(3).unwrap();
+        compiled.set_evidence(&evidence).unwrap();
+        let b = compiled.posterior(3).unwrap();
+        assert_eq!(dbits(&a), dbits(&b));
+
+        // dcomp group vs dcomp_all
+        let da = session.dcomp(&evidence, &targets).unwrap();
+        let db = compiled.dcomp_all(&evidence, &targets).unwrap();
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.target, y.target);
+            assert_eq!(dbits(&x.prior), dbits(&y.prior));
+            assert_eq!(dbits(&x.posterior), dbits(&y.posterior));
+        }
+
+        // paccel
+        let candidates = vec![(3usize, 0.3), (0, 0.04), (3, 0.2)];
+        let pa = session.paccel(&candidates).unwrap();
+        let pb = compiled.paccel_batch(&candidates).unwrap();
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(dbits(&x.projected_d), dbits(&y.projected_d));
+            assert_eq!(dbits(&x.prior_d), dbits(&y.prior_d));
+        }
+
+        // violation sweep
+        let thresholds = [0.4, 0.6, 0.8];
+        let va = session
+            .violation_sweep(&evidence[..1], &thresholds)
+            .unwrap();
+        let vb = compiled
+            .violation_sweep(&evidence[..1], &thresholds)
+            .unwrap();
+        assert_eq!(
+            va.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Satellite gate: N concurrent sessions over one shared tree, each
+    /// with distinct evidence, each bitwise-equal to a fresh
+    /// single-threaded CompiledKert run of the same query.
+    #[test]
+    fn concurrent_sessions_match_fresh_single_threaded_runs_bitwise() {
+        let shared = SharedKert::new(discrete_model()).unwrap();
+        let model = discrete_model();
+
+        // Distinct evidence per simulated client: different nodes and
+        // values so no two sessions pin the same configuration.
+        let clients: Vec<(Vec<(usize, f64)>, usize)> = vec![
+            (vec![(0, 0.05)], 6),
+            (vec![(1, 0.06), (0, 0.04)], 3),
+            (vec![(3, 0.40)], 6),
+            (vec![(4, 0.05), (6, 0.60)], 2),
+            (vec![], 6),
+            (vec![(2, 0.04), (3, 0.30)], 5),
+            (vec![(6, 0.80)], 4),
+            (vec![(0, 0.06), (1, 0.05), (2, 0.04)], 6),
+        ];
+
+        let concurrent: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter()
+                .map(|(evidence, target)| {
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let mut session = shared.session();
+                        session.set_evidence(evidence).unwrap();
+                        dbits(&session.posterior(*target).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for ((evidence, target), bits) in clients.iter().zip(&concurrent) {
+            let mut fresh = model.compile().unwrap();
+            fresh.set_workers(1);
+            fresh.set_evidence(evidence).unwrap();
+            let expect = dbits(&fresh.posterior(*target).unwrap());
+            assert_eq!(
+                &expect, bits,
+                "session diverged from fresh engine for evidence {evidence:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_recycle_states_and_never_leak_evidence() {
+        let shared = SharedKert::with_pool_cap(discrete_model(), 2).unwrap();
+        assert_eq!(shared.pooled(), 0);
+        {
+            let mut a = shared.session();
+            let mut b = shared.session();
+            let mut c = shared.session();
+            a.set_evidence(&[(0, 0.05)]).unwrap();
+            b.set_evidence(&[(3, 0.4)]).unwrap();
+            c.set_evidence(&[(6, 0.7)]).unwrap();
+        }
+        // Cap 2: one of the three states was dropped, two parked.
+        assert_eq!(shared.pooled(), 2);
+
+        // A recycled state starts clean: its posterior equals the prior
+        // from a never-evidenced engine built on the same data.
+        let mut prior_session = shared.session();
+        let prior = prior_session.posterior(6).unwrap();
+        let fresh_shared = SharedKert::new(discrete_model()).unwrap();
+        let mut fresh_session = fresh_shared.session();
+        let fresh = fresh_session.posterior(6).unwrap();
+        assert_eq!(dbits(&fresh), dbits(&prior));
+    }
+
+    #[test]
+    fn continuous_models_are_rejected() {
+        let (knowledge, data) = setup(300, 62);
+        let model =
+            KertBn::build_continuous(&knowledge, &data, ContinuousKertOptions::default()).unwrap();
+        assert!(matches!(
+            SharedKert::new(model),
+            Err(CoreError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn saved_model_roundtrips_into_serving() {
+        let model = discrete_model();
+        let saved = model.to_saved();
+        let json = saved.to_json().unwrap();
+        let shared = SharedKert::from_saved(SavedModel::from_json(&json).unwrap()).unwrap();
+        let mut session = shared.session();
+        let a = session.posterior(shared.model().d_node()).unwrap();
+        let mut compiled = model.compile().unwrap();
+        let b = compiled.posterior(model.d_node()).unwrap();
+        assert_eq!(dbits(&a), dbits(&b));
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal blocking client for the kertd protocol.
+//!
+//! One TCP connection, one outstanding request at a time (the protocol
+//! is strictly request/response per frame). Concurrency comes from many
+//! clients, exactly as it does server-side from many sessions.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{decode, encode, Request, Response};
+
+/// A connected kertd client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connect, retrying until `deadline_in` elapses — for callers that
+    /// race daemon startup (CI smoke scripts, tests).
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        deadline_in: Duration,
+    ) -> io::Result<Client> {
+        let deadline = Instant::now() + deadline_in;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let payload =
+            encode(request).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        write_frame(&mut self.stream, &payload)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )
+        })?;
+        decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Daemon status snapshot.
+    pub fn status(&mut self) -> io::Result<Response> {
+        self.request(&Request::Status)
+    }
+
+    /// Prometheus exposition of the daemon's telemetry registry.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Graceful shutdown: returns once the daemon has drained every
+    /// admitted query and acknowledged with `Stopping`.
+    pub fn stop(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stop)
+    }
+}

@@ -1,0 +1,101 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message — request or response — is one frame: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! The prefix makes message boundaries explicit on a stream transport,
+//! so a reader never has to scan for delimiters inside JSON, and a
+//! too-large length is rejected *before* any allocation.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload. A serving request is a few
+/// hundred bytes; even a full-model METRICS dump is well under a
+/// megabyte. Anything larger is a protocol error or an attack, not a
+/// query — refuse it before allocating.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean end-of-stream (the peer
+/// closed between frames); an EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close lands here with zero bytes; anything partial is torn.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame header",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (max {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"{\"k\":1}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"k\":1}");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_rejected() {
+        // Announced length beyond the cap.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut r = &evil[..];
+        assert!(read_frame(&mut r).is_err());
+
+        // Stream truncated inside the header.
+        let torn = [0u8, 0];
+        let mut r = &torn[..];
+        assert!(read_frame(&mut r).is_err());
+
+        // Stream truncated inside the payload.
+        let mut short = Vec::new();
+        short.extend_from_slice(&8u32.to_be_bytes());
+        short.extend_from_slice(b"abc");
+        let mut r = &short[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

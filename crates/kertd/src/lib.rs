@@ -1,0 +1,429 @@
+//! # kertd — a high-throughput serving daemon for KERT-BN models
+//!
+//! The paper's autonomic queries (dComp, pAccel, violation probability)
+//! were built for a control loop asking questions of its own in-process
+//! model. `kertd` turns that engine into a *service*: a long-running
+//! daemon that loads a persisted model, compiles the junction tree
+//! **once**, and answers queries from many concurrent clients over a
+//! length-prefixed JSON/TCP protocol — all `std`, no async runtime.
+//!
+//! Three ideas carry the throughput:
+//!
+//! 1. **Shared-core sessions** ([`kert_core::serve::SharedKert`]): the
+//!    calibrated tree is immutable and `Arc`-shared; each request
+//!    checks a pooled propagation state out, so the expensive part is
+//!    paid once per process, not per request.
+//! 2. **Request coalescing** ([`server`]): concurrent requests that
+//!    share an evidence set fold into one micro-batch — evidence is
+//!    propagated once, then one marginal read per folded request. This
+//!    is the in-process batch-dComp amortization, surfaced at the wire.
+//! 3. **Admission control**: a bounded queue sheds excess load with a
+//!    typed `Overloaded` response instead of buffering without bound,
+//!    and `Stop` drains every admitted query before acknowledging.
+//!
+//! Responses are **bitwise identical** to direct [`kert_core`] calls,
+//! invariant across worker counts and coalescing windows — the vendored
+//! JSON layer prints `f64`s with shortest-round-trip formatting, so
+//! even the wire hop preserves bits. The conformance suite gates this.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`frame`] | length-prefixed framing over a byte stream |
+//! | [`protocol`] | request/response vocabulary (serde enums) |
+//! | [`server`] | acceptor, admission queue, coalescing workers |
+//! | [`client`] | minimal blocking client (used by `kertctl`) |
+
+pub mod client;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    ErrorKind, Request, Response, StatusInfo, WireDcomp, WireError, WirePaccel, WirePosterior,
+};
+pub use server::{serve, ServeConfig, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kert_core::serve::SharedKert;
+    use kert_core::{DiscreteKertOptions, KertBn, Posterior};
+    use kert_sim::{Dist, ServiceConfig, SimOptions, SimSystem};
+    use kert_workflow::{derive_structure, ediamond_workflow, ResourceMap, WorkflowKnowledge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn setup(rows: usize, seed: u64) -> (WorkflowKnowledge, kert_bayes::Dataset) {
+        let wf = ediamond_workflow();
+        let knowledge = derive_structure(&wf, 6, &ResourceMap::new()).unwrap();
+        let means = [0.05, 0.05, 0.04, 0.35, 0.04, 0.10];
+        let stations = means
+            .iter()
+            .map(|&m| ServiceConfig::single(Dist::Erlang { k: 4, mean: m }))
+            .collect();
+        let mut sys = SimSystem::new(
+            &wf,
+            stations,
+            SimOptions {
+                inter_arrival: Dist::Exponential { mean: 0.5 },
+                warmup: 50,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sys.run(rows, &mut rng);
+        (knowledge, trace.to_dataset(None))
+    }
+
+    fn discrete_model() -> KertBn {
+        let (knowledge, data) = setup(600, 61);
+        KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default()).unwrap()
+    }
+
+    fn start(config: ServeConfig) -> ServerHandle {
+        serve(SharedKert::new(discrete_model()).unwrap(), config).unwrap()
+    }
+
+    fn dbits(p: &Posterior) -> Vec<u64> {
+        match p {
+            Posterior::Discrete { probs, .. } => probs.iter().map(|v| v.to_bits()).collect(),
+            other => panic!("expected a discrete posterior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_answers_all_verbs_bitwise_equal_to_direct_calls() {
+        let handle = start(ServeConfig::default());
+        let addr = handle.addr();
+
+        let model = discrete_model();
+        let mut compiled = model.compile().unwrap();
+        compiled.set_workers(1);
+
+        let evidence = vec![(0usize, 0.05), (1, 0.06), (6, 0.6)];
+        let mut client = Client::connect(addr).unwrap();
+
+        // posterior
+        let resp = client
+            .request(&Request::Posterior {
+                evidence: evidence.clone(),
+                target: 3,
+            })
+            .unwrap();
+        compiled.set_evidence(&evidence).unwrap();
+        let direct = compiled.posterior(3).unwrap();
+        match resp {
+            Response::Posterior(wp) => {
+                assert_eq!(
+                    wp.probs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    dbits(&direct)
+                );
+                assert_eq!(wp.mean.to_bits(), direct.mean().to_bits());
+            }
+            other => panic!("expected Posterior, got {other:?}"),
+        }
+
+        // dcomp
+        let targets = vec![2usize, 3, 4];
+        let resp = client
+            .request(&Request::Dcomp {
+                observed: evidence.clone(),
+                targets: targets.clone(),
+            })
+            .unwrap();
+        let direct = compiled.dcomp_all(&evidence, &targets).unwrap();
+        match resp {
+            Response::Dcomp { outcomes } => {
+                assert_eq!(outcomes.len(), direct.len());
+                for (w, d) in outcomes.iter().zip(&direct) {
+                    assert_eq!(w.target, d.target);
+                    assert_eq!(
+                        w.posterior
+                            .probs
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        dbits(&d.posterior)
+                    );
+                    assert_eq!(
+                        w.prior
+                            .probs
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        dbits(&d.prior)
+                    );
+                }
+            }
+            other => panic!("expected Dcomp, got {other:?}"),
+        }
+
+        // violation (evidence must not pin the d-node itself)
+        let thresholds = vec![0.4, 0.6, 0.8];
+        let v_evidence = vec![(0usize, 0.05), (1, 0.06)];
+        let resp = client
+            .request(&Request::Violation {
+                evidence: v_evidence.clone(),
+                thresholds: thresholds.clone(),
+            })
+            .unwrap();
+        let direct = compiled.violation_sweep(&v_evidence, &thresholds).unwrap();
+        match resp {
+            Response::Violation { probabilities } => {
+                assert_eq!(
+                    probabilities
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            other => panic!("expected Violation, got {other:?}"),
+        }
+
+        // paccel
+        let candidates = vec![(3usize, 0.3), (0, 0.04)];
+        let resp = client
+            .request(&Request::Paccel {
+                candidates: candidates.clone(),
+            })
+            .unwrap();
+        let direct = compiled.paccel_batch(&candidates).unwrap();
+        match resp {
+            Response::Paccel { outcomes } => {
+                for (w, d) in outcomes.iter().zip(&direct) {
+                    assert_eq!(
+                        w.projected_d
+                            .probs
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        dbits(&d.projected_d)
+                    );
+                }
+            }
+            other => panic!("expected Paccel, got {other:?}"),
+        }
+
+        // bad request is typed, not a dropped connection
+        let resp = client
+            .request(&Request::Posterior {
+                evidence: vec![],
+                target: 999,
+            })
+            .unwrap();
+        match resp {
+            Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+
+        let resp = client.stop().unwrap();
+        assert_eq!(resp, Response::Stopping);
+        handle.wait();
+    }
+
+    #[test]
+    fn coalescing_and_worker_count_do_not_change_bits() {
+        // The invariance dimension the conformance suite sweeps, in
+        // miniature: same concurrent load against {1 worker, window 0}
+        // and {4 workers, wide window} daemons must produce identical
+        // byte-for-byte responses.
+        let configs = [
+            ServeConfig {
+                workers: 1,
+                coalesce_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                workers: 4,
+                coalesce_window: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        ];
+        let shared_evidence = vec![(0usize, 0.05), (1, 0.06)];
+        let targets: Vec<usize> = vec![2, 3, 4, 5, 6, 2, 3, 4, 5, 6];
+
+        let mut per_config: Vec<Vec<Vec<u8>>> = Vec::new();
+        for config in configs {
+            let handle = start(config);
+            let addr = handle.addr();
+            let answers: Vec<Vec<u8>> = std::thread::scope(|s| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|&target| {
+                        let evidence = shared_evidence.clone();
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr).unwrap();
+                            let resp = client
+                                .request(&Request::Posterior { evidence, target })
+                                .unwrap();
+                            crate::protocol::encode(&resp).unwrap()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut client = Client::connect(addr).unwrap();
+            client.stop().unwrap();
+            handle.wait();
+            per_config.push(answers);
+        }
+        assert_eq!(
+            per_config[0], per_config[1],
+            "responses changed across worker count / coalescing window"
+        );
+    }
+
+    #[test]
+    fn coalescing_folds_concurrent_same_evidence_requests() {
+        let handle = start(ServeConfig {
+            workers: 1,
+            coalesce_window: Duration::from_millis(50),
+            ..ServeConfig::default()
+        });
+        let addr = handle.addr();
+
+        // Pre-fill the queue while the single worker is parked on the
+        // first request's coalescing window: all ten share evidence, so
+        // they should fold into very few batches.
+        let evidence = vec![(0usize, 0.05)];
+        std::thread::scope(|s| {
+            for target in [2usize, 3, 4, 5, 6, 2, 3, 4, 5, 6] {
+                let evidence = evidence.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .request(&Request::Posterior { evidence, target })
+                        .unwrap();
+                });
+            }
+        });
+
+        let mut client = Client::connect(addr).unwrap();
+        let status = match client.status().unwrap() {
+            Response::Status(s) => s,
+            other => panic!("expected Status, got {other:?}"),
+        };
+        assert_eq!(status.served_posterior, 10);
+        assert!(
+            status.coalesced_requests >= 2,
+            "expected some coalescing under a 50ms window, got {status:?}"
+        );
+        client.stop().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_errors_and_drain_completes() {
+        // One slow-ish worker, a tiny queue, a long window: the flood
+        // below must see some Overloaded refusals, and every accepted
+        // request must still be answered before Stop acknowledges.
+        let handle = start(ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            coalesce_window: Duration::from_millis(30),
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        let addr = handle.addr();
+
+        let outcomes: Vec<&'static str> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|i| {
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let resp = client
+                            .request(&Request::Posterior {
+                                evidence: vec![(0, 0.05)],
+                                target: 2 + (i % 5),
+                            })
+                            .unwrap();
+                        match resp {
+                            Response::Posterior(_) => "answered",
+                            Response::Error(e) if e.kind == ErrorKind::Overloaded => "shed",
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let answered = outcomes.iter().filter(|o| **o == "answered").count();
+        let shed = outcomes.iter().filter(|o| **o == "shed").count();
+        assert_eq!(answered + shed, 16);
+        assert!(shed > 0, "16-deep flood against cap 2 must shed something");
+        assert!(answered > 0, "admitted requests must be answered");
+
+        let mut client = Client::connect(addr).unwrap();
+        let status = match client.status().unwrap() {
+            Response::Status(s) => s,
+            other => panic!("expected Status, got {other:?}"),
+        };
+        assert_eq!(status.served_posterior as usize, answered);
+        assert_eq!(status.shed_overloaded as usize, shed);
+
+        client.stop().unwrap();
+        handle.wait();
+
+        // After drain, new queries are refused as ShuttingDown (if the
+        // listener is already gone, a refused connection is fine too).
+        if let Ok(mut late) = Client::connect(addr) {
+            if let Ok(resp) = late.request(&Request::Posterior {
+                evidence: vec![],
+                target: 6,
+            }) {
+                match resp {
+                    Response::Error(e) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+                    other => panic!("expected ShuttingDown, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn status_and_metrics_expose_the_serving_telemetry() {
+        kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+        let handle = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let addr = handle.addr();
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.ping().unwrap(), Response::Pong);
+        for _ in 0..3 {
+            client
+                .request(&Request::Violation {
+                    evidence: vec![(0, 0.05)],
+                    thresholds: vec![0.5, 0.7],
+                })
+                .unwrap();
+        }
+
+        let status = match client.status().unwrap() {
+            Response::Status(s) => s,
+            other => panic!("expected Status, got {other:?}"),
+        };
+        assert_eq!(status.served_violation, 3);
+        assert_eq!(status.workers, 2);
+        assert_eq!(status.nodes, 7);
+        assert!(!status.draining);
+
+        let prom = match client.metrics().unwrap() {
+            Response::Metrics { prometheus } => prometheus,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        let parsed = kert_obs::parse_prometheus(&prom).unwrap();
+        let (_, served) = parsed
+            .iter()
+            .find(|(name, _)| name.contains("kertd") && name.contains("violation"))
+            .expect("violation counter exported");
+        assert!(*served >= 3.0);
+
+        client.stop().unwrap();
+        handle.wait();
+    }
+}

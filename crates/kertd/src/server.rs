@@ -1,0 +1,786 @@
+//! The daemon itself: acceptor, admission queue, coalescing workers.
+//!
+//! Architecture (one process, all `std`):
+//!
+//! ```text
+//!  TcpListener ──accept──▶ connection threads (1 per client)
+//!       │                        │ control verbs answered inline
+//!       │                        ▼
+//!       │                 bounded admission queue ──▶ typed shed when full
+//!       │                        │
+//!       ▼                        ▼
+//!   worker threads ◀──pop + coalesce window──┘
+//!       │  one pooled Session per micro-batch:
+//!       │  evidence entered once, k marginal reads
+//!       ▼
+//!   reply channels ──▶ connection threads ──▶ frames out
+//! ```
+//!
+//! The perf core is the shared-immutable / per-session-mutable split of
+//! [`SharedKert`]: the calibrated junction tree is compiled once and
+//! never locked on the query path; each micro-batch checks a pooled
+//! propagation state out, enters its evidence **once**, and answers
+//! every folded request with a single marginal read. Coalescing turns
+//! `k` concurrent single-target requests that share an evidence set
+//! into one propagation plus `k` reads — the same amortization that
+//! makes `dcomp_all` beat sequential queries in-process — and
+//! duplicated work items inside a batch (the hot-query case: many
+//! clients asking for the same decomposition at once) are computed
+//! once and fanned out to every requester.
+//!
+//! Correctness contract: every response is **bitwise identical** to the
+//! same query answered by a direct in-process engine, whatever the
+//! worker count or coalescing window. Coalescing only ever regroups
+//! *pure* reads against identical evidence, so grouping is invisible in
+//! the results — the conformance suite gates exactly this.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kert_bayes::compile::configured_workers;
+use kert_core::serve::SharedKert;
+use kert_core::Result as CoreResult;
+use kert_obs::{set_gauge, Counter, Histogram};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{
+    decode, encode, ErrorKind, Request, Response, StatusInfo, WireDcomp, WireError, WirePaccel,
+    WirePosterior,
+};
+
+static REQ_POSTERIOR: Counter = Counter::new("kertd.requests.posterior");
+static REQ_DCOMP: Counter = Counter::new("kertd.requests.dcomp");
+static REQ_PACCEL: Counter = Counter::new("kertd.requests.paccel");
+static REQ_VIOLATION: Counter = Counter::new("kertd.requests.violation");
+static REQ_CONTROL: Counter = Counter::new("kertd.requests.control");
+static SHED_OVERLOADED: Counter = Counter::new("kertd.shed.overloaded");
+static SHED_SHUTTING_DOWN: Counter = Counter::new("kertd.shed.shutting_down");
+static COALESCED_BATCHES: Counter = Counter::new("kertd.coalesce.batches");
+static COALESCED_REQUESTS: Counter = Counter::new("kertd.coalesce.batched_requests");
+static COALESCED_DEDUPED: Counter = Counter::new("kertd.coalesce.deduped_work");
+static LAT_POSTERIOR: Histogram = Histogram::new("kertd.latency.posterior");
+static LAT_DCOMP: Histogram = Histogram::new("kertd.latency.dcomp");
+static LAT_PACCEL: Histogram = Histogram::new("kertd.latency.paccel");
+static LAT_VIOLATION: Histogram = Histogram::new("kertd.latency.violation");
+static LAT_QUEUE_WAIT: Histogram = Histogram::new("kertd.queue.wait");
+
+fn latency_histogram(verb: &str) -> &'static Histogram {
+    match verb {
+        "posterior" => &LAT_POSTERIOR,
+        "dcomp" => &LAT_DCOMP,
+        "paccel" => &LAT_PACCEL,
+        _ => &LAT_VIOLATION,
+    }
+}
+
+fn request_counter(verb: &str) -> &'static Counter {
+    match verb {
+        "posterior" => &REQ_POSTERIOR,
+        "dcomp" => &REQ_DCOMP,
+        "paccel" => &REQ_PACCEL,
+        "violation" => &REQ_VIOLATION,
+        _ => &REQ_CONTROL,
+    }
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for a free port (the bound
+    /// address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker-pool width; 0 means [`configured_workers`] (the same
+    /// `KERT_WORKERS`-aware default the batch engine uses).
+    pub workers: usize,
+    /// Admission-queue capacity. A queue at capacity sheds new queries
+    /// with a typed `Overloaded` response instead of buffering without
+    /// bound.
+    pub queue_cap: usize,
+    /// How long a worker holding a fresh micro-batch lingers for more
+    /// requests with the same evidence key. Zero disables coalescing
+    /// (every request is its own batch) — results are identical either
+    /// way; the window only trades a bounded latency add for
+    /// propagation amortization.
+    pub coalesce_window: Duration,
+    /// Ceiling on requests folded into one micro-batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_cap: 256,
+            coalesce_window: Duration::from_micros(500),
+            max_batch: 64,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+/// Mutex-guarded queue state; `inflight` counts jobs checked out by
+/// workers so a drain can distinguish "queue empty" from "work done".
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// False once a drain began: no new admissions, workers exit when
+    /// the backlog is gone.
+    open: bool,
+    inflight: usize,
+    /// `Stopping` replies promised but not yet written to their socket.
+    /// [`ServerHandle::wait`] lingers on this so the process hosting the
+    /// daemon cannot exit between the drain finishing and the stop
+    /// requester reading its acknowledgment (the connection threads are
+    /// detached, so joining can't provide that ordering).
+    stop_acks_pending: usize,
+}
+
+/// Monotonic daemon statistics, kept separately from `kert-obs` so
+/// `STATUS` works even when telemetry is compiled out or disabled.
+#[derive(Default)]
+struct Stats {
+    served_posterior: AtomicU64,
+    served_dcomp: AtomicU64,
+    served_paccel: AtomicU64,
+    served_violation: AtomicU64,
+    shed_overloaded: AtomicU64,
+    shed_shutting_down: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+}
+
+impl Stats {
+    fn served(&self, verb: &str) -> &AtomicU64 {
+        match verb {
+            "posterior" => &self.served_posterior,
+            "dcomp" => &self.served_dcomp,
+            "paccel" => &self.served_paccel,
+            _ => &self.served_violation,
+        }
+    }
+}
+
+/// Everything the acceptor, connection, and worker threads share.
+struct Shared {
+    engine: SharedKert,
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+    stats: Stats,
+    cfg: ServeConfig,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Admit a query or shed it with a typed refusal (boxed: the shed
+    /// path is cold, so the large `Response` stays off the hot return).
+    fn submit(
+        &self,
+        request: Request,
+    ) -> std::result::Result<mpsc::Receiver<Response>, Box<Response>> {
+        let mut q = self.q.lock().expect("queue poisoned");
+        if !q.open {
+            self.stats
+                .shed_shutting_down
+                .fetch_add(1, Ordering::Relaxed);
+            SHED_SHUTTING_DOWN.incr();
+            return Err(Box::new(Response::Error(WireError::new(
+                ErrorKind::ShuttingDown,
+                "daemon is draining; no new queries admitted",
+            ))));
+        }
+        if q.jobs.len() >= self.cfg.queue_cap {
+            self.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+            SHED_OVERLOADED.incr();
+            return Err(Box::new(Response::Error(WireError::new(
+                ErrorKind::Overloaded,
+                format!("admission queue full (cap {})", self.cfg.queue_cap),
+            ))));
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job {
+            request,
+            reply: tx,
+            enqueued: Instant::now(),
+        });
+        set_gauge("kertd.queue_depth", q.jobs.len() as f64);
+        self.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Begin the drain: close admissions, wake every waiter, and poke
+    /// the acceptor loose from its blocking `accept`.
+    fn begin_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut q = self.q.lock().expect("queue poisoned");
+            q.open = false;
+        }
+        self.cv.notify_all();
+        // A throwaway connection unblocks accept(); the acceptor then
+        // sees the shutdown flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Block until every admitted job has been answered.
+    fn await_drained(&self) {
+        let mut q = self.q.lock().expect("queue poisoned");
+        while !(q.jobs.is_empty() && q.inflight == 0) {
+            q = self.cv.wait(q).expect("queue poisoned");
+        }
+    }
+
+    fn status(&self) -> StatusInfo {
+        let (queue_depth, inflight, open) = {
+            let q = self.q.lock().expect("queue poisoned");
+            (q.jobs.len(), q.inflight, q.open)
+        };
+        let model = self.engine.model();
+        StatusInfo {
+            nodes: model.network().len(),
+            n_services: model.n_services(),
+            d_node: model.d_node(),
+            width: self.engine.width(),
+            workers: self.cfg.workers,
+            queue_cap: self.cfg.queue_cap,
+            queue_depth,
+            inflight,
+            coalesce_window_us: self.cfg.coalesce_window.as_micros() as u64,
+            served_posterior: self.stats.served_posterior.load(Ordering::Relaxed),
+            served_dcomp: self.stats.served_dcomp.load(Ordering::Relaxed),
+            served_paccel: self.stats.served_paccel.load(Ordering::Relaxed),
+            served_violation: self.stats.served_violation.load(Ordering::Relaxed),
+            shed_overloaded: self.stats.shed_overloaded.load(Ordering::Relaxed),
+            shed_shutting_down: self.stats.shed_shutting_down.load(Ordering::Relaxed),
+            coalesced_batches: self.stats.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_requests: self.stats.coalesced_requests.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            draining: !open,
+        }
+    }
+}
+
+/// Requests fold into one micro-batch iff they share this key: same
+/// verb, same evidence, byte-for-byte. Serialization is deterministic
+/// (same struct, same field order), so equal evidence ⇒ equal key.
+fn coalesce_key(request: &Request) -> String {
+    match request {
+        Request::Posterior { evidence, .. } => {
+            format!(
+                "posterior:{}",
+                serde_json::to_string(evidence).unwrap_or_default()
+            )
+        }
+        Request::Dcomp { observed, .. } => {
+            format!(
+                "dcomp:{}",
+                serde_json::to_string(observed).unwrap_or_default()
+            )
+        }
+        // Every pAccel projects against the shared no-evidence prior.
+        Request::Paccel { .. } => "paccel".into(),
+        Request::Violation { evidence, .. } => {
+            format!(
+                "violation:{}",
+                serde_json::to_string(evidence).unwrap_or_default()
+            )
+        }
+        other => format!("control:{}", other.verb()),
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// send [`Request::Stop`] (e.g. via [`crate::client::Client::stop`])
+/// and then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Resolved worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.shared.cfg.workers
+    }
+
+    /// Block until the daemon has fully stopped (acceptor and workers
+    /// joined). Returns the number of queries served, by verb, in
+    /// (posterior, dcomp, paccel, violation) order.
+    pub fn wait(self) -> (u64, u64, u64, u64) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // Let in-flight `Stopping` acknowledgments reach their sockets
+        // before the caller (often a process about to exit) proceeds.
+        // Bounded: a wedged connection thread must not hang shutdown.
+        {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            let mut q = self.shared.q.lock().expect("queue poisoned");
+            while q.stop_acks_pending > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        }
+        let s = &self.shared.stats;
+        (
+            s.served_posterior.load(Ordering::Relaxed),
+            s.served_dcomp.load(Ordering::Relaxed),
+            s.served_paccel.load(Ordering::Relaxed),
+            s.served_violation.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Compile-and-listen: start the daemon on `config.addr` serving
+/// `engine`. Returns once the socket is bound and all threads are up.
+pub fn serve(engine: SharedKert, mut config: ServeConfig) -> io::Result<ServerHandle> {
+    if config.workers == 0 {
+        config.workers = configured_workers();
+    }
+    config.workers = config.workers.max(1);
+    config.max_batch = config.max_batch.max(1);
+    config.queue_cap = config.queue_cap.max(1);
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        engine,
+        q: Mutex::new(QueueState {
+            jobs: VecDeque::new(),
+            open: true,
+            inflight: 0,
+            stop_acks_pending: 0,
+        }),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        stats: Stats::default(),
+        cfg: config.clone(),
+        local_addr,
+    });
+
+    let workers = (0..config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("kertd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("kertd-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        acceptor,
+        workers,
+        shared,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Request/response framing ships many small writes; without
+        // nodelay, Nagle + delayed ACK park every reply for ~40 ms.
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they exit when the client
+        // closes, and during a drain any new query they submit is shed
+        // with a typed ShuttingDown response.
+        let _ = std::thread::Builder::new()
+            .name("kertd-conn".into())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean close or torn stream: either way the conversation
+            // is over.
+            Ok(None) | Err(_) => return,
+        };
+        let response = match decode::<Request>(&payload) {
+            Err(msg) => Response::Error(WireError::new(
+                ErrorKind::Malformed,
+                format!("unparseable request: {msg}"),
+            )),
+            Ok(request) => {
+                let _span = kert_obs::span("kertd.request");
+                request_counter(request.verb()).incr();
+                if request.is_query() {
+                    match shared.submit(request) {
+                        // Admitted: the worker's send cannot outlive
+                        // this recv because we hold the receiver.
+                        Ok(rx) => match rx.recv() {
+                            Ok(resp) => resp,
+                            Err(_) => Response::Error(WireError::new(
+                                ErrorKind::Internal,
+                                "worker dropped the reply channel",
+                            )),
+                        },
+                        Err(shed) => *shed,
+                    }
+                } else {
+                    handle_control(&request, shared)
+                }
+            }
+        };
+        let stopping = matches!(response, Response::Stopping);
+        let bytes = encode(&response).ok();
+        let write_ok = match &bytes {
+            Some(b) => write_frame(&mut stream, b).is_ok(),
+            None => false,
+        };
+        if stopping {
+            // Written (or failed) either way: release wait().
+            let mut q = shared.q.lock().expect("queue poisoned");
+            q.stop_acks_pending -= 1;
+            drop(q);
+            shared.cv.notify_all();
+            return;
+        }
+        if !write_ok {
+            return;
+        }
+    }
+}
+
+fn handle_control(request: &Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Status => Response::Status(shared.status()),
+        Request::Metrics => Response::Metrics {
+            prometheus: kert_obs::prometheus_snapshot(),
+        },
+        Request::Stop => {
+            // Drain, then acknowledge: by the time the client sees
+            // `Stopping`, every admitted query has been answered. The
+            // pending-ack count keeps `wait()` from returning before
+            // the acknowledgment frame is on the wire.
+            shared.begin_drain();
+            shared.await_drained();
+            let mut q = shared.q.lock().expect("queue poisoned");
+            q.stop_acks_pending += 1;
+            Response::Stopping
+        }
+        other => Response::Error(WireError::new(
+            ErrorKind::Internal,
+            format!("{} routed as a control verb", other.verb()),
+        )),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let group = match next_batch(shared) {
+            Some(g) => g,
+            None => return,
+        };
+        if group.len() > 1 {
+            shared
+                .stats
+                .coalesced_batches
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .coalesced_requests
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            COALESCED_BATCHES.incr();
+            COALESCED_REQUESTS.add(group.len() as u64);
+        }
+        process_group(shared, group);
+        {
+            let mut q = shared.q.lock().expect("queue poisoned");
+            q.inflight -= 1;
+        }
+        // Wake a possible drain waiter (and idle peers).
+        shared.cv.notify_all();
+    }
+}
+
+/// Pop one job, then linger up to the coalescing window for more jobs
+/// with the same evidence key. Returns `None` when the queue is closed
+/// and empty (worker should exit). The whole group counts as **one**
+/// inflight unit: it is answered by one session checkout.
+fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
+    let mut q = shared.q.lock().expect("queue poisoned");
+    let first = loop {
+        if let Some(job) = q.jobs.pop_front() {
+            break job;
+        }
+        if !q.open {
+            return None;
+        }
+        q = shared.cv.wait(q).expect("queue poisoned");
+    };
+    q.inflight += 1;
+    LAT_QUEUE_WAIT.record(first.enqueued.elapsed().as_nanos() as u64);
+
+    let key = coalesce_key(&first.request);
+    let mut group = vec![first];
+    if shared.cfg.coalesce_window > Duration::ZERO {
+        let deadline = Instant::now() + shared.cfg.coalesce_window;
+        loop {
+            while group.len() < shared.cfg.max_batch {
+                match q.jobs.iter().position(|j| coalesce_key(&j.request) == key) {
+                    Some(i) => group.push(q.jobs.remove(i).expect("index in range")),
+                    None => break,
+                }
+            }
+            if group.len() >= shared.cfg.max_batch {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline || !q.open {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .cv
+                .wait_timeout(q, deadline - now)
+                .expect("queue poisoned");
+            q = guard;
+        }
+    }
+    set_gauge("kertd.queue_depth", q.jobs.len() as f64);
+    Some(group)
+}
+
+/// Answer a micro-batch with one pooled session. The grouped fast path
+/// enters the shared evidence once and reads one marginal per folded
+/// request; if anything in the group errors (e.g. one request names a
+/// bad target), fall back to answering each job individually so a bad
+/// neighbor cannot poison the batch. Both paths produce bitwise
+/// identical answers for the requests that succeed.
+fn process_group(shared: &Arc<Shared>, group: Vec<Job>) {
+    let verb = group[0].request.verb();
+    let responses = match answer_group(shared, &group) {
+        Ok(r) => r,
+        Err(_) => group
+            .iter()
+            .map(|job| answer_one(&shared.engine, &job.request))
+            .collect(),
+    };
+    let hist = latency_histogram(verb);
+    let served = shared.stats.served(verb);
+    for (job, response) in group.into_iter().zip(responses) {
+        served.fetch_add(1, Ordering::Relaxed);
+        hist.record(job.enqueued.elapsed().as_nanos() as u64);
+        // The client may have vanished; nothing to do about it.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Collapse duplicate work items inside a coalesced group: the unique
+/// items in first-seen order, plus each original item's index into that
+/// unique list.
+///
+/// Every query verb is a pure read, so computing a duplicated item once
+/// and fanning the result out is bitwise invisible — this is what makes
+/// a *hot query* (many clients asking for the same thing at once) cost
+/// one computation instead of N. Floats are keyed by bit pattern, not
+/// `==`, so `0.0`/`-0.0` (and NaN payloads) never alias.
+fn dedup_work<T: Clone, K: PartialEq>(items: &[T], key: impl Fn(&T) -> K) -> (Vec<T>, Vec<usize>) {
+    let mut unique: Vec<T> = Vec::new();
+    let mut keys: Vec<K> = Vec::new();
+    let mut index = Vec::with_capacity(items.len());
+    for item in items {
+        let k = key(item);
+        match keys.iter().position(|u| *u == k) {
+            Some(i) => index.push(i),
+            None => {
+                index.push(unique.len());
+                unique.push(item.clone());
+                keys.push(k);
+            }
+        }
+    }
+    COALESCED_DEDUPED.add((items.len() - unique.len()) as u64);
+    (unique, index)
+}
+
+/// Grouped processing: one session checkout, shared evidence entered
+/// once, duplicated work items computed once. All jobs in a group share
+/// a coalesce key by construction.
+fn answer_group(shared: &Arc<Shared>, group: &[Job]) -> CoreResult<Vec<Response>> {
+    let mut session = shared.engine.session();
+    match &group[0].request {
+        Request::Posterior { evidence, .. } => {
+            let targets: Vec<usize> = group
+                .iter()
+                .map(|j| match &j.request {
+                    Request::Posterior { target, .. } => *target,
+                    _ => unreachable!("mixed verbs in a coalesce group"),
+                })
+                .collect();
+            let (unique, index) = dedup_work(&targets, |&t| t);
+            let posteriors = session.posterior_group(evidence, &unique)?;
+            let answers: Vec<Response> = posteriors
+                .iter()
+                .map(|p| wire_or_error(WirePosterior::from_posterior(p).map(Response::Posterior)))
+                .collect();
+            Ok(index.iter().map(|&i| answers[i].clone()).collect())
+        }
+        Request::Dcomp { observed, .. } => {
+            let per_job: Vec<Vec<usize>> = group
+                .iter()
+                .map(|j| match &j.request {
+                    Request::Dcomp { targets, .. } => targets.clone(),
+                    _ => unreachable!("mixed verbs in a coalesce group"),
+                })
+                .collect();
+            let all_targets: Vec<usize> = per_job.iter().flatten().copied().collect();
+            let (unique, index) = dedup_work(&all_targets, |&t| t);
+            let outcomes = session.dcomp(observed, &unique)?;
+            let mut cursor = index.iter();
+            Ok(per_job
+                .iter()
+                .map(|targets| {
+                    let picked: std::result::Result<Vec<_>, WireError> = cursor
+                        .by_ref()
+                        .take(targets.len())
+                        .map(|&i| WireDcomp::from_outcome(&outcomes[i]))
+                        .collect();
+                    wire_or_error(picked.map(|outcomes| Response::Dcomp { outcomes }))
+                })
+                .collect())
+        }
+        Request::Paccel { .. } => {
+            let per_job: Vec<Vec<(usize, f64)>> = group
+                .iter()
+                .map(|j| match &j.request {
+                    Request::Paccel { candidates } => candidates.clone(),
+                    _ => unreachable!("mixed verbs in a coalesce group"),
+                })
+                .collect();
+            let all: Vec<(usize, f64)> = per_job.iter().flatten().copied().collect();
+            let (unique, index) = dedup_work(&all, |&(s, e)| (s, e.to_bits()));
+            let outcomes = session.paccel(&unique)?;
+            let mut cursor = index.iter();
+            Ok(per_job
+                .iter()
+                .map(|candidates| {
+                    let picked: std::result::Result<Vec<_>, WireError> = cursor
+                        .by_ref()
+                        .take(candidates.len())
+                        .map(|&i| WirePaccel::from_outcome(&outcomes[i]))
+                        .collect();
+                    wire_or_error(picked.map(|outcomes| Response::Paccel { outcomes }))
+                })
+                .collect())
+        }
+        Request::Violation { evidence, .. } => {
+            let per_job: Vec<Vec<f64>> = group
+                .iter()
+                .map(|j| match &j.request {
+                    Request::Violation { thresholds, .. } => thresholds.clone(),
+                    _ => unreachable!("mixed verbs in a coalesce group"),
+                })
+                .collect();
+            let all: Vec<f64> = per_job.iter().flatten().copied().collect();
+            let (unique, index) = dedup_work(&all, |t| t.to_bits());
+            let probs = session.violation_sweep(evidence, &unique)?;
+            let mut cursor = index.iter();
+            Ok(per_job
+                .iter()
+                .map(|thresholds| Response::Violation {
+                    probabilities: cursor
+                        .by_ref()
+                        .take(thresholds.len())
+                        .map(|&i| probs[i])
+                        .collect(),
+                })
+                .collect())
+        }
+        other => Ok(vec![
+            Response::Error(WireError::new(
+                ErrorKind::Internal,
+                format!("{} reached the worker pool", other.verb()),
+            ));
+            group.len()
+        ]),
+    }
+}
+
+/// Individual fallback: one request, its own session. Produces the same
+/// bits as the grouped path for any request that succeeds (both route
+/// through the identical Session primitives).
+fn answer_one(engine: &SharedKert, request: &Request) -> Response {
+    let mut session = engine.session();
+    let result: CoreResult<Response> = match request {
+        Request::Posterior { evidence, target } => session
+            .posterior_group(evidence, std::slice::from_ref(target))
+            .map(|ps| {
+                wire_or_error(WirePosterior::from_posterior(&ps[0]).map(Response::Posterior))
+            }),
+        Request::Dcomp { observed, targets } => session.dcomp(observed, targets).map(|outcomes| {
+            let wired: std::result::Result<Vec<_>, WireError> =
+                outcomes.iter().map(WireDcomp::from_outcome).collect();
+            wire_or_error(wired.map(|outcomes| Response::Dcomp { outcomes }))
+        }),
+        Request::Paccel { candidates } => session.paccel(candidates).map(|outcomes| {
+            let wired: std::result::Result<Vec<_>, WireError> =
+                outcomes.iter().map(WirePaccel::from_outcome).collect();
+            wire_or_error(wired.map(|outcomes| Response::Paccel { outcomes }))
+        }),
+        Request::Violation {
+            evidence,
+            thresholds,
+        } => session
+            .violation_sweep(evidence, thresholds)
+            .map(|probabilities| Response::Violation { probabilities }),
+        other => Ok(Response::Error(WireError::new(
+            ErrorKind::Internal,
+            format!("{} reached the worker pool", other.verb()),
+        ))),
+    };
+    result.unwrap_or_else(|e| Response::Error(WireError::from_core(&e)))
+}
+
+fn wire_or_error(r: std::result::Result<Response, WireError>) -> Response {
+    r.unwrap_or_else(Response::Error)
+}

@@ -52,6 +52,9 @@ fn main() -> ExitCode {
         "violation" => cmd_violation(rest),
         "telemetry" => cmd_telemetry(rest),
         "fleet" => cmd_fleet(rest),
+        "serve" => cmd_serve(rest),
+        "status" => cmd_status(rest),
+        "stop" => cmd_stop(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -85,10 +88,27 @@ USAGE:
           [--partition-prob P] [--crash-at-epoch E] [--crash-prob P]
           [--snapshot state.snap] [--out report.json]
   kertctl fleet status --report report.json [--require-warm]
+  kertctl serve --model model.json [--addr HOST:PORT] [--workers N]
+          [--queue-cap Q] [--coalesce-us U] [--max-batch B] [--port-file F]
+  kertctl query --addr HOST:PORT (--target NODE | --dcomp N,N,... |
+          --paccel SVC=ELAPSED... | --threshold H...) [--given NODE=VALUE]...
+          [--concurrency C] [--repeat K]
+  kertctl status --addr HOST:PORT [--prom snapshot.prom]
+  kertctl stop --addr HOST:PORT
 
 Raw measurement values are used in --given and --threshold; discrete
 models bin them internally. Node indices: services are 0..n-1 in column
 order; the end-to-end metric D is the last node (see `kertctl info`).
+
+`serve` runs the kertd daemon in the foreground: the model is compiled
+once, then posterior/dComp/pAccel/violation queries are answered over a
+length-prefixed JSON/TCP protocol with request coalescing and bounded-
+queue admission control. `query --addr` talks to a running daemon
+(versus `query --model`, which answers locally); --concurrency/--repeat
+fire the same request from C client threads K times each and fail
+unless every response is byte-identical. `status --prom FILE` dumps the
+daemon's Prometheus exposition for `kertctl telemetry --prom` to
+validate; `stop` drains and shuts the daemon down.
 
 `telemetry` validates exporter output: every JSONL line must round-trip
 through the TelemetryEvent schema, the Prometheus snapshot must parse,
@@ -388,6 +408,9 @@ fn run_query(
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.get("addr").is_some() {
+        return cmd_query_remote(&flags);
+    }
     let saved = load_model(&flags)?;
     let target: usize = flags
         .require("target")?
@@ -625,6 +648,240 @@ fn cmd_fleet_status(args: &[String]) -> Result<(), String> {
         println!("require-warm ok: zero prior rungs, every restart warm");
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use kert_bn::serving::{serve, ServeConfig};
+
+    let flags = Flags::parse(args)?;
+    let saved = load_model(&flags)?;
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flags.parse_num("workers", 0usize)?,
+        queue_cap: flags.parse_num("queue-cap", 256usize)?,
+        coalesce_window: std::time::Duration::from_micros(flags.parse_num("coalesce-us", 500u64)?),
+        max_batch: flags.parse_num("max-batch", 64usize)?,
+    };
+
+    // The daemon is the metrics source of record: turn the registry on
+    // so METRICS serves real counters whatever KERT_OBS says.
+    kert_bn::obs::set_mode(kert_bn::obs::ObsMode::Metrics);
+    let engine = kert_bn::model::SharedKert::from_saved(saved).map_err(|e| e.to_string())?;
+    let queue_cap = config.queue_cap;
+    let window_us = config.coalesce_window.as_micros();
+    let handle = serve(engine, config).map_err(|e| format!("starting daemon: {e}"))?;
+    eprintln!(
+        "kertd listening on {} ({} workers, queue cap {}, coalesce window {}µs)",
+        handle.addr(),
+        handle.workers(),
+        queue_cap,
+        window_us
+    );
+    if let Some(path) = flags.get("port-file") {
+        // Written *after* bind, so a watcher that sees the file can
+        // connect immediately — this is how scripts race-free discover
+        // a port-0 daemon.
+        std::fs::write(path, handle.addr().to_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let (posterior, dcomp, paccel, violation) = handle.wait();
+    eprintln!(
+        "kertd stopped: served {posterior} posterior / {dcomp} dcomp / \
+         {paccel} paccel / {violation} violation"
+    );
+    Ok(())
+}
+
+/// Build the wire request a remote `query` invocation describes.
+fn remote_request(flags: &Flags) -> Result<kert_bn::serving::Request, String> {
+    use kert_bn::serving::Request;
+
+    let evidence = parse_evidence(flags)?;
+    if let Some(spec) = flags.get("dcomp") {
+        let targets = spec
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("--dcomp: bad node index {t:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Request::Dcomp {
+            observed: evidence,
+            targets,
+        });
+    }
+    let paccel = flags.get_all("paccel");
+    if !paccel.is_empty() {
+        let candidates = paccel
+            .into_iter()
+            .map(|pair| {
+                let (svc, elapsed) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--paccel wants SVC=ELAPSED, got {pair:?}"))?;
+                let svc: usize = svc
+                    .parse()
+                    .map_err(|_| format!("--paccel: bad service index {svc:?}"))?;
+                let elapsed: f64 = elapsed
+                    .parse()
+                    .map_err(|_| format!("--paccel: bad elapsed {elapsed:?}"))?;
+                Ok::<_, String>((svc, elapsed))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Request::Paccel { candidates });
+    }
+    let thresholds = flags.get_all("threshold");
+    if !thresholds.is_empty() {
+        let thresholds = thresholds
+            .into_iter()
+            .map(|h| {
+                h.parse::<f64>()
+                    .map_err(|_| format!("--threshold: bad number {h:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Request::Violation {
+            evidence,
+            thresholds,
+        });
+    }
+    let target: usize = flags
+        .require("target")?
+        .parse()
+        .map_err(|_| "--target: not a node index".to_string())?;
+    Ok(Request::Posterior { evidence, target })
+}
+
+/// `query --addr`: fire the request at a running daemon. With
+/// `--concurrency C --repeat K`, C client threads send it K times each
+/// and the command fails unless all C×K responses are byte-identical —
+/// the CLI-level determinism check the CI smoke leans on.
+fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
+    use kert_bn::serving::{protocol, Client, Response};
+
+    let addr = flags.require("addr")?.to_string();
+    let request = remote_request(flags)?;
+    let concurrency: usize = flags.parse_num("concurrency", 1usize)?;
+    let repeat: usize = flags.parse_num("repeat", 1usize)?;
+    if concurrency == 0 || repeat == 0 {
+        return Err("--concurrency and --repeat must be ≥ 1".into());
+    }
+
+    let answers: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let addr = addr.clone();
+                let request = request.clone();
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect_retry(addr.as_str(), std::time::Duration::from_secs(5))
+                            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+                    (0..repeat)
+                        .map(|_| {
+                            let response = client
+                                .request(&request)
+                                .map_err(|e| format!("talking to {addr}: {e}"))?;
+                            if let Response::Error(err) = &response {
+                                return Err(format!("{:?}: {}", err.kind, err.message));
+                            }
+                            protocol::encode(&response)
+                                .map(|b| String::from_utf8_lossy(&b).into_owned())
+                                .map_err(|e| format!("encoding response: {e}"))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    let mut all: Vec<String> = Vec::new();
+    for per_client in answers {
+        all.extend(per_client?);
+    }
+    let first = &all[0];
+    if let Some(diverged) = all.iter().position(|a| a != first) {
+        return Err(format!(
+            "response {diverged} of {} differs from response 0 — \
+             the daemon is not deterministic:\n  {first}\n  {}",
+            all.len(),
+            all[diverged]
+        ));
+    }
+    println!("{first}");
+    if all.len() > 1 {
+        eprintln!(
+            "{} responses ({concurrency} clients × {repeat} each), all byte-identical",
+            all.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    use kert_bn::serving::{Client, Response};
+
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let status = match client.status().map_err(|e| e.to_string())? {
+        Response::Status(s) => s,
+        other => return Err(format!("unexpected status reply: {other:?}")),
+    };
+    println!(
+        "model    : {} nodes ({} services, D = node {})",
+        status.nodes, status.n_services, status.d_node
+    );
+    println!("tree     : width {}", status.width);
+    println!(
+        "daemon   : {} workers, queue {}/{} ({} inflight), window {}µs{}",
+        status.workers,
+        status.queue_depth,
+        status.queue_cap,
+        status.inflight,
+        status.coalesce_window_us,
+        if status.draining { ", draining" } else { "" }
+    );
+    println!(
+        "served   : {} posterior / {} dcomp / {} paccel / {} violation",
+        status.served_posterior, status.served_dcomp, status.served_paccel, status.served_violation
+    );
+    println!(
+        "shed     : {} overloaded, {} shutting-down",
+        status.shed_overloaded, status.shed_shutting_down
+    );
+    println!(
+        "coalesce : {} batches folding {} requests",
+        status.coalesced_batches, status.coalesced_requests
+    );
+    println!("uptime   : {} ms", status.uptime_ms);
+
+    if let Some(path) = flags.get("prom") {
+        let prometheus = match client.metrics().map_err(|e| e.to_string())? {
+            Response::Metrics { prometheus } => prometheus,
+            other => return Err(format!("unexpected metrics reply: {other:?}")),
+        };
+        std::fs::write(path, &prometheus).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("prometheus snapshot written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_stop(args: &[String]) -> Result<(), String> {
+    use kert_bn::serving::{Client, Response};
+
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match client.stop().map_err(|e| e.to_string())? {
+        Response::Stopping => {
+            eprintln!("daemon at {addr} drained and stopped");
+            Ok(())
+        }
+        other => Err(format!("unexpected stop reply: {other:?}")),
+    }
 }
 
 fn cmd_violation(args: &[String]) -> Result<(), String> {

@@ -19,6 +19,7 @@
 //! | [`agents`] | `kert-agents` | decentralized parameter learning, self-healing fallback ladder, scheduling |
 //! | [`model`] | `kert-core` | KERT-BN, the NRT-BN baseline, dComp, pAccel, degraded-mode compensation |
 //! | [`obs`] | `kert-obs` | spans, counters, gauges, histograms; JSONL + Prometheus exporters |
+//! | [`serving`] | `kertd` | the model-serving daemon: framed JSON/TCP protocol, coalescing workers, blocking client |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use kert_linalg as linalg;
 pub use kert_obs as obs;
 pub use kert_sim as sim;
 pub use kert_workflow as workflow;
+pub use kertd as serving;
 
 /// The names most programs need, in one import.
 pub mod prelude {
