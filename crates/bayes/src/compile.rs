@@ -814,7 +814,13 @@ impl JunctionTree {
             return Ok(());
         }
         let home = self.node_home[target];
-        self.ensure_messages_into(st, home);
+        {
+            // The lazy collect pass is where propagation cost actually
+            // lands (repeat reads hit validated messages and skip it);
+            // a dedicated span makes that split attributable in traces.
+            let _collect = kert_obs::span("jt.collect");
+            self.ensure_messages_into(st, home);
+        }
 
         let mut belief = {
             let JtState { potentials, ws, .. } = &mut *st;

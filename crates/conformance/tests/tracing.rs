@@ -1,0 +1,175 @@
+//! Trace-determinism gates: the daemon's span pipeline replayed under a
+//! seeded virtual clock must be **bitwise reproducible**.
+//!
+//! The drill ([`kertd::drill`]) pushes a seed-scripted request mix
+//! through the same grouping and compute code the live daemon runs
+//! ([`kertd`'s `compute_group`]), with every trace context on a virtual
+//! clock seeded from `(master seed, trace id)`. Two gates:
+//!
+//! 1. **Run-to-run**: the same seed produces byte-identical serialized
+//!    span trees — ids, parent links, labels, cross-trace links, *and*
+//!    timestamps.
+//! 2. **Worker invariance**: 1 worker and 4 workers produce the same
+//!    bytes. Span capture happens on the thread that owns the group, so
+//!    scheduling must be invisible in the output.
+//!
+//! Both are preconditions for using traces as regression artifacts: a
+//! diff between two drill runs means the *code* changed, never the
+//! scheduler. The master seed comes from `KERT_CONF_SEED` (default 1);
+//! CI fans the suite over seeds 1–3.
+
+use kert_bench::scenario::{Environment, ScenarioOptions};
+use kert_core::serve::SharedKert;
+use kert_core::{DiscreteKertOptions, KertBn};
+use kert_obs::TraceTree;
+use kert_workflow::GenOptions;
+use kertd::drill::{run_trace_drill, DrillConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn conf_seed() -> u64 {
+    std::env::var("KERT_CONF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Same model family as the serving gates: sequential workflows keep
+/// node indices easy to reason about (services `0..n`, D last).
+fn build_model(seed: u64) -> KertBn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_services = rng.gen_range(4..=6);
+    let options = ScenarioOptions {
+        gen: GenOptions::sequential_only(),
+        ..ScenarioOptions::default()
+    };
+    let mut env = Environment::random(n_services, options, seed);
+    let (train, _) = env.datasets(700, 1, seed ^ 0x005e_4411);
+    KertBn::build_discrete(&env.knowledge, &train, DiscreteKertOptions::default()).unwrap()
+}
+
+fn drill(engine: &SharedKert, seed: u64, workers: usize) -> Vec<TraceTree> {
+    run_trace_drill(
+        engine,
+        &DrillConfig {
+            seed,
+            requests: 48,
+            max_batch: 6,
+            workers,
+        },
+    )
+}
+
+/// The comparison form: one JSON string covering every tree. String
+/// equality here *is* bitwise equality of ids, parents, labels, links,
+/// and virtual-clock stamps (the vendored JSON layer prints `f64` and
+/// `u64` canonically). Serialized through the wire encoder, so this is
+/// also exactly what a `Response::Traces` payload would carry.
+fn serialized(trees: &[TraceTree]) -> String {
+    String::from_utf8(kertd::protocol::encode(&trees.to_vec()).unwrap()).unwrap()
+}
+
+#[test]
+fn drill_trees_are_bitwise_identical_across_runs() {
+    // Metrics mode on, so engine spans (serve.evidence, jt.collect,
+    // jt.marginal) are captured into the leaders' propagate spans —
+    // determinism must hold for the *full* trees, not just the daemon
+    // skeleton.
+    kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+    let seed = conf_seed();
+    let engine = SharedKert::new(build_model(seed)).unwrap();
+
+    let first = serialized(&drill(&engine, seed, 2));
+    let second = serialized(&drill(&engine, seed, 2));
+    assert_eq!(
+        first, second,
+        "identical seeds must produce byte-identical span trees (seed {seed})"
+    );
+
+    // Different seeds must actually differ (the virtual clock and the
+    // scripted mix are both live, not constant).
+    let other = serialized(&drill(&engine, seed ^ 0xffff, 2));
+    assert_ne!(first, other, "seed must drive the drill output");
+}
+
+#[test]
+fn drill_trees_are_invariant_across_worker_counts() {
+    kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+    let seed = conf_seed();
+    let engine = SharedKert::new(build_model(seed)).unwrap();
+
+    let one = serialized(&drill(&engine, seed, 1));
+    for workers in [2, 4] {
+        let many = serialized(&drill(&engine, seed, workers));
+        assert_eq!(
+            one, many,
+            "span trees changed between 1 and {workers} drill workers (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn drill_trees_are_structurally_complete() {
+    kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+    let seed = conf_seed();
+    let engine = SharedKert::new(build_model(seed)).unwrap();
+    let trees = drill(&engine, seed, 2);
+    assert_eq!(trees.len(), 48);
+
+    let mut followers = 0usize;
+    let mut captured_engine_spans = 0usize;
+    for (i, tree) in trees.iter().enumerate() {
+        assert_eq!(tree.trace_id, i as u64 + 1, "trace-id order");
+        let root = tree.find("kertd.request").expect("root span");
+        assert_eq!(root.id, 1, "span ids are trace-local, starting at 1");
+        assert_eq!(root.parent, 0);
+        assert!(root.labels.iter().any(|(k, _)| k == "verb"));
+        let qw = tree.find("kertd.queue_wait").expect("queue-wait span");
+        assert_eq!(qw.parent, root.id);
+        assert!(qw.labels.iter().any(|(k, _)| k == "queue_depth"));
+        let gid = tree.find("kertd.coalesce.group").expect("group span");
+        assert_eq!(gid.parent, root.id);
+        assert!(gid.labels.iter().any(|(k, _)| k == "group_size"));
+        let pid = tree.find("kertd.propagate").expect("propagate span");
+        assert_eq!(pid.parent, gid.id);
+        let ser = tree.find("kertd.serialize").expect("serialize span");
+        assert_eq!(ser.parent, root.id);
+        for span in &tree.spans {
+            assert!(span.end_ns != 0, "every drill span is closed");
+            assert!(span.end_ns >= span.start_ns, "virtual clock is monotone");
+        }
+        if pid
+            .labels
+            .iter()
+            .any(|(k, v)| k == "shared_compute" && v == "true")
+        {
+            followers += 1;
+            let link = pid
+                .links
+                .iter()
+                .find(|l| l.kind == "coalesced-into")
+                .expect("followers carry a leader link");
+            let target = trees
+                .iter()
+                .find(|t| t.trace_id == link.trace_id)
+                .and_then(|t| t.spans.iter().find(|s| s.id == link.span_id))
+                .expect("leader link resolves inside the drill batch");
+            assert_eq!(target.name, "kertd.propagate");
+        }
+        if tree.find("jt.marginal").is_some() {
+            captured_engine_spans += 1;
+        }
+    }
+    assert!(followers > 0, "the scripted bursts must coalesce");
+    assert!(
+        captured_engine_spans > 0,
+        "group leaders must capture engine propagation spans"
+    );
+
+    // The whole batch renders as valid Chrome trace JSON, with a flow
+    // pair per coalesce link.
+    let json = kert_obs::chrome_trace_json(&trees);
+    let stats = kert_obs::check_chrome_trace(&json).expect("drill export must validate");
+    assert!(stats.complete >= 5 * trees.len());
+    assert_eq!(stats.flows, 2 * followers);
+}

@@ -173,6 +173,7 @@ impl Session<'_> {
     /// binned through the model's discretizer — same binning and entry
     /// order as [`crate::compiled::CompiledKert::set_evidence`]).
     pub fn set_evidence(&mut self, evidence: &[(usize, f64)]) -> Result<()> {
+        let _span = kert_obs::span("serve.evidence");
         let core = self.core;
         let pins = bin_evidence(&core.model, evidence)?;
         apply_pins(&core.tree, self.st(), &pins)

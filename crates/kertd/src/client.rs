@@ -8,7 +8,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, read_frame_traced, write_frame, write_frame_traced};
 use crate::protocol::{decode, encode, Request, Response};
 
 /// A connected kertd client.
@@ -52,6 +52,33 @@ impl Client {
             )
         })?;
         decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// [`Client::request`], carrying `trace_id` in the frame header so
+    /// the daemon adopts it for the request's span tree. Returns the
+    /// response plus the echoed trace id (the daemon echoes whatever id
+    /// the request carried, tracing enabled or not).
+    pub fn request_traced(
+        &mut self,
+        request: &Request,
+        trace_id: u64,
+    ) -> io::Result<(Response, Option<u64>)> {
+        let payload =
+            encode(request).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        write_frame_traced(&mut self.stream, &payload, Some(trace_id))?;
+        let (reply, echoed) = read_frame_traced(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )
+        })?;
+        let response = decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok((response, echoed))
+    }
+
+    /// Fetch the daemon's most recent `limit` span trees (0 = all held).
+    pub fn traces(&mut self, limit: usize) -> io::Result<Response> {
+        self.request(&Request::Trace { limit })
     }
 
     /// Liveness probe.

@@ -5,6 +5,17 @@
 //! The prefix makes message boundaries explicit on a stream transport,
 //! so a reader never has to scan for delimiters inside JSON, and a
 //! too-large length is rejected *before* any allocation.
+//!
+//! ## Trace carriage
+//!
+//! A frame may carry a trace id between the length prefix and the
+//! payload. The high bit of the length word ([`TRACE_FLAG`]) signals an
+//! 8-byte big-endian trace id follows the prefix; [`MAX_FRAME`] is far
+//! below 2³¹, so the bit is never ambiguous with a legal length. Old
+//! peers never set the bit, which keeps plain and traced frames freely
+//! interleavable on one connection — the daemon echoes a request's
+//! trace id on its response frame, so a client can correlate replies
+//! with the server-side span trees it later fetches.
 
 use std::io::{self, Read, Write};
 
@@ -14,22 +25,47 @@ use std::io::{self, Read, Write};
 /// query — refuse it before allocating.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Length-word bit marking a frame that carries an 8-byte trace id
+/// between the prefix and the payload.
+pub const TRACE_FLAG: u32 = 0x8000_0000;
+
 /// Write one frame: 4-byte big-endian length, then the payload.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    write_frame_traced(w, payload, None)
+}
+
+/// [`write_frame`], optionally carrying a trace id in the frame header.
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    trace_id: Option<u64>,
+) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    match trace_id {
+        None => w.write_all(&(payload.len() as u32).to_be_bytes())?,
+        Some(id) => {
+            w.write_all(&(payload.len() as u32 | TRACE_FLAG).to_be_bytes())?;
+            w.write_all(&id.to_be_bytes())?;
+        }
+    }
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Read one frame. Returns `Ok(None)` on clean end-of-stream (the peer
-/// closed between frames); an EOF mid-frame is an error.
+/// Read one frame, discarding any trace id. Returns `Ok(None)` on clean
+/// end-of-stream (the peer closed between frames); an EOF mid-frame is
+/// an error.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    Ok(read_frame_traced(r)?.map(|(payload, _)| payload))
+}
+
+/// [`read_frame`], surfacing the trace id when the frame carries one.
+pub fn read_frame_traced<R: Read>(r: &mut R) -> io::Result<Option<(Vec<u8>, Option<u64>)>> {
     let mut len_buf = [0u8; 4];
     // A clean close lands here with zero bytes; anything partial is torn.
     let mut filled = 0;
@@ -49,7 +85,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
+    let raw = u32::from_be_bytes(len_buf);
+    let trace_id = if raw & TRACE_FLAG != 0 {
+        let mut id_buf = [0u8; 8];
+        r.read_exact(&mut id_buf)?;
+        Some(u64::from_be_bytes(id_buf))
+    } else {
+        None
+    };
+    let len = (raw & !TRACE_FLAG) as usize;
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -58,7 +102,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    Ok(Some((payload, trace_id)))
 }
 
 #[cfg(test)]
@@ -97,5 +141,46 @@ mod tests {
         short.extend_from_slice(b"abc");
         let mut r = &short[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_interleave_with_plain_ones() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame_traced(&mut buf, b"traced", Some(0xdead_beef_1234_5678)).unwrap();
+        write_frame(&mut buf, b"plain").unwrap();
+        write_frame_traced(&mut buf, b"", Some(0)).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame_traced(&mut r).unwrap().unwrap(),
+            (b"traced".to_vec(), Some(0xdead_beef_1234_5678))
+        );
+        assert_eq!(
+            read_frame_traced(&mut r).unwrap().unwrap(),
+            (b"plain".to_vec(), None)
+        );
+        assert_eq!(
+            read_frame_traced(&mut r).unwrap().unwrap(),
+            (Vec::new(), Some(0))
+        );
+        assert!(read_frame_traced(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn plain_reader_skips_trace_headers_cleanly() {
+        // A trace-unaware read of a traced frame still yields the right
+        // payload (the id is consumed and dropped, not misparsed).
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame_traced(&mut buf, b"payload", Some(42)).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn torn_trace_header_is_an_error() {
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&TRACE_FLAG.to_be_bytes());
+        torn.extend_from_slice(&[1, 2, 3]); // only 3 of 8 id bytes
+        let mut r = &torn[..];
+        assert!(read_frame_traced(&mut r).is_err());
     }
 }

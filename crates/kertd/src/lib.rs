@@ -32,13 +32,16 @@
 //! | [`protocol`] | request/response vocabulary (serde enums) |
 //! | [`server`] | acceptor, admission queue, coalescing workers |
 //! | [`client`] | minimal blocking client (used by `kertctl`) |
+//! | [`drill`] | deterministic virtual-clock replay of the trace pipeline |
 
 pub mod client;
+pub mod drill;
 pub mod frame;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+pub use drill::{run_trace_drill, scripted_requests, DrillConfig};
 pub use protocol::{
     ErrorKind, Request, Response, StatusInfo, WireDcomp, WireError, WirePaccel, WirePosterior,
 };
@@ -425,5 +428,210 @@ mod tests {
 
         client.stop().unwrap();
         handle.wait();
+    }
+
+    #[test]
+    fn traced_daemon_records_complete_linked_span_trees() {
+        kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+        let handle = start(ServeConfig {
+            workers: 1,
+            coalesce_window: Duration::from_millis(50),
+            trace: true,
+            ..ServeConfig::default()
+        });
+        let addr = handle.addr();
+
+        // Concurrent same-evidence posteriors, each carrying its own
+        // wire trace id: the single worker's 50ms window folds most of
+        // them, and every reply must echo its request's id.
+        let evidence = vec![(0usize, 0.05)];
+        let targets = [2usize, 3, 4, 5, 6, 2, 3, 4];
+        std::thread::scope(|s| {
+            for (i, &target) in targets.iter().enumerate() {
+                let evidence = evidence.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let tid = 1000 + i as u64;
+                    let (resp, echoed) = client
+                        .request_traced(&Request::Posterior { evidence, target }, tid)
+                        .unwrap();
+                    assert!(matches!(resp, Response::Posterior(_)), "got {resp:?}");
+                    assert_eq!(echoed, Some(tid), "reply must echo the request's trace id");
+                });
+            }
+        });
+
+        // Recording happens just after the reply frame hits the wire,
+        // so the last few trees can trail the clients briefly.
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let status = loop {
+            let status = match client.status().unwrap() {
+                Response::Status(s) => s,
+                other => panic!("expected Status, got {other:?}"),
+            };
+            if status.traces_recorded >= targets.len() as u64
+                || std::time::Instant::now() >= deadline
+            {
+                break status;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(status.tracing);
+        assert_eq!(status.traces_recorded, targets.len() as u64);
+
+        let traces = match client.traces(0).unwrap() {
+            Response::Traces { traces } => traces,
+            other => panic!("expected Traces, got {other:?}"),
+        };
+        assert_eq!(traces.len(), targets.len());
+
+        // Every request yields a complete five-stage tree under its own
+        // wire-assigned trace id.
+        for tree in &traces {
+            assert!((1000..1000 + targets.len() as u64).contains(&tree.trace_id));
+            let root = tree.find("kertd.request").expect("root span");
+            assert_eq!(root.parent, 0);
+            assert!(root.end_ns != 0, "root must be closed");
+            assert!(root
+                .labels
+                .iter()
+                .any(|(k, v)| k == "verb" && v == "posterior"));
+            let qw = tree.find("kertd.queue_wait").expect("queue-wait span");
+            assert_eq!(qw.parent, root.id);
+            assert!(qw.labels.iter().any(|(k, _)| k == "queue_depth"));
+            let gid = tree.find("kertd.coalesce.group").expect("group span");
+            assert_eq!(gid.parent, root.id);
+            let pid = tree.find("kertd.propagate").expect("propagate span");
+            assert_eq!(pid.parent, gid.id);
+            let ser = tree.find("kertd.serialize").expect("serialize span");
+            assert_eq!(ser.parent, root.id);
+            for span in &tree.spans {
+                assert!(span.end_ns >= span.start_ns, "no open or inverted spans");
+            }
+        }
+
+        // Coalesced followers link their propagate span to the leader's
+        // shared compute span, and that target really exists.
+        let followers: Vec<_> = traces
+            .iter()
+            .filter(|t| {
+                t.find("kertd.propagate").is_some_and(|p| {
+                    p.labels
+                        .iter()
+                        .any(|(k, v)| k == "shared_compute" && v == "true")
+                })
+            })
+            .collect();
+        assert!(
+            !followers.is_empty(),
+            "a 50ms window on one worker must coalesce something"
+        );
+        for follower in &followers {
+            let p = follower.find("kertd.propagate").unwrap();
+            let link = p
+                .links
+                .iter()
+                .find(|l| l.kind == "coalesced-into")
+                .expect("follower links to its leader");
+            let target = traces
+                .iter()
+                .find(|t| t.trace_id == link.trace_id)
+                .and_then(|t| t.spans.iter().find(|s| s.id == link.span_id))
+                .expect("link target is a recorded span");
+            assert_eq!(target.name, "kertd.propagate");
+        }
+
+        // The leader's propagate span captured the engine's own spans
+        // (obs Metrics mode is on), parented under it.
+        let leader = traces
+            .iter()
+            .find(|t| t.find("jt.marginal").is_some())
+            .expect("some leader captured engine propagation spans");
+        let jt = leader.find("jt.marginal").unwrap();
+        let pid = leader.find("kertd.propagate").unwrap();
+        assert_eq!(jt.parent, pid.id, "engine spans nest under propagate");
+
+        // The whole batch exports as valid Chrome trace JSON with one
+        // flow pair per coalesce link.
+        let json = kert_obs::chrome_trace_json(&traces);
+        let stats = kert_obs::check_chrome_trace(&json).expect("export must validate");
+        assert!(stats.complete >= 5 * traces.len());
+        assert_eq!(stats.flows, 2 * followers.len());
+
+        client.stop().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn trace_fetch_without_tracing_is_a_typed_error() {
+        let handle = start(ServeConfig::default());
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+
+        let status = match client.status().unwrap() {
+            Response::Status(s) => s,
+            other => panic!("expected Status, got {other:?}"),
+        };
+        assert!(!status.tracing);
+        assert_eq!(status.traces_recorded, 0);
+
+        match client.traces(10).unwrap() {
+            Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+
+        // Trace ids are still echoed even when nothing records them.
+        let (resp, echoed) = client
+            .request_traced(
+                &Request::Posterior {
+                    evidence: vec![(0, 0.05)],
+                    target: 3,
+                },
+                77,
+            )
+            .unwrap();
+        assert!(matches!(resp, Response::Posterior(_)));
+        assert_eq!(echoed, Some(77));
+
+        client.stop().unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn drill_produces_complete_trees_for_every_scripted_request() {
+        kert_obs::set_mode(kert_obs::ObsMode::Metrics);
+        let engine = SharedKert::new(discrete_model()).unwrap();
+        let cfg = crate::drill::DrillConfig {
+            seed: 7,
+            requests: 24,
+            max_batch: 6,
+            workers: 3,
+        };
+        let trees = crate::drill::run_trace_drill(&engine, &cfg);
+        assert_eq!(trees.len(), cfg.requests);
+        for (i, tree) in trees.iter().enumerate() {
+            assert_eq!(
+                tree.trace_id,
+                i as u64 + 1,
+                "trees come back in trace order"
+            );
+            let root = tree.find("kertd.request").expect("root span");
+            assert_eq!(root.parent, 0);
+            assert!(tree.find("kertd.queue_wait").is_some());
+            assert!(tree.find("kertd.coalesce.group").is_some());
+            assert!(tree.find("kertd.propagate").is_some());
+            assert!(tree.find("kertd.serialize").is_some());
+            for span in &tree.spans {
+                assert!(span.end_ns != 0, "drill closes every span");
+            }
+        }
+        // The scripted mix produces real coalescing: some follower links.
+        assert!(
+            trees.iter().any(|t| t
+                .find("kertd.propagate")
+                .is_some_and(|p| p.links.iter().any(|l| l.kind == "coalesced-into"))),
+            "scripted bursts must coalesce"
+        );
     }
 }

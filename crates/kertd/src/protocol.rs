@@ -14,6 +14,7 @@
 //! shedding (`Overloaded`) is an *answer*, not a dropped connection.
 
 use kert_core::{CoreError, DCompOutcome, PAccelOutcome, Posterior};
+use kert_obs::TraceTree;
 use serde::{Deserialize, Serialize};
 
 /// One client request.
@@ -27,6 +28,10 @@ pub enum Request {
     Metrics,
     /// Graceful shutdown: drain queued work, answer, then exit.
     Stop,
+    /// Fetch the most recent `limit` span trees from the flight
+    /// recorder (0 = everything held). Answered inline; errors with
+    /// `BadRequest` when the daemon runs without tracing.
+    Trace { limit: usize },
     /// Posterior of `target` given `evidence` (raw measurement values).
     Posterior {
         evidence: Vec<(usize, f64)>,
@@ -54,6 +59,7 @@ impl Request {
             Request::Status => "status",
             Request::Metrics => "metrics",
             Request::Stop => "stop",
+            Request::Trace { .. } => "trace",
             Request::Posterior { .. } => "posterior",
             Request::Dcomp { .. } => "dcomp",
             Request::Paccel { .. } => "paccel",
@@ -230,6 +236,10 @@ pub struct StatusInfo {
     pub uptime_ms: u64,
     /// True once a drain has been initiated.
     pub draining: bool,
+    /// True when the daemon records request traces.
+    pub tracing: bool,
+    /// Traces ever recorded (including ones the ring evicted).
+    pub traces_recorded: u64,
 }
 
 /// One daemon response.
@@ -251,6 +261,10 @@ pub enum Response {
     },
     Violation {
         probabilities: Vec<f64>,
+    },
+    /// Flight-recorder contents for [`Request::Trace`].
+    Traces {
+        traces: Vec<TraceTree>,
     },
     Error(WireError),
 }
@@ -311,6 +325,28 @@ mod tests {
         let err = Response::Error(WireError::new(ErrorKind::Overloaded, "queue full (cap 4)"));
         let back: Response = decode(&encode(&err).unwrap()).unwrap();
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn trace_verbs_round_trip() {
+        let req = Request::Trace { limit: 128 };
+        assert_eq!(req.verb(), "trace");
+        assert!(!req.is_query(), "trace is a control verb");
+        let back: Request = decode(&encode(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let mut ctx = kert_obs::TraceContext::with_virtual_clock(7, 3);
+        let root = ctx.open("kertd.request");
+        ctx.label(root, "verb", "posterior");
+        let p = ctx.open("kertd.propagate");
+        ctx.link(p, 6, 3, "coalesced-into");
+        ctx.close(p);
+        ctx.close(root);
+        let resp = Response::Traces {
+            traces: vec![ctx.finish()],
+        };
+        let back: Response = decode(&encode(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

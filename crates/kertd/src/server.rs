@@ -45,9 +45,10 @@ use std::time::{Duration, Instant};
 use kert_bayes::compile::configured_workers;
 use kert_core::serve::SharedKert;
 use kert_core::Result as CoreResult;
-use kert_obs::{set_gauge, Counter, Histogram};
+use kert_obs::trace::{self, DEFAULT_FLIGHT_CAP};
+use kert_obs::{set_gauge, Counter, FlightRecorder, Histogram, TraceContext};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_traced, write_frame_traced};
 use crate::protocol::{
     decode, encode, ErrorKind, Request, Response, StatusInfo, WireDcomp, WireError, WirePaccel,
     WirePosterior,
@@ -109,6 +110,12 @@ pub struct ServeConfig {
     pub coalesce_window: Duration,
     /// Ceiling on requests folded into one micro-batch.
     pub max_batch: usize,
+    /// Record a causal span tree per query into the flight recorder
+    /// (accept → queue-wait → coalesce-group → propagate → serialize),
+    /// fetchable with [`Request::Trace`].
+    pub trace: bool,
+    /// Flight-recorder capacity in complete traces (0 = default).
+    pub trace_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +126,8 @@ impl Default for ServeConfig {
             queue_cap: 256,
             coalesce_window: Duration::from_micros(500),
             max_batch: 64,
+            trace: false,
+            trace_cap: DEFAULT_FLIGHT_CAP,
         }
     }
 }
@@ -126,8 +135,41 @@ impl Default for ServeConfig {
 /// One admitted query waiting for a worker.
 struct Job {
     request: Request,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<Reply>,
     enqueued: Instant,
+    /// This request's trace, when the daemon runs with tracing on. The
+    /// context rides the job through the queue and the worker, then
+    /// returns to the connection thread inside the [`Reply`].
+    trace: Option<TraceContext>,
+    /// The open `kertd.queue_wait` span id (0 when untraced); closed by
+    /// the worker that checks the job out.
+    queue_span: u64,
+}
+
+/// A worker's answer, carrying the request's trace context back to the
+/// connection thread so the serialize span lands in the same tree.
+struct Reply {
+    response: Response,
+    trace: Option<TraceContext>,
+}
+
+impl Job {
+    /// Close the queue-wait span the moment a worker checks the job out.
+    fn close_queue_span(&mut self) {
+        if let Some(ctx) = self.trace.as_mut() {
+            ctx.close(self.queue_span);
+            self.queue_span = 0;
+        }
+    }
+}
+
+/// Open the per-request root span — the *accept* scope covering the
+/// request's whole daemon-side life. Shared by the live connection path
+/// and the deterministic drill so both produce identical tree shapes.
+pub(crate) fn open_request_root(ctx: &mut TraceContext, verb: &str) -> u64 {
+    let root = ctx.open("kertd.request");
+    ctx.label(root, "verb", verb);
+    root
 }
 
 /// Mutex-guarded queue state; `inflight` counts jobs checked out by
@@ -181,6 +223,13 @@ struct Shared {
     stats: Stats,
     cfg: ServeConfig,
     local_addr: SocketAddr,
+    /// Completed span trees, present iff `cfg.trace`.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Daemon-assigned trace ids for requests that did not bring one.
+    trace_seq: AtomicU64,
+    /// Nanosecond stamp (since `started`) of the last admission, for
+    /// the inter-arrival-gap label on queue-wait spans.
+    last_admit_ns: AtomicU64,
 }
 
 impl Shared {
@@ -189,7 +238,8 @@ impl Shared {
     fn submit(
         &self,
         request: Request,
-    ) -> std::result::Result<mpsc::Receiver<Response>, Box<Response>> {
+        mut trace_ctx: Option<TraceContext>,
+    ) -> std::result::Result<mpsc::Receiver<Reply>, Box<Response>> {
         let mut q = self.q.lock().expect("queue poisoned");
         if !q.open {
             self.stats
@@ -209,11 +259,33 @@ impl Shared {
                 format!("admission queue full (cap {})", self.cfg.queue_cap),
             ))));
         }
+        // Open the queue-wait span at admission, annotated with the
+        // operational state the self-model learns from: queue depth,
+        // in-flight work, worker-busy fraction, inter-arrival gap.
+        let mut queue_span = 0;
+        if let Some(ctx) = trace_ctx.as_mut() {
+            let now_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let prev_ns = self.last_admit_ns.swap(now_ns, Ordering::Relaxed);
+            queue_span = ctx.open("kertd.queue_wait");
+            ctx.label(queue_span, "queue_depth", &q.jobs.len().to_string());
+            ctx.label(queue_span, "inflight", &q.inflight.to_string());
+            let busy = q.inflight as f64 / self.cfg.workers.max(1) as f64;
+            ctx.label(queue_span, "busy_fraction", &format!("{busy:.3}"));
+            if prev_ns > 0 {
+                ctx.label(
+                    queue_span,
+                    "gap_ns",
+                    &now_ns.saturating_sub(prev_ns).to_string(),
+                );
+            }
+        }
         let (tx, rx) = mpsc::channel();
         q.jobs.push_back(Job {
             request,
             reply: tx,
             enqueued: Instant::now(),
+            trace: trace_ctx,
+            queue_span,
         });
         set_gauge("kertd.queue_depth", q.jobs.len() as f64);
         self.cv.notify_all();
@@ -268,6 +340,12 @@ impl Shared {
             coalesced_requests: self.stats.coalesced_requests.load(Ordering::Relaxed),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             draining: !open,
+            tracing: self.recorder.is_some(),
+            traces_recorded: self
+                .recorder
+                .as_ref()
+                .map(|r| r.total_recorded())
+                .unwrap_or(0),
         }
     }
 }
@@ -275,7 +353,7 @@ impl Shared {
 /// Requests fold into one micro-batch iff they share this key: same
 /// verb, same evidence, byte-for-byte. Serialization is deterministic
 /// (same struct, same field order), so equal evidence ⇒ equal key.
-fn coalesce_key(request: &Request) -> String {
+pub(crate) fn coalesce_key(request: &Request) -> String {
     match request {
         Request::Posterior { evidence, .. } => {
             format!(
@@ -372,6 +450,13 @@ pub fn serve(engine: SharedKert, mut config: ServeConfig) -> io::Result<ServerHa
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
 
+    let recorder = config.trace.then(|| {
+        Arc::new(FlightRecorder::new(if config.trace_cap == 0 {
+            DEFAULT_FLIGHT_CAP
+        } else {
+            config.trace_cap
+        }))
+    });
     let shared = Arc::new(Shared {
         engine,
         q: Mutex::new(QueueState {
@@ -386,6 +471,9 @@ pub fn serve(engine: SharedKert, mut config: ServeConfig) -> io::Result<ServerHa
         stats: Stats::default(),
         cfg: config.clone(),
         local_addr,
+        recorder,
+        trace_seq: AtomicU64::new(1),
+        last_admit_ns: AtomicU64::new(0),
     });
 
     let workers = (0..config.workers)
@@ -438,44 +526,74 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
 
 fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
+        let (payload, wire_trace) = match read_frame_traced(&mut stream) {
+            Ok(Some(x)) => x,
             // Clean close or torn stream: either way the conversation
             // is over.
             Ok(None) | Err(_) => return,
         };
-        let response = match decode::<Request>(&payload) {
-            Err(msg) => Response::Error(WireError::new(
-                ErrorKind::Malformed,
-                format!("unparseable request: {msg}"),
-            )),
-            Ok(request) => {
-                let _span = kert_obs::span("kertd.request");
-                request_counter(request.verb()).incr();
-                if request.is_query() {
-                    match shared.submit(request) {
-                        // Admitted: the worker's send cannot outlive
-                        // this recv because we hold the receiver.
-                        Ok(rx) => match rx.recv() {
-                            Ok(resp) => resp,
-                            Err(_) => Response::Error(WireError::new(
-                                ErrorKind::Internal,
-                                "worker dropped the reply channel",
-                            )),
-                        },
-                        Err(shed) => *shed,
+        let (response, mut trace_ctx): (Response, Option<TraceContext>) =
+            match decode::<Request>(&payload) {
+                Err(msg) => (
+                    Response::Error(WireError::new(
+                        ErrorKind::Malformed,
+                        format!("unparseable request: {msg}"),
+                    )),
+                    None,
+                ),
+                Ok(request) => {
+                    let _span = kert_obs::span("kertd.request");
+                    request_counter(request.verb()).incr();
+                    if request.is_query() {
+                        // Root span opens at accept; the context rides
+                        // the job through queue and worker, then comes
+                        // back with the reply for the serialize span.
+                        let ctx = shared.recorder.is_some().then(|| {
+                            let tid = wire_trace.unwrap_or_else(|| {
+                                shared.trace_seq.fetch_add(1, Ordering::Relaxed)
+                            });
+                            let mut ctx = TraceContext::new(tid);
+                            open_request_root(&mut ctx, request.verb());
+                            ctx
+                        });
+                        match shared.submit(request, ctx) {
+                            // Admitted: the worker's send cannot outlive
+                            // this recv because we hold the receiver.
+                            Ok(rx) => match rx.recv() {
+                                Ok(reply) => (reply.response, reply.trace),
+                                Err(_) => (
+                                    Response::Error(WireError::new(
+                                        ErrorKind::Internal,
+                                        "worker dropped the reply channel",
+                                    )),
+                                    None,
+                                ),
+                            },
+                            Err(shed) => (*shed, None),
+                        }
+                    } else {
+                        (handle_control(&request, shared), None)
                     }
-                } else {
-                    handle_control(&request, shared)
                 }
-            }
-        };
+            };
         let stopping = matches!(response, Response::Stopping);
+        let ser_span = trace_ctx
+            .as_mut()
+            .map(|c| c.open("kertd.serialize"))
+            .unwrap_or(0);
         let bytes = encode(&response).ok();
         let write_ok = match &bytes {
-            Some(b) => write_frame(&mut stream, b).is_ok(),
+            // Echo the client's trace id so it can correlate this reply
+            // with the span tree it fetches later.
+            Some(b) => write_frame_traced(&mut stream, b, wire_trace).is_ok(),
             None => false,
         };
+        if let Some(mut ctx) = trace_ctx {
+            ctx.close(ser_span);
+            if let Some(recorder) = &shared.recorder {
+                recorder.record(ctx.finish());
+            }
+        }
         if stopping {
             // Written (or failed) either way: release wait().
             let mut q = shared.q.lock().expect("queue poisoned");
@@ -496,6 +614,15 @@ fn handle_control(request: &Request, shared: &Arc<Shared>) -> Response {
         Request::Status => Response::Status(shared.status()),
         Request::Metrics => Response::Metrics {
             prometheus: kert_obs::prometheus_snapshot(),
+        },
+        Request::Trace { limit } => match &shared.recorder {
+            Some(recorder) => Response::Traces {
+                traces: recorder.snapshot(*limit),
+            },
+            None => Response::Error(WireError::new(
+                ErrorKind::BadRequest,
+                "tracing is not enabled on this daemon (start it with tracing on)",
+            )),
         },
         Request::Stop => {
             // Drain, then acknowledge: by the time the client sees
@@ -549,7 +676,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// inflight unit: it is answered by one session checkout.
 fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
     let mut q = shared.q.lock().expect("queue poisoned");
-    let first = loop {
+    let mut first = loop {
         if let Some(job) = q.jobs.pop_front() {
             break job;
         }
@@ -560,6 +687,7 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
     };
     q.inflight += 1;
     LAT_QUEUE_WAIT.record(first.enqueued.elapsed().as_nanos() as u64);
+    first.close_queue_span();
 
     let key = coalesce_key(&first.request);
     let mut group = vec![first];
@@ -568,7 +696,11 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
         loop {
             while group.len() < shared.cfg.max_batch {
                 match q.jobs.iter().position(|j| coalesce_key(&j.request) == key) {
-                    Some(i) => group.push(q.jobs.remove(i).expect("index in range")),
+                    Some(i) => {
+                        let mut job = q.jobs.remove(i).expect("index in range");
+                        job.close_queue_span();
+                        group.push(job);
+                    }
                     None => break,
                 }
             }
@@ -596,23 +728,84 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
 /// bad target), fall back to answering each job individually so a bad
 /// neighbor cannot poison the batch. Both paths produce bitwise
 /// identical answers for the requests that succeed.
-fn process_group(shared: &Arc<Shared>, group: Vec<Job>) {
+fn process_group(shared: &Arc<Shared>, mut group: Vec<Job>) {
     let verb = group[0].request.verb();
-    let responses = match answer_group(shared, &group) {
-        Ok(r) => r,
-        Err(_) => group
-            .iter()
-            .map(|job| answer_one(&shared.engine, &job.request))
-            .collect(),
-    };
+    let mut traces: Vec<Option<TraceContext>> = group.iter_mut().map(|j| j.trace.take()).collect();
+    let requests: Vec<&Request> = group.iter().map(|j| &j.request).collect();
+    let responses = compute_group(&shared.engine, &requests, &mut traces);
+    drop(requests);
     let hist = latency_histogram(verb);
     let served = shared.stats.served(verb);
-    for (job, response) in group.into_iter().zip(responses) {
+    for ((job, response), trace_ctx) in group.into_iter().zip(responses).zip(traces) {
         served.fetch_add(1, Ordering::Relaxed);
         hist.record(job.enqueued.elapsed().as_nanos() as u64);
         // The client may have vanished; nothing to do about it.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(Reply {
+            response,
+            trace: trace_ctx,
+        });
     }
+}
+
+/// Answer one coalesce group and thread the trace spans through every
+/// member's context: each request gets its own `kertd.coalesce.group` →
+/// `kertd.propagate` pair, the first traced member (the *leader*) is
+/// installed as the capturing context — so engine spans (`jt.marginal`,
+/// `serve.evidence`, …) nest under its propagate span — and every other
+/// member's propagate span links to the leader's shared compute span.
+///
+/// Shared by the live worker path and the deterministic drill: the span
+/// structure a drill gates is exactly the structure live traffic gets.
+pub(crate) fn compute_group(
+    engine: &SharedKert,
+    requests: &[&Request],
+    traces: &mut [Option<TraceContext>],
+) -> Vec<Response> {
+    debug_assert_eq!(requests.len(), traces.len());
+    let group_size = requests.len();
+    // (group span, propagate span) per member; (0, 0) when untraced.
+    let mut span_ids: Vec<(u64, u64)> = Vec::with_capacity(traces.len());
+    let mut leader: Option<(usize, u64, u64)> = None; // (slot, trace_id, propagate span)
+    for slot in traces.iter_mut() {
+        match slot {
+            Some(ctx) => {
+                let gid = ctx.open("kertd.coalesce.group");
+                ctx.label(gid, "group_size", &group_size.to_string());
+                let pid = ctx.open("kertd.propagate");
+                match leader {
+                    None => leader = Some((span_ids.len(), ctx.trace_id(), pid)),
+                    Some((_, leader_trace, leader_pid)) => {
+                        // This request's answer came out of the
+                        // leader's propagation — make that causally
+                        // explicit instead of charging it compute.
+                        ctx.label(pid, "shared_compute", "true");
+                        ctx.link(pid, leader_trace, leader_pid, "coalesced-into");
+                    }
+                }
+                span_ids.push((gid, pid));
+            }
+            None => span_ids.push((0, 0)),
+        }
+    }
+    if let Some((slot, _, _)) = leader {
+        let ctx = traces[slot].take().expect("leader slot was Some");
+        let displaced = trace::install(ctx);
+        debug_assert!(displaced.is_none(), "workers never nest captures");
+    }
+    let responses = match answer_group(engine, requests) {
+        Ok(r) => r,
+        Err(_) => requests.iter().map(|r| answer_one(engine, r)).collect(),
+    };
+    if let Some((slot, _, _)) = leader {
+        traces[slot] = trace::take();
+    }
+    for (slot, &(gid, pid)) in traces.iter_mut().zip(&span_ids) {
+        if let Some(ctx) = slot {
+            ctx.close(pid);
+            ctx.close(gid);
+        }
+    }
+    responses
 }
 
 /// Collapse duplicate work items inside a coalesced group: the unique
@@ -646,13 +839,13 @@ fn dedup_work<T: Clone, K: PartialEq>(items: &[T], key: impl Fn(&T) -> K) -> (Ve
 /// Grouped processing: one session checkout, shared evidence entered
 /// once, duplicated work items computed once. All jobs in a group share
 /// a coalesce key by construction.
-fn answer_group(shared: &Arc<Shared>, group: &[Job]) -> CoreResult<Vec<Response>> {
-    let mut session = shared.engine.session();
-    match &group[0].request {
+fn answer_group(engine: &SharedKert, group: &[&Request]) -> CoreResult<Vec<Response>> {
+    let mut session = engine.session();
+    match group[0] {
         Request::Posterior { evidence, .. } => {
             let targets: Vec<usize> = group
                 .iter()
-                .map(|j| match &j.request {
+                .map(|r| match r {
                     Request::Posterior { target, .. } => *target,
                     _ => unreachable!("mixed verbs in a coalesce group"),
                 })
@@ -668,7 +861,7 @@ fn answer_group(shared: &Arc<Shared>, group: &[Job]) -> CoreResult<Vec<Response>
         Request::Dcomp { observed, .. } => {
             let per_job: Vec<Vec<usize>> = group
                 .iter()
-                .map(|j| match &j.request {
+                .map(|r| match r {
                     Request::Dcomp { targets, .. } => targets.clone(),
                     _ => unreachable!("mixed verbs in a coalesce group"),
                 })
@@ -692,7 +885,7 @@ fn answer_group(shared: &Arc<Shared>, group: &[Job]) -> CoreResult<Vec<Response>
         Request::Paccel { .. } => {
             let per_job: Vec<Vec<(usize, f64)>> = group
                 .iter()
-                .map(|j| match &j.request {
+                .map(|r| match r {
                     Request::Paccel { candidates } => candidates.clone(),
                     _ => unreachable!("mixed verbs in a coalesce group"),
                 })
@@ -716,7 +909,7 @@ fn answer_group(shared: &Arc<Shared>, group: &[Job]) -> CoreResult<Vec<Response>
         Request::Violation { evidence, .. } => {
             let per_job: Vec<Vec<f64>> = group
                 .iter()
-                .map(|j| match &j.request {
+                .map(|r| match r {
                     Request::Violation { thresholds, .. } => thresholds.clone(),
                     _ => unreachable!("mixed verbs in a coalesce group"),
                 })

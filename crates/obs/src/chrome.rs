@@ -1,0 +1,261 @@
+//! Chrome trace-event JSON export for [`crate::trace::TraceTree`]s.
+//!
+//! The [trace-event format] is the lingua franca of timeline viewers:
+//! `chrome://tracing`, Perfetto, and Speedscope all load it. Each span
+//! becomes one complete (`"ph":"X"`) event with the trace id as its
+//! `tid`, so every request renders as its own track; cross-trace causal
+//! links (a coalesced request pointing at its shared compute span)
+//! become flow-event pairs (`"s"`/`"f"`) drawn as arrows between tracks.
+//!
+//! [`check_chrome_trace`] is the matching minimal validator — the same
+//! role [`crate::parse_prometheus`] plays for the metrics exposition —
+//! used by `kertctl trace --chrome` and the CI trace-smoke job to gate
+//! that exported files are actually loadable.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::Value;
+
+use crate::trace::TraceTree;
+
+/// Microseconds: the trace-event format's native time unit. Stamps are
+/// stored in ns (or virtual ticks); a fixed ÷1000 keeps ordering.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn str_entry(k: &str, v: &str) -> (String, Value) {
+    (k.to_string(), Value::Str(v.to_string()))
+}
+
+fn num_entry(k: &str, v: f64) -> (String, Value) {
+    (k.to_string(), Value::Num(v))
+}
+
+/// Render `traces` as one Chrome trace-event JSON document (an object
+/// with a `traceEvents` array — the envelope both `chrome://tracing`
+/// and Perfetto accept).
+pub fn chrome_trace_json(traces: &[TraceTree]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for tree in traces {
+        for s in &tree.spans {
+            let mut args = vec![
+                num_entry("span_id", s.id as f64),
+                num_entry("parent_id", s.parent as f64),
+            ];
+            for (k, v) in &s.labels {
+                args.push(str_entry(k, v));
+            }
+            events.push(Value::Map(vec![
+                str_entry("name", &s.name),
+                str_entry("cat", "kert"),
+                str_entry("ph", "X"),
+                num_entry("ts", us(s.start_ns)),
+                num_entry("dur", us(s.end_ns.saturating_sub(s.start_ns))),
+                num_entry("pid", 1.0),
+                num_entry("tid", tree.trace_id as f64),
+                ("args".to_string(), Value::Map(args)),
+            ]));
+        }
+    }
+    // Flow arrows for cross-trace links whose target is in this export.
+    let mut flow_id = 1u64;
+    for tree in traces {
+        for s in &tree.spans {
+            for l in &s.links {
+                let Some(target) = traces
+                    .iter()
+                    .find(|t| t.trace_id == l.trace_id)
+                    .and_then(|t| t.spans.iter().find(|ts| ts.id == l.span_id))
+                else {
+                    continue;
+                };
+                events.push(Value::Map(vec![
+                    str_entry("name", &l.kind),
+                    str_entry("cat", "kert.flow"),
+                    str_entry("ph", "s"),
+                    num_entry("id", flow_id as f64),
+                    num_entry("ts", us(target.start_ns)),
+                    num_entry("pid", 1.0),
+                    num_entry("tid", l.trace_id as f64),
+                ]));
+                events.push(Value::Map(vec![
+                    str_entry("name", &l.kind),
+                    str_entry("cat", "kert.flow"),
+                    str_entry("ph", "f"),
+                    str_entry("bp", "e"),
+                    num_entry("id", flow_id as f64),
+                    num_entry("ts", us(s.start_ns)),
+                    num_entry("pid", 1.0),
+                    num_entry("tid", tree.trace_id as f64),
+                ]));
+                flow_id += 1;
+            }
+        }
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        str_entry("displayTimeUnit", "ms"),
+    ]);
+    serde_json::to_string(&doc).expect("a value tree always serializes")
+}
+
+/// What [`check_chrome_trace`] counted in a valid document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Total trace events.
+    pub events: usize,
+    /// Complete (`"ph":"X"`) span events.
+    pub complete: usize,
+    /// Flow (`"s"`/`"t"`/`"f"`) events.
+    pub flows: usize,
+}
+
+fn field<'v>(event: &'v Value, key: &str, index: usize) -> Result<&'v Value, String> {
+    event
+        .get(key)
+        .ok_or_else(|| format!("event {index}: missing required field {key:?}"))
+}
+
+fn num_field(event: &Value, key: &str, index: usize) -> Result<f64, String> {
+    match field(event, key, index)? {
+        Value::Num(n) if n.is_finite() => Ok(*n),
+        other => Err(format!(
+            "event {index}: field {key:?} must be a finite number, got {other:?}"
+        )),
+    }
+}
+
+/// Minimal Chrome trace-event validator: accepts a bare event array or
+/// the `{"traceEvents": […]}` envelope; every event needs `name`, a
+/// known `ph`, finite non-negative `ts`, and `pid`/`tid`; complete
+/// events need a non-negative `dur`, flow events an `id`. Returns
+/// per-phase counts on success.
+pub fn check_chrome_trace(text: &str) -> Result<ChromeStats, String> {
+    let doc = serde_json::value_from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        Value::Seq(events) => events,
+        Value::Map(_) => match doc.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            Some(other) => {
+                return Err(format!("traceEvents must be an array, got {other:?}"));
+            }
+            None => return Err("top-level object has no traceEvents array".into()),
+        },
+        other => {
+            return Err(format!(
+                "expected an event array or {{\"traceEvents\": […]}}, got {other:?}"
+            ))
+        }
+    };
+    let mut stats = ChromeStats {
+        events: 0,
+        complete: 0,
+        flows: 0,
+    };
+    for (i, event) in events.iter().enumerate() {
+        if !matches!(event, Value::Map(_)) {
+            return Err(format!("event {i}: not a JSON object"));
+        }
+        match field(event, "name", i)? {
+            Value::Str(name) if !name.is_empty() => {}
+            other => return Err(format!("event {i}: bad name {other:?}")),
+        }
+        let ph = match field(event, "ph", i)? {
+            Value::Str(ph) => ph.as_str(),
+            other => return Err(format!("event {i}: ph must be a string, got {other:?}")),
+        };
+        if !matches!(
+            ph,
+            "X" | "B" | "E" | "i" | "I" | "s" | "t" | "f" | "C" | "b" | "e" | "n" | "M"
+        ) {
+            return Err(format!("event {i}: unknown phase {ph:?}"));
+        }
+        let ts = num_field(event, "ts", i)?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        num_field(event, "pid", i)?;
+        num_field(event, "tid", i)?;
+        match ph {
+            "X" => {
+                let dur = num_field(event, "dur", i)?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+                stats.complete += 1;
+            }
+            "s" | "t" | "f" => {
+                field(event, "id", i)?;
+                stats.flows += 1;
+            }
+            _ => {}
+        }
+        stats.events += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceContext;
+
+    fn linked_pair() -> Vec<TraceTree> {
+        let mut leader = TraceContext::with_virtual_clock(1, 9);
+        let root = leader.open("kertd.request");
+        let compute = leader.open("kertd.propagate");
+        leader.close(compute);
+        leader.close(root);
+        let leader = leader.finish();
+
+        let mut follower = TraceContext::with_virtual_clock(2, 9);
+        let root = follower.open("kertd.request");
+        let shadow = follower.open("kertd.propagate");
+        follower.link(shadow, 1, compute, "coalesced-into");
+        follower.close(shadow);
+        follower.close(root);
+        vec![leader, follower.finish()]
+    }
+
+    #[test]
+    fn export_validates_and_counts_flows() {
+        let traces = linked_pair();
+        let json = chrome_trace_json(&traces);
+        let stats = check_chrome_trace(&json).expect("own export must validate");
+        assert_eq!(stats.complete, 4, "two spans per trace");
+        assert_eq!(stats.flows, 2, "one s/f pair for the coalesce link");
+        assert_eq!(stats.events, 6);
+    }
+
+    #[test]
+    fn links_to_absent_traces_are_skipped_not_broken() {
+        let mut ctx = TraceContext::with_virtual_clock(5, 1);
+        let s = ctx.open("kertd.propagate");
+        ctx.link(s, 999, 1, "coalesced-into");
+        ctx.close(s);
+        let json = chrome_trace_json(&[ctx.finish()]);
+        let stats = check_chrome_trace(&json).unwrap();
+        assert_eq!((stats.complete, stats.flows), (1, 0));
+    }
+
+    #[test]
+    fn checker_accepts_bare_arrays_and_rejects_malformed_events() {
+        assert!(check_chrome_trace(r#"[]"#).is_ok());
+        assert!(
+            check_chrome_trace(r#"[{"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]"#).is_ok()
+        );
+        // Not JSON at all.
+        assert!(check_chrome_trace("nope").is_err());
+        // Wrong envelope.
+        assert!(check_chrome_trace(r#"{"events":[]}"#).is_err());
+        // Missing dur on a complete event.
+        assert!(check_chrome_trace(r#"[{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]"#).is_err());
+        // Unknown phase.
+        assert!(check_chrome_trace(r#"[{"name":"a","ph":"Z","ts":0,"pid":1,"tid":1}]"#).is_err());
+        // Flow without an id.
+        assert!(check_chrome_trace(r#"[{"name":"a","ph":"s","ts":0,"pid":1,"tid":1}]"#).is_err());
+        // Negative timestamp.
+        assert!(check_chrome_trace(r#"[{"name":"a","ph":"i","ts":-4,"pid":1,"tid":1}]"#).is_err());
+    }
+}

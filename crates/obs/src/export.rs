@@ -228,6 +228,29 @@ fn validate_sample_name(name: &str) -> Result<(), String> {
             if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
                 return Err(format!("label value {v:?} is not quoted"));
             }
+            validate_label_value(&v[1..v.len() - 1])
+                .map_err(|e| format!("label value {v:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate the escaping inside a quoted label value: only `\\`, `\"`,
+/// and `\n` escapes are legal, and raw quotes/newlines must not appear
+/// unescaped (they would have broken the quoting that
+/// [`crate::set_gauge_labeled`] produces).
+fn validate_label_value(inner: &str) -> Result<(), String> {
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('\\') | Some('"') | Some('n') => {}
+                Some(other) => return Err(format!("unknown escape \\{other}")),
+                None => return Err("dangling backslash".into()),
+            },
+            '"' => return Err("unescaped quote".into()),
+            '\n' => return Err("unescaped newline".into()),
+            _ => {}
         }
     }
     Ok(())
@@ -267,5 +290,34 @@ mod tests {
         assert!(parse_prometheus("bad-name 1\n").is_err());
         assert!(parse_prometheus("name{k=unquoted} 1\n").is_err());
         assert!(parse_prometheus("ok_name 1\n# comment\n\n").is_ok());
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_and_parse_back() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_mode(ObsMode::Metrics);
+        crate::set_gauge_labeled("test.export.escapes", &[("path", "a\\b\"c\nd")], 1.0);
+        let text = prometheus_snapshot();
+        let samples = parse_prometheus(&text).expect("escaped snapshot must parse");
+        let sample = samples
+            .iter()
+            .find(|(n, _)| n.starts_with("test_export_escapes{"))
+            .expect("labeled gauge exported");
+        // Backslash, quote, and newline survive as exposition escapes
+        // instead of being flattened to `_`.
+        assert_eq!(sample.0, "test_export_escapes{path=\"a\\\\b\\\"c\\nd\"}");
+        crate::set_mode(ObsMode::Disabled);
+    }
+
+    #[test]
+    fn parser_rejects_unescaped_label_values() {
+        // Raw quote inside the quoted value.
+        assert!(parse_prometheus("g{k=\"a\"b\"} 1\n").is_err());
+        // Unknown escape sequence.
+        assert!(parse_prometheus("g{k=\"a\\qb\"} 1\n").is_err());
+        // Dangling backslash.
+        assert!(parse_prometheus("g{k=\"a\\\"} 1\n").is_err());
+        // Properly escaped forms pass.
+        assert!(parse_prometheus("g{k=\"a\\\\b\\\"c\\nd\"} 1\n").is_ok());
     }
 }

@@ -15,6 +15,10 @@
 //! * **Spans** — monotonic-clock timings with parent/child nesting via a
 //!   thread-local stack; every closed span records into the histogram named
 //!   after it and, in JSONL mode, emits a [`TelemetryEvent`].
+//! * **Traces** — per-request causal span trees ([`trace::TraceContext`])
+//!   that move across threads, capture library spans while installed, and
+//!   land in a bounded [`trace::FlightRecorder`]; exportable as Chrome
+//!   trace-event JSON ([`chrome_trace_json`]) or JSONL events.
 //!
 //! ## Cost model
 //!
@@ -47,17 +51,21 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod chrome;
 pub mod event;
 pub mod export;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
+pub use chrome::{check_chrome_trace, chrome_trace_json, ChromeStats};
 pub use event::{event, event_with, EventKind, TelemetryEvent};
 pub use export::{flush, parse_prometheus, prometheus_snapshot, set_sink_path, set_sink_stderr};
 pub use registry::{set_gauge, set_gauge_labeled, Counter, Gauge, Histogram};
 pub use snapshot::{reset, snapshot, HistogramSnapshot, TelemetrySnapshot};
 pub use span::{span, Span};
+pub use trace::{trace_events, FlightRecorder, SpanLink, SpanRecord, TraceContext, TraceTree};
 
 /// How much telemetry the process records (see the crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -233,10 +233,13 @@ pub fn set_gauge_labeled(base: &str, labels: &[(&str, &str)], value: f64) {
         }
         name.push_str(&crate::export::sanitize_metric_name(k));
         name.push_str("=\"");
-        // Label values must not break the exposition-format quoting.
+        // Escape per the exposition format (backslash, quote, newline)
+        // so the value round-trips instead of being mangled.
         for c in v.chars() {
             match c {
-                '"' | '\\' | '\n' => name.push('_'),
+                '\\' => name.push_str("\\\\"),
+                '"' => name.push_str("\\\""),
+                '\n' => name.push_str("\\n"),
                 c => name.push(c),
             }
         }

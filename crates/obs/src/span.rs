@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use crate::event::{EventKind, TelemetryEvent};
 use crate::registry;
+use crate::trace;
 
 /// Process-wide span id allocator; 0 means "no span".
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -38,6 +39,9 @@ pub struct Span {
     name: &'static str,
     id: u64,
     parent: u64,
+    /// Mirror span in this thread's installed [`trace::TraceContext`]
+    /// (0 when no context is capturing).
+    trace_span: u64,
     start: Option<Instant>,
 }
 
@@ -49,16 +53,21 @@ pub fn span(name: &'static str) -> Span {
             name,
             id: 0,
             parent: 0,
+            trace_span: 0,
             start: None,
         };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = CURRENT_SPAN.replace(id);
+    // One clock read serves both the histogram timing and the captured
+    // mirror span's start stamp.
+    let now = Instant::now();
     Span {
         name,
         id,
         parent,
-        start: Some(Instant::now()),
+        trace_span: trace::capture_open(name, now),
+        start: Some(now),
     }
 }
 
@@ -71,9 +80,22 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else { return };
-        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Restore the thread's parent pointer (and close the captured
+        // trace span) *first*: this drop also runs while unwinding from
+        // a panic in the spanned scope, and the recording work below
+        // touches the registry mutex — were it to panic, an un-popped
+        // stack would attach every later span on this thread to a dead
+        // parent. Popping is infallible; do it before anything that
+        // is not.
+        if self.id == 0 {
+            return;
+        }
         CURRENT_SPAN.set(self.parent);
+        let now = Instant::now();
+        trace::capture_close(self.trace_span, now);
+        let Some(start) = self.start else { return };
+        let elapsed_ns =
+            u64::try_from(now.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX);
         registry::histogram_handle(self.name).record(elapsed_ns);
         if crate::jsonl_enabled() {
             crate::event::emit(TelemetryEvent {
@@ -114,6 +136,52 @@ mod tests {
         }
         assert_eq!(current_span_id(), 0);
         assert_eq!(H.count(), before + 1);
+        crate::set_mode(ObsMode::Disabled);
+    }
+
+    /// Regression gate for the parent-stack leak: a panic inside a
+    /// spanned scope unwinds through the guard's `Drop`, which must
+    /// restore the parent pointer (and pop any captured trace span)
+    /// before doing fallible recording work — otherwise every span
+    /// opened on this thread afterwards would parent onto a dead id.
+    #[test]
+    fn panicking_scope_still_pops_the_parent_stack() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::set_mode(ObsMode::Metrics);
+        let outer = span("test.span.unwind_outer");
+        let outer_id = outer.id();
+
+        let result = std::panic::catch_unwind(|| {
+            let _inner = span("test.span.unwind_inner");
+            panic!("boom inside a spanned scope");
+        });
+        assert!(result.is_err(), "the scope must actually have panicked");
+        assert_eq!(
+            current_span_id(),
+            outer_id,
+            "unwinding must pop the inner span and restore its parent"
+        );
+
+        // Same contract for the captured-trace stack: the mirror span
+        // opened in an installed TraceContext must be closed on unwind.
+        crate::trace::install(crate::trace::TraceContext::with_virtual_clock(1, 1));
+        let result = std::panic::catch_unwind(|| {
+            let _inner = span("test.span.unwind_traced");
+            panic!("boom under capture");
+        });
+        assert!(result.is_err());
+        let ctx = crate::trace::take().expect("context survives the panic");
+        let tree = ctx.finish();
+        let captured = tree
+            .find("test.span.unwind_traced")
+            .expect("the mirror span was captured");
+        assert_ne!(
+            captured.end_ns, 0,
+            "unwinding must close the captured trace span"
+        );
+
+        drop(outer);
+        assert_eq!(current_span_id(), 0);
         crate::set_mode(ObsMode::Disabled);
     }
 

@@ -55,6 +55,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "status" => cmd_status(rest),
         "stop" => cmd_stop(rest),
+        "trace" => cmd_trace(rest),
+        "slo" => cmd_slo(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -90,11 +92,16 @@ USAGE:
   kertctl fleet status --report report.json [--require-warm]
   kertctl serve --model model.json [--addr HOST:PORT] [--workers N]
           [--queue-cap Q] [--coalesce-us U] [--max-batch B] [--port-file F]
+          [--trace] [--trace-cap T]
   kertctl query --addr HOST:PORT (--target NODE | --dcomp N,N,... |
           --paccel SVC=ELAPSED... | --threshold H...) [--given NODE=VALUE]...
-          [--concurrency C] [--repeat K]
+          [--concurrency C] [--repeat K] [--trace]
   kertctl status --addr HOST:PORT [--prom snapshot.prom]
   kertctl stop --addr HOST:PORT
+  kertctl trace --addr HOST:PORT [--limit N] [--min N]
+          [--chrome trace.json] [--jsonl spans.jsonl]
+  kertctl slo --addr HOST:PORT --target SECONDS [--limit N]
+          [--min-rows R] [--window W]
 
 Raw measurement values are used in --given and --threshold; discrete
 models bin them internally. Node indices: services are 0..n-1 in column
@@ -109,6 +116,19 @@ fire the same request from C client threads K times each and fail
 unless every response is byte-identical. `status --prom FILE` dumps the
 daemon's Prometheus exposition for `kertctl telemetry --prom` to
 validate; `stop` drains and shuts the daemon down.
+
+`serve --trace` turns the flight recorder on: every query records a
+causal span tree (request → queue-wait → coalesce-group → propagate →
+serialize; coalesced requests link to their leader's shared compute
+span). `query --trace` stamps each request with a client trace id and
+fails unless the daemon echoes it. `trace` fetches the recorded trees,
+always validates them as Chrome trace-event JSON, and optionally writes
+--chrome (Perfetto/chrome://tracing loadable) and --jsonl (TelemetryEvent
+schema) exports. `slo` is the self-modeling monitor: it turns the
+daemon's own span trees into telemetry rows (queue-wait / propagate /
+serialize phases + total), learns a KERT-BN over that 3-phase pipeline
+through the streaming-window path, and reports the model's P(total >
+target) next to the measured p99 and burn rate.
 
 `telemetry` validates exporter output: every JSONL line must round-trip
 through the TelemetryEvent schema, the Prometheus snapshot must parse,
@@ -136,7 +156,10 @@ impl Flags {
                 return Err(format!("expected a --flag, got {key:?}"));
             };
             // Boolean flags take no value.
-            if matches!(name, "ediamond" | "dot" | "require-ladder" | "require-warm") {
+            if matches!(
+                name,
+                "ediamond" | "dot" | "require-ladder" | "require-warm" | "trace"
+            ) {
                 pairs.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -661,6 +684,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_cap: flags.parse_num("queue-cap", 256usize)?,
         coalesce_window: std::time::Duration::from_micros(flags.parse_num("coalesce-us", 500u64)?),
         max_batch: flags.parse_num("max-batch", 64usize)?,
+        trace: flags.get("trace").is_some(),
+        // 0 falls back to the daemon's default flight-recorder capacity.
+        trace_cap: flags.parse_num("trace-cap", 0usize)?,
     };
 
     // The daemon is the metrics source of record: turn the registry on
@@ -669,13 +695,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let engine = kert_bn::model::SharedKert::from_saved(saved).map_err(|e| e.to_string())?;
     let queue_cap = config.queue_cap;
     let window_us = config.coalesce_window.as_micros();
+    let tracing = config.trace;
     let handle = serve(engine, config).map_err(|e| format!("starting daemon: {e}"))?;
     eprintln!(
-        "kertd listening on {} ({} workers, queue cap {}, coalesce window {}µs)",
+        "kertd listening on {} ({} workers, queue cap {}, coalesce window {}µs{})",
         handle.addr(),
         handle.workers(),
         queue_cap,
-        window_us
+        window_us,
+        if tracing { ", tracing" } else { "" }
     );
     if let Some(path) = flags.get("port-file") {
         // Written *after* bind, so a watcher that sees the file can
@@ -765,10 +793,11 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
     if concurrency == 0 || repeat == 0 {
         return Err("--concurrency and --repeat must be ≥ 1".into());
     }
+    let traced = flags.get("trace").is_some();
 
     let answers: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..concurrency)
-            .map(|_| {
+            .map(|ci| {
                 let addr = addr.clone();
                 let request = request.clone();
                 s.spawn(move || {
@@ -776,10 +805,26 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
                         Client::connect_retry(addr.as_str(), std::time::Duration::from_secs(5))
                             .map_err(|e| format!("connecting to {addr}: {e}"))?;
                     (0..repeat)
-                        .map(|_| {
-                            let response = client
-                                .request(&request)
-                                .map_err(|e| format!("talking to {addr}: {e}"))?;
+                        .map(|k| {
+                            let response = if traced {
+                                // Every request gets a distinct client-
+                                // assigned trace id; the daemon must
+                                // echo it back on the reply frame.
+                                let tid = (ci * repeat + k + 1) as u64;
+                                let (response, echoed) = client
+                                    .request_traced(&request, tid)
+                                    .map_err(|e| format!("talking to {addr}: {e}"))?;
+                                if echoed != Some(tid) {
+                                    return Err(format!(
+                                        "trace id not echoed: sent {tid}, got {echoed:?}"
+                                    ));
+                                }
+                                response
+                            } else {
+                                client
+                                    .request(&request)
+                                    .map_err(|e| format!("talking to {addr}: {e}"))?
+                            };
                             if let Response::Error(err) = &response {
                                 return Err(format!("{:?}: {}", err.kind, err.message));
                             }
@@ -882,6 +927,174 @@ fn cmd_stop(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unexpected stop reply: {other:?}")),
     }
+}
+
+/// Fetch span trees from a traced daemon.
+fn fetch_traces(addr: &str, limit: usize) -> Result<Vec<kert_bn::obs::TraceTree>, String> {
+    use kert_bn::serving::{Client, Response};
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match client.traces(limit).map_err(|e| e.to_string())? {
+        Response::Traces { traces } => Ok(traces),
+        Response::Error(e) => Err(format!("{:?}: {}", e.kind, e.message)),
+        other => Err(format!("unexpected trace reply: {other:?}")),
+    }
+}
+
+/// `trace`: pull the daemon's flight recorder and export it. The Chrome
+/// trace-event rendering is *always* built and validated — a file that
+/// would not load in Perfetto is a command failure, written or not.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let limit: usize = flags.parse_num("limit", 0usize)?;
+    let min: usize = flags.parse_num("min", 1usize)?;
+
+    let traces = fetch_traces(addr, limit)?;
+    if traces.len() < min {
+        return Err(format!(
+            "only {} trace(s) recorded (need at least {min}) — is the daemon \
+             serving traced queries?",
+            traces.len()
+        ));
+    }
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let json = kert_bn::obs::chrome_trace_json(&traces);
+    let stats = kert_bn::obs::check_chrome_trace(&json)
+        .map_err(|e| format!("exported Chrome trace failed validation: {e}"))?;
+    println!(
+        "{} traces, {spans} spans -> {} chrome events ({} complete, {} flow)",
+        traces.len(),
+        stats.events,
+        stats.complete,
+        stats.flows
+    );
+
+    if let Some(path) = flags.get("chrome") {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = flags.get("jsonl") {
+        let mut out = String::new();
+        for tree in &traces {
+            for event in kert_bn::obs::trace_events(tree) {
+                out.push_str(&serde_json::to_string(&event).map_err(|e| e.to_string())?);
+                out.push('\n');
+            }
+        }
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("span events written to {path} (TelemetryEvent schema)");
+    }
+    Ok(())
+}
+
+/// `slo`: the self-modeling monitor (KERT-on-KERT). The daemon's own
+/// span trees become telemetry rows — queue-wait, propagate, serialize
+/// phase durations plus the end-to-end request time — and a KERT-BN is
+/// learned over that three-phase pipeline exactly the way the paper's
+/// models are learned over service pipelines: workflow-derived
+/// structure, discrete CPDs, rows fed through the streaming window.
+/// The learned model's violation probability is reported next to the
+/// measured tail so drift between them is visible at a glance.
+fn cmd_slo(args: &[String]) -> Result<(), String> {
+    use kert_bn::bayes::learn::mle::ParamOptions;
+    use kert_bn::model::StreamingWindow;
+
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let target: f64 = flags
+        .require("target")?
+        .parse()
+        .map_err(|_| "--target: not a number (seconds)".to_string())?;
+    if !target.is_finite() || target <= 0.0 {
+        return Err("--target must be a positive latency bound in seconds".into());
+    }
+    let limit: usize = flags.parse_num("limit", 0usize)?;
+    let min_rows: usize = flags.parse_num("min-rows", 1000usize)?;
+    let window_cap: usize = flags.parse_num("window", 4096usize)?;
+
+    let traces = fetch_traces(addr, limit)?;
+    const NS: f64 = 1e9;
+    let rows: Vec<[f64; 4]> = traces
+        .iter()
+        .filter_map(|tree| {
+            let root = tree.find("kertd.request")?;
+            if root.end_ns == 0 {
+                return None;
+            }
+            Some([
+                tree.span_ns("kertd.queue_wait") as f64 / NS,
+                tree.span_ns("kertd.propagate") as f64 / NS,
+                tree.span_ns("kertd.serialize") as f64 / NS,
+                (root.end_ns - root.start_ns) as f64 / NS,
+            ])
+        })
+        .collect();
+    if rows.len() < min_rows {
+        return Err(format!(
+            "{} self-telemetry rows (need at least {min_rows}) — drive more \
+             traced queries or raise the daemon's --trace-cap",
+            rows.len()
+        ));
+    }
+
+    // The daemon's request pipeline *is* a sequential 3-service
+    // workflow: queue-wait then propagate then serialize, with the
+    // request duration as its end-to-end metric D.
+    let workflow = Workflow::seq(vec![
+        Workflow::Task(0),
+        Workflow::Task(1),
+        Workflow::Task(2),
+    ])
+    .map_err(|e| e.to_string())?;
+    let knowledge =
+        derive_structure(&workflow, 3, &ResourceMap::new()).map_err(|e| e.to_string())?;
+    let names = ["queue_wait", "propagate", "serialize", "D"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut data = kert_bn::bayes::Dataset::new(names);
+    for row in &rows {
+        data.push_row(row.to_vec()).map_err(|e| e.to_string())?;
+    }
+
+    let mut model = KertBn::build_discrete(&knowledge, &data, DiscreteKertOptions::default())
+        .map_err(|e| e.to_string())?;
+    // Dogfood the streaming path the production models use: rows enter
+    // through the sliding window and the model refreshes from it.
+    let mut window =
+        StreamingWindow::new(&model, window_cap.max(rows.len()), ParamOptions::default())
+            .map_err(|e| e.to_string())?;
+    window.extend(&data).map_err(|e| e.to_string())?;
+    let refresh = model
+        .refresh_from_window(&mut window)
+        .map_err(|e| e.to_string())?;
+
+    let mut compiled = model.compile().map_err(|e| e.to_string())?;
+    let p_violation = compiled
+        .violation_sweep(&[], &[target])
+        .map_err(|e| e.to_string())?[0];
+
+    let mut durations: Vec<f64> = rows.iter().map(|r| r[3]).collect();
+    durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let p99 =
+        durations[((durations.len() as f64 * 0.99).ceil() as usize - 1).min(durations.len() - 1)];
+    let violations = durations.iter().filter(|&&d| d > target).count();
+    let burn_rate = violations as f64 / durations.len() as f64;
+
+    println!("slo      : D <= {target}s on the daemon's own request pipeline");
+    println!(
+        "rows     : {} self-telemetry rows ({} in window, {} nodes refreshed)",
+        rows.len(),
+        window.len(),
+        refresh.nodes_moved
+    );
+    println!("model    : P(D > {target}) = {p_violation:.4}  (learned KERT-BN)");
+    println!(
+        "measured : p99 = {:.6}s, burn rate = {burn_rate:.4} ({violations}/{} over target)",
+        p99,
+        durations.len()
+    );
+    Ok(())
 }
 
 fn cmd_violation(args: &[String]) -> Result<(), String> {

@@ -178,6 +178,18 @@ impl Deserialize for String {
     }
 }
 
+impl Serialize for std::borrow::Cow<'static, str> {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'static, str> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        String::de(v).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl Serialize for str {
     fn ser(&self) -> Value {
         Value::Str(self.to_string())
